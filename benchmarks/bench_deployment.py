@@ -1,0 +1,108 @@
+"""E7 — §5.4 deployment table: reloading the pruned graph on fewer ranks.
+
+Once the max candidate set is orders of magnitude smaller than the
+background graph, it can be reloaded on one or more smaller deployments.
+The paper explores two optimization criteria for WDC-3:
+
+* minimize *time-to-solution*: keep all nodes, split them into replica
+  deployments searching prototypes in parallel (a smaller per-deployment
+  size can even win through better locality — their 4-node deployments
+  beat the full 128-node one by 10.3x);
+* minimize *CPU-hours*: run sequentially on few ranks (two nodes cost 50x
+  fewer CPU-hours than 128).
+
+The same trade-off table is regenerated here on 16 simulated ranks.
+"""
+
+import pytest
+
+from repro.analysis import format_seconds, format_table
+from repro.core import run_pipeline
+from repro.core.patterns import wdc3_template
+from common import print_header, wdc_background, default_options
+
+TOTAL_RANKS = 16
+PARALLEL_SPLITS = [1, 2, 4, 8]     # deployments of 16/8/4/2 ranks each
+SEQUENTIAL_RANKS = [16, 8, 4, 2]
+
+
+@pytest.mark.benchmark(group="t54-deployments")
+def test_deployment_tradeoffs(benchmark):
+    graph = wdc_background()
+    template = wdc3_template()
+    parallel = {}
+    sequential = {}
+
+    def run_all():
+        for splits in PARALLEL_SPLITS:
+            parallel[splits] = run_pipeline(
+                graph, template, 3,
+                default_options(
+                    num_ranks=TOTAL_RANKS,
+                    parallel_deployments=splits,
+                    load_balance="reshuffle",
+                    prototype_cost_source="measured",
+                ),
+            )
+        for ranks in SEQUENTIAL_RANKS:
+            sequential[ranks] = run_pipeline(
+                graph, template, 3,
+                default_options(
+                    num_ranks=TOTAL_RANKS,
+                    reload_ranks=ranks,
+                    load_balance="reshuffle",
+                ),
+            )
+        return parallel, sequential
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header("§5.4 — Reloading on smaller deployments (WDC-3, "
+                 f"{TOTAL_RANKS} ranks total)")
+    rows = []
+    base_time = parallel[1].total_simulated_seconds
+    for splits in PARALLEL_SPLITS:
+        result = parallel[splits]
+        rows.append([
+            f"parallel x{splits} ({TOTAL_RANKS // splits} ranks each)",
+            format_seconds(result.total_simulated_seconds),
+            f"{base_time / result.total_simulated_seconds:.2f}x",
+        ])
+    print("Minimize time-to-solution (parallel prototype search):")
+    print(format_table(["deployment", "time", "vs full deployment"], rows))
+
+    rows = []
+    base_cpu = (
+        sequential[SEQUENTIAL_RANKS[-1]].total_simulated_seconds
+        * SEQUENTIAL_RANKS[-1]
+    )
+    cpu_hours = {}
+    for ranks in SEQUENTIAL_RANKS:
+        result = sequential[ranks]
+        cpu = result.total_simulated_seconds * ranks
+        cpu_hours[ranks] = cpu
+        rows.append([
+            f"{ranks} ranks (sequential)",
+            format_seconds(result.total_simulated_seconds),
+            f"{cpu:.4f}",
+            f"{cpu / base_cpu:.2f}x",
+        ])
+    print("\nMinimize CPU cost (sequential prototype search):")
+    print(format_table(
+        ["deployment", "time", "CPU-seconds", "overhead vs smallest"], rows
+    ))
+
+    # All configurations agree on results.
+    reference = parallel[1].match_vectors
+    for result in list(parallel.values()) + list(sequential.values()):
+        assert result.match_vectors == reference
+
+    # Shapes: parallel search helps time; small deployments cost fewer
+    # CPU-seconds than the full one (paper: 50x between 128 and 2 nodes).
+    assert min(
+        parallel[s].total_simulated_seconds for s in PARALLEL_SPLITS[1:]
+    ) < parallel[1].total_simulated_seconds
+    assert cpu_hours[SEQUENTIAL_RANKS[-1]] < cpu_hours[SEQUENTIAL_RANKS[0]]
+    print(f"\nCPU-cost overhead of the full deployment over the smallest: "
+          f"{cpu_hours[SEQUENTIAL_RANKS[0]] / cpu_hours[SEQUENTIAL_RANKS[-1]]:.1f}x "
+          f"(paper: 50x)")

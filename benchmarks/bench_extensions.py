@@ -1,0 +1,153 @@
+"""E14 — extensions ablation (beyond the paper's measured experiments).
+
+The paper sketches several "small update" generalizations and cites the
+walk-cost estimation companion work; this benchmark exercises each
+implemented extension at workload scale and quantifies the claims around
+them:
+
+* wildcard queries: instantiation fan-out and total cost vs a single
+  labeled query;
+* edge-flip families: family size and candidate-set sharing via the
+  envelope template;
+* walk-cost constraint ordering vs the frequency heuristic (identical
+  results, comparable or better NLCC traffic);
+* the graph-simulation family (§6): polynomial but imprecise — the
+  measured precision gap against the exact pipeline.
+"""
+
+import pytest
+
+from repro.analysis import format_count, format_seconds, format_table
+from repro.baselines import dual_simulation
+from repro.core import run_pipeline, run_wildcard_pipeline
+from repro.core.flips import run_flip_pipeline
+from repro.core.patterns import wdc1_template, wdc2_template
+from repro.core.template import PatternTemplate
+from repro.core.wildcards import WILDCARD
+from repro.graph.generators.webgraph import domain_label
+from common import default_options, print_header, wdc_background
+
+
+@pytest.mark.benchmark(group="ext-wildcards")
+def test_extension_wildcards(benchmark):
+    graph = wdc_background()
+    template = PatternTemplate.from_edges(
+        [(0, 1), (1, 2), (2, 0)],
+        labels={0: domain_label("org"), 1: domain_label("edu"), 2: WILDCARD},
+        name="org-edu-?",
+    )
+    result = benchmark.pedantic(
+        lambda: run_wildcard_pipeline(
+            graph, template, 1, default_options(), max_instantiations=400
+        ),
+        rounds=1, iterations=1,
+    )
+    closing = result.instantiations_with_matches()
+    print_header("E14 — wildcard query fan-out (org-edu-? triangle, k=1)")
+    print(format_table(
+        ["instantiations", "with matches", "matched vertices", "time"],
+        [[
+            len(result.per_instantiation),
+            len(closing),
+            len(result.matched_vertices()),
+            format_seconds(result.total_simulated_seconds),
+        ]],
+    ))
+    assert len(result.per_instantiation) >= 2
+    assert closing, "the planted WDC triangles must close for some label"
+
+
+@pytest.mark.benchmark(group="ext-flips")
+def test_extension_flips(benchmark):
+    graph = wdc_background()
+    template = wdc1_template()
+    result = benchmark.pedantic(
+        lambda: run_flip_pipeline(
+            graph, template, flips=1, options=default_options(),
+            max_variants=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    print_header("E14 — edge-flip family (WDC-1, 1 flip)")
+    print(format_table(
+        ["variants", "with matches", "family M* vertices", "time"],
+        [[
+            len(result.variants),
+            len(result.variants_with_matches()),
+            result.candidate_set_vertices,
+            format_seconds(result.total_simulated_seconds),
+        ]],
+    ))
+    assert result.variants[0].graph == template.graph
+    assert template.name in result.variants_with_matches()[0] or (
+        result.variants_with_matches()
+    )
+
+
+@pytest.mark.benchmark(group="ext-walk-cost")
+def test_extension_walk_cost_ordering(benchmark):
+    graph = wdc_background()
+    template = wdc2_template()
+    results = {}
+
+    def run_both():
+        results["frequency"] = run_pipeline(
+            graph, template, 2, default_options()
+        )
+        results["walk-cost"] = run_pipeline(
+            graph, template, 2, default_options(constraint_ordering="walk-cost")
+        )
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    frequency, walk_cost = results["frequency"], results["walk-cost"]
+    assert frequency.match_vectors == walk_cost.match_vectors
+    rows = [
+        [name, format_count(r.message_summary["phases"]["nlcc"]["messages"]),
+         format_seconds(r.total_simulated_seconds)]
+        for name, r in results.items()
+    ]
+    print_header("E14 — constraint ordering: frequency heuristic vs "
+                 "walk-cost estimator ([65])")
+    print(format_table(["ordering", "NLCC messages", "time"], rows))
+    ratio = (
+        frequency.message_summary["phases"]["nlcc"]["messages"]
+        / max(walk_cost.message_summary["phases"]["nlcc"]["messages"], 1)
+    )
+    print(f"walk-cost vs frequency NLCC message ratio: {ratio:.2f}x")
+    assert 0.5 < ratio < 2.0, "orderings should be in the same cost regime"
+
+
+@pytest.mark.benchmark(group="ext-simulation")
+def test_extension_simulation_precision_gap(benchmark):
+    graph = wdc_background()
+    template = wdc2_template()
+    results = {}
+
+    def run_both():
+        results["exact"] = run_pipeline(graph, template, 0, default_options())
+        results["dual-sim"] = dual_simulation(graph, template)
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+    exact_vertices = results["exact"].matched_vertices()
+    sim_vertices = results["dual-sim"].matched_vertices()
+    false_positives = sim_vertices - exact_vertices
+    print_header("E14 — dual simulation vs exact matching (WDC-2, k=0)")
+    print(format_table(
+        ["system", "matched vertices", "false positives", "precision"],
+        [
+            ["exact pipeline", len(exact_vertices), 0, "100%"],
+            [
+                "dual simulation",
+                len(sim_vertices),
+                len(false_positives),
+                f"{len(exact_vertices) / len(sim_vertices):.1%}"
+                if sim_vertices else "n/a",
+            ],
+        ],
+    ))
+    assert exact_vertices <= sim_vertices, "simulation must never miss"
+    assert false_positives, (
+        "WDC-2's duplicate labels + shared cycles must fool dual simulation"
+    )

@@ -1,0 +1,88 @@
+"""E12 — Fig. 12: impact of locality at a fixed process count.
+
+The paper fixes 768 MPI processes over the same partitioning and varies
+the number of physical nodes from 16 (48 processes per node — more than
+the 36 cores, i.e. oversubscribed) to 768 (one process per node — every
+message crosses the network).  The sweet spot sits in between: enough
+node-local communication without oversubscribing cores.
+
+Here 24 simulated ranks run the WDC-2 workload with ranks-per-node swept
+over {24, 12, 8, 4, 2, 1} and a 6-core node model (mirroring the paper's
+48-processes-on-36-cores extreme, our packed end oversubscribes 4x):
+configurations with more ranks than cores pay a proportional
+oversubscription factor on compute, and the cost model distinguishes
+intra-rank, same-node (shared-memory) and cross-node (network) message
+costs.  The U-shaped curve of Fig. 12 should emerge: both extremes lose
+to a middle configuration.
+"""
+
+import pytest
+
+from repro.analysis import bar_chart, format_seconds, format_table
+from repro.core import run_pipeline
+from repro.core.patterns import wdc2_template
+from repro.runtime import CostModel
+from common import default_options, print_header, wdc_background
+
+TOTAL_RANKS = 24
+CORES_PER_NODE = 6
+RANKS_PER_NODE = [24, 12, 8, 4, 2, 1]
+
+
+@pytest.mark.benchmark(group="fig12-locality")
+def test_fig12_locality(benchmark):
+    graph = wdc_background()
+    template = wdc2_template()
+    results = {}
+
+    def run_all():
+        for rpn in RANKS_PER_NODE:
+            oversubscription = max(1.0, rpn / CORES_PER_NODE)
+            options = default_options(
+                num_ranks=TOTAL_RANKS,
+                ranks_per_node=rpn,
+                cost_model=CostModel(oversubscription=oversubscription),
+            )
+            results[rpn] = run_pipeline(graph, template, 2, options)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header(f"Fig. 12 — locality sweep ({TOTAL_RANKS} ranks, "
+                 f"{CORES_PER_NODE}-core nodes)")
+    rows = []
+    times = {}
+    for rpn in RANKS_PER_NODE:
+        result = results[rpn]
+        nodes = (TOTAL_RANKS + rpn - 1) // rpn
+        times[rpn] = result.total_simulated_seconds
+        rows.append([
+            nodes,
+            rpn,
+            f"{max(1.0, rpn / CORES_PER_NODE):.2f}",
+            format_seconds(result.total_simulated_seconds),
+        ])
+    best = min(times, key=times.get)
+    for row, rpn in zip(rows, RANKS_PER_NODE):
+        row.append("<-- best" if rpn == best else "")
+    print(format_table(
+        ["nodes", "ranks/node", "oversubscription", "time", ""], rows
+    ))
+
+    print("\nTime vs locality (the Fig. 12 U-shape):")
+    print(bar_chart(
+        [f"{rpn} ranks/node" for rpn in RANKS_PER_NODE],
+        [times[rpn] for rpn in RANKS_PER_NODE],
+        unit="s",
+    ))
+
+    # Results invariant, U-shape present: the best configuration is neither
+    # the fully-packed oversubscribed one nor the fully-spread one.
+    reference = results[RANKS_PER_NODE[0]].match_vectors
+    for result in results.values():
+        assert result.match_vectors == reference
+    assert best not in (RANKS_PER_NODE[0], RANKS_PER_NODE[-1]), (
+        f"expected an interior optimum, got ranks/node={best}"
+    )
+    assert times[best] < times[RANKS_PER_NODE[0]]
+    assert times[best] < times[RANKS_PER_NODE[-1]]

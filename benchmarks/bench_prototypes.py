@@ -1,0 +1,72 @@
+"""E13 — prototype-count ground truth (Figs. 3, 4, 5; §5.5).
+
+The paper pins exact prototype counts for several templates; they are hard
+correctness anchors for the generation machinery:
+
+* Fig. 3(a): the triangle+square template → 7 at k=1, 12 at k=2;
+* Fig. 4: RMAT-1 → 24 prototypes total, 16 at k=2, disconnects beyond;
+* Fig. 5: WDC-3 → 61 prototypes at k=3, 100+ within k=4;
+* §5.5: the 6-Clique → 1,941 within k=4 (1,365 at k=4);
+* §5.6: 2 three-vertex motifs, 6 four-vertex motifs.
+
+This benchmark regenerates the counts (and times generation, which must
+stay fast even for the 1,941-prototype clique sweep).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import generate_prototypes
+from repro.core.patterns import (
+    imdb1_template,
+    rdt1_template,
+    rmat1_template,
+    wdc1_template,
+    wdc2_template,
+    wdc3_template,
+    wdc4_template,
+)
+from repro.core.motifs import motif_prototypes
+from common import print_header
+
+EXPECTED = {
+    # name: (factory, k, expected level counts)
+    "WDC-1 (Fig.3 shape)": (wdc1_template, 2, [1, 7, 12]),
+    "RMAT-1": (rmat1_template, 2, [1, 7, 16]),
+    "WDC-2": (wdc2_template, 2, [1, 7, 15]),
+    "WDC-3": (wdc3_template, 4, [1, 9, 33, 61, 52]),
+    "WDC-4 (6-Clique)": (wdc4_template, 4, [1, 15, 105, 455, 1365]),
+    "RDT-1": (rdt1_template, 1, [1, 4]),
+    "IMDB-1": (imdb1_template, 2, [1, 3, 3]),
+}
+
+
+@pytest.mark.benchmark(group="prototype-generation")
+def test_prototype_counts(benchmark):
+    generated = {}
+
+    def run_all():
+        for name, (factory, k, _expected) in EXPECTED.items():
+            generated[name] = generate_prototypes(factory(), k)
+        generated["3-motifs"] = motif_prototypes(3)
+        generated["4-motifs"] = motif_prototypes(4)
+        return generated
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header("Prototype-count ground truth (Figs. 3/4/5, §5.5, §5.6)")
+    rows = []
+    for name, (factory, k, expected) in EXPECTED.items():
+        counts = generated[name].level_counts()
+        rows.append([name, k, counts, sum(counts), counts == expected])
+        assert counts == expected, f"{name}: {counts} != {expected}"
+    rows.append(["3-motifs", 1, generated["3-motifs"].level_counts(),
+                 len(generated["3-motifs"]), len(generated["3-motifs"]) == 2])
+    rows.append(["4-motifs", 3, generated["4-motifs"].level_counts(),
+                 len(generated["4-motifs"]), len(generated["4-motifs"]) == 6])
+    print(format_table(
+        ["template", "k", "per-level counts", "total", "matches paper"], rows
+    ))
+    assert len(generated["3-motifs"]) == 2
+    assert len(generated["4-motifs"]) == 6
+    assert len(generated["WDC-4 (6-Clique)"]) == 1941

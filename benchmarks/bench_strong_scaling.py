@@ -1,0 +1,83 @@
+"""E2 — Fig. 6: strong scaling on the WDC-like graph, WDC-1/2/3 patterns.
+
+The paper fixes the WDC graph (257B edges) and scales 64→256 nodes,
+reporting time-to-solution broken down by edit-distance level plus the
+max-candidate-set time (C) and infrastructure management (S), with
+speedups over the smallest deployment on top of each stacked bar
+(WDC-1: up to 2.7x, WDC-2: 2x, WDC-3: 2.4x with parallel prototype
+search on replicated eight-node deployments).
+
+Here the WDC-like graph is fixed and simulated ranks scale 2→16; WDC-3
+additionally runs prototypes in parallel on replica deployments, exactly
+as §5.2 describes.
+"""
+
+import pytest
+
+from repro.analysis import format_seconds, format_table, speedup
+from repro.core import run_pipeline
+from repro.core.patterns import wdc1_template, wdc2_template, wdc3_template
+from common import default_options, print_header, wdc_background
+
+RANK_COUNTS = [2, 4, 8, 16]
+
+PATTERNS = [
+    ("WDC-1", wdc1_template, 2, {}),
+    ("WDC-2", wdc2_template, 2, {}),
+    # WDC-3: many prototypes -> replicate the pruned graph and search
+    # prototypes in parallel (the paper uses eight-node replicas).
+    ("WDC-3", wdc3_template, 3, {"parallel_deployments": 2,
+                                 "load_balance": "reshuffle"}),
+]
+
+
+def run_configuration(template_factory, k, ranks, extra):
+    graph = wdc_background()
+    options = default_options(num_ranks=ranks, **extra)
+    return run_pipeline(graph, template_factory(), k, options)
+
+
+@pytest.mark.benchmark(group="fig6-strong-scaling")
+@pytest.mark.parametrize("name,template_factory,k,extra",
+                         PATTERNS, ids=[p[0] for p in PATTERNS])
+def test_fig6_strong_scaling(benchmark, name, template_factory, k, extra):
+    results = {}
+
+    def run_all():
+        for ranks in RANK_COUNTS:
+            results[ranks] = run_configuration(template_factory, k, ranks, extra)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_header(f"Fig. 6 — Strong scaling, {name} (k={k})")
+    rows = []
+    base = results[RANK_COUNTS[0]].total_simulated_seconds
+    for ranks in RANK_COUNTS:
+        result = results[ranks]
+        per_level = {
+            level.distance: level.search_seconds for level in result.levels
+        }
+        rows.append([
+            ranks,
+            format_seconds(result.candidate_set_seconds),  # C
+            *[format_seconds(per_level.get(d, 0.0)) for d in range(k, -1, -1)],
+            format_seconds(result.total_infrastructure_seconds),  # S
+            format_seconds(result.total_simulated_seconds),
+            f"{speedup(base, result.total_simulated_seconds):.2f}x",
+        ])
+    headers = (
+        ["ranks", "C (M*)"]
+        + [f"k={d}" for d in range(k, -1, -1)]
+        + ["S (infra)", "total", "speedup"]
+    )
+    print(format_table(headers, rows))
+
+    # Results identical across deployments; speedup positive and bounded.
+    vectors = [results[r].match_vectors for r in RANK_COUNTS]
+    assert all(v == vectors[0] for v in vectors)
+    final_speedup = speedup(base, results[RANK_COUNTS[-1]].total_simulated_seconds)
+    assert final_speedup > 1.0, "no strong-scaling benefit at all"
+    assert final_speedup <= RANK_COUNTS[-1] / RANK_COUNTS[0] * 1.5
+    print(f"\n{name}: {RANK_COUNTS[-1]}-rank speedup over {RANK_COUNTS[0]} "
+          f"ranks = {final_speedup:.2f}x (paper: 2-2.7x over 4x more nodes)")

@@ -1,0 +1,92 @@
+"""E1 — Fig. 4: weak scaling on R-MAT graphs with the RMAT-1 pattern.
+
+The paper scales R-MAT from Scale 28 on 4 nodes to Scale 35 (~1.1T edges)
+on 256 nodes: doubling the graph with the rank count, labels from the
+degree rule, RMAT-1 searched at k=2 (24 prototypes).  A flat runtime line
+indicates perfect weak scaling; the paper sees "mostly consistent scaling"
+with ~70% of time in actual search and ~30% in infrastructure management.
+
+Here R-MAT scales 8→11 run on 2→16 simulated ranks.  Reported: simulated
+makespan per configuration, search vs infrastructure fraction, and the
+weak-scaling efficiency (time relative to the smallest configuration).
+"""
+
+import pytest
+
+from repro.analysis import bar_chart, format_seconds, format_table
+from repro.core import generate_prototypes, run_pipeline
+from common import default_options, print_header, rmat1_for, rmat_background
+
+#: (R-MAT scale, simulated ranks): graph doubles with the deployment.
+CONFIGURATIONS = [(8, 2), (9, 4), (10, 8), (11, 16)]
+
+
+def run_configuration(scale: int, ranks: int):
+    graph = rmat_background(scale)
+    template = rmat1_for(scale)
+    options = default_options(
+        num_ranks=ranks, load_balance="reshuffle", count_matches=True
+    )
+    return run_pipeline(graph, template, 2, options)
+
+
+@pytest.mark.benchmark(group="fig4-weak-scaling")
+def test_fig4_weak_scaling(benchmark):
+    results = {}
+
+    def run_all():
+        for scale, ranks in CONFIGURATIONS:
+            results[(scale, ranks)] = run_configuration(scale, ranks)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    template = rmat1_for(CONFIGURATIONS[0][0])
+    prototype_set = generate_prototypes(template, 2)
+    assert prototype_set.level_counts() == [1, 7, 16]  # paper: 24 prototypes
+
+    print_header(
+        "Fig. 4 — Weak scaling, RMAT-1 (k=2, "
+        f"{len(prototype_set)} prototypes)"
+    )
+    base_time = None
+    rows = []
+    for (scale, ranks), result in results.items():
+        graph = rmat_background(scale)
+        total = result.total_simulated_seconds
+        if base_time is None:
+            base_time = total
+        search = sum(level.search_seconds for level in result.levels)
+        infra = (
+            result.candidate_set_seconds + result.total_infrastructure_seconds
+        )
+        rows.append([
+            scale,
+            ranks,
+            graph.num_vertices,
+            graph.num_edges,
+            format_seconds(total),
+            f"{search / total:.0%}" if total else "-",
+            f"{infra / total:.0%}" if total else "-",
+            f"{total / base_time:.2f}x",
+            result.total_match_mappings(),
+        ])
+    print(format_table(
+        ["scale", "ranks", "|V|", "|E|", "time", "search", "infra",
+         "vs smallest", "mappings"],
+        rows,
+    ))
+
+    print("\nRuntime by configuration (flat = perfect weak scaling):")
+    print(bar_chart(
+        [f"scale {s} / {r} ranks" for s, r in CONFIGURATIONS],
+        [results[c].total_simulated_seconds for c in CONFIGURATIONS],
+        unit="s",
+    ))
+
+    # Weak-scaling shape: runtime grows far slower than the 8x problem size.
+    times = [results[c].total_simulated_seconds for c in CONFIGURATIONS]
+    assert times[-1] < 4.0 * times[0], "weak scaling severely degraded"
+    # Every configuration finds matches (labels generated at every scale).
+    for result in results.values():
+        assert result.total_labels_generated() > 0

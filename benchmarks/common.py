@@ -1,0 +1,125 @@
+"""Shared workloads and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§5); DESIGN.md's experiment index maps experiment ids to files.  The
+workloads here are the scaled-down counterparts of the paper's datasets
+(see DESIGN.md §2 for the substitution rationale); they are cached so the
+benchmark session generates each graph once.
+
+Scale-down note: absolute runtimes are simulated seconds from the runtime
+cost model; the *shapes* (who wins, how scaling curves bend, where the
+crossovers sit) are the reproduction targets, recorded against the paper's
+numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.core import PipelineOptions
+from repro.core.patterns import (
+    imdb1_template,
+    rdt1_template,
+    rmat1_template,
+    wdc1_template,
+    wdc2_template,
+    wdc3_template,
+    wdc4_template,
+)
+from repro.graph.generators import (
+    imdb_graph,
+    plant_pattern,
+    reddit_graph,
+    rmat_graph,
+    webgraph,
+)
+
+#: ranks used by single-deployment benchmark runs
+DEFAULT_RANKS = 8
+
+#: WDC-like background graph size (paper: 3.5B vertices; here ~6K)
+WDC_VERTICES = 6000
+WDC_LABELS = 300
+
+
+@lru_cache(maxsize=None)
+def wdc_background() -> "Graph":
+    """The shared WDC-like webgraph with planted WDC-1..4 instances."""
+    graph = webgraph(
+        WDC_VERTICES, num_labels=WDC_LABELS, seed=42, label_exponent=1.05
+    )
+    for template in (wdc1_template(), wdc2_template(), wdc3_template()):
+        labels = [template.label(v) for v in sorted(template.graph.vertices())]
+        plant_pattern(
+            graph, template.edges(), labels, copies=4,
+            seed=sum(map(ord, template.name)),
+        )
+    # WDC-4 (6-clique): plant relaxed copies (k=2 distance) so exploratory
+    # search has something to find and exact search stays rare.
+    clique = wdc4_template()
+    labels = [clique.label(v) for v in sorted(clique.graph.vertices())]
+    relaxed = [e for e in clique.edges() if e not in [(0, 1), (2, 3)]]
+    plant_pattern(graph, relaxed, labels, copies=2, seed=99)
+    return graph
+
+
+@lru_cache(maxsize=None)
+def rmat_background(scale: int = 10):
+    """R-MAT graph with the paper's degree-class labels."""
+    return rmat_graph(scale=scale, edge_factor=8, seed=5)
+
+
+@lru_cache(maxsize=None)
+def rmat1_for(scale: int = 10):
+    """RMAT-1 template using the six most frequent labels of the graph.
+
+    Mirrors the paper: "the template labels used are the most frequent and
+    cover ~45% of the vertices in the background graph".
+    """
+    graph = rmat_background(scale)
+    counts = Counter(graph.label(v) for v in graph.vertices())
+    top6 = [label for label, _count in counts.most_common(6)]
+    return rmat1_template(labels=top6)
+
+
+@lru_cache(maxsize=None)
+def reddit_background():
+    return reddit_graph(
+        num_authors=900, num_subreddits=30, posts_per_author=1.5,
+        comments_per_post=3.0, planted_rdt1=10, seed=20,
+    )
+
+
+@lru_cache(maxsize=None)
+def imdb_background():
+    return imdb_graph(
+        num_movies=250, num_genres=15, num_actresses=250, num_actors=250,
+        num_directors=80, cast_size=3, planted_imdb1=5, seed=31,
+    )
+
+
+def default_options(**overrides) -> PipelineOptions:
+    """The fully-optimized HGT configuration used across benchmarks."""
+    base = dict(num_ranks=DEFAULT_RANKS)
+    base.update(overrides)
+    return PipelineOptions(**base)
+
+
+#: (name, graph factory, template factory, k) rows of the Fig. 7 comparison
+def figure7_workloads() -> List[Tuple[str, object, object, int]]:
+    return [
+        ("RMAT-1", rmat_background, rmat1_for, 2),
+        ("WDC-1", wdc_background, wdc1_template, 2),
+        ("WDC-2", wdc_background, wdc2_template, 2),
+        ("WDC-3", wdc_background, wdc3_template, 3),
+        ("RDT-1", reddit_background, rdt1_template, 1),
+        ("IMDB-1", imdb_background, imdb1_template, 2),
+    ]
+
+
+def print_header(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Information mining: the IMDB-1 shared-cast query (§5.5).
+
+In an IMDb-like bipartite graph, find (actress, actor, director, movie,
+movie) tuples where both movies share a genre and at least one individual
+repeats a role across the two movies.  The "second movie" edges of each
+person are optional, so the search runs at edit-distance 2 over 7
+prototypes.
+
+Run:  python examples/imdb_mining.py
+"""
+
+from repro import PipelineOptions, run_pipeline
+from repro.analysis import format_seconds, format_table
+from repro.core.patterns import imdb1_template
+from repro.graph.generators import imdb_graph
+from repro.graph.generators.imdb import LABEL_NAMES
+
+
+def main() -> None:
+    graph = imdb_graph(
+        num_movies=500,
+        num_genres=15,
+        num_actresses=400,
+        num_actors=400,
+        num_directors=120,
+        cast_size=5,
+        planted_imdb1=5,
+        seed=31,
+    )
+    print(f"IMDb-like graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges (bipartite)")
+    counts = graph.label_counts()
+    print("  " + ", ".join(
+        f"{LABEL_NAMES[label]}: {count}" for label, count in sorted(counts.items())
+    ))
+
+    template = imdb1_template()
+    print(f"\nQuery: {template.name} — mandatory first-movie roles, optional "
+          f"second-movie roles, shared genre")
+
+    result = run_pipeline(
+        graph,
+        template,
+        k=2,
+        options=PipelineOptions(num_ranks=4, count_matches=True),
+    )
+
+    root = result.prototype_set.at(0)[0]
+    print(f"\nPrototypes: {len(result.prototype_set)} "
+          f"({result.prototype_set.level_counts()})")
+    print(f"Total mappings: {result.total_match_mappings()} "
+          f"(including {result.outcome_for(root.id).match_mappings} precise — "
+          f"all three individuals repeat)")
+
+    rows = []
+    for outcome in result.outcomes():
+        removed = outcome.prototype.removed_edges()
+        rows.append([
+            outcome.name,
+            outcome.distance,
+            len(outcome.solution_vertices),
+            outcome.match_mappings,
+            ", ".join(f"{u}-{v}" for u, v in removed) or "(none)",
+        ])
+    print(format_table(
+        ["prototype", "k", "vertices", "mappings", "edges removed"], rows
+    ))
+    print(f"\nTime-to-solution (simulated): "
+          f"{format_seconds(result.total_simulated_seconds)}")
+
+
+if __name__ == "__main__":
+    main()

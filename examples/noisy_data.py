@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Scenario S2 — matching under data-acquisition noise.
+
+The paper's second motivating scenario: "the acquired data can be noisy,
+leading to a background graph that is different from the ground truth ...
+approximate matching is used to highlight subgraphs that may be of
+interest and have to be further inspected" (e.g., genomics pipelines).
+
+This example plants exact pattern instances into a graph, then simulates
+acquisition noise by deleting a fraction of edges.  Exact matching (k=0)
+misses every instance that lost an edge; approximate matching at k=1 and
+k=2 recovers them — with full precision (every reported vertex really sits
+in a ≤k-edit match of the template).
+
+Run:  python examples/noisy_data.py
+"""
+
+import numpy as np
+
+from repro import PatternTemplate, PipelineOptions, run_pipeline
+from repro.analysis import format_table
+from repro.graph.generators import planted_graph
+
+PATTERN_EDGES = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0)]
+PATTERN_LABELS = [1, 2, 3, 4, 5]
+COPIES = 12
+
+
+def main() -> None:
+    template = PatternTemplate.from_edges(
+        PATTERN_EDGES,
+        {i: l for i, l in enumerate(PATTERN_LABELS)},
+        name="ground-truth",
+    )
+    graph = planted_graph(
+        300, 700, PATTERN_EDGES, PATTERN_LABELS,
+        copies=COPIES, num_labels=8, seed=41,
+    )
+    # The planted instances occupy the appended vertex ids.
+    instance_vertices = [
+        list(range(300 + i * 5, 300 + (i + 1) * 5)) for i in range(COPIES)
+    ]
+
+    # Simulate acquisition noise: drop ~12% of planted-instance edges.
+    rng = np.random.default_rng(7)
+    dropped = 0
+    for members in instance_vertices:
+        for u, v in PATTERN_EDGES:
+            if rng.random() < 0.12 and graph.has_edge(members[u], members[v]):
+                graph.remove_edge(members[u], members[v])
+                dropped += 1
+    print(f"Planted {COPIES} instances ({len(PATTERN_EDGES)} edges each); "
+          f"noise deleted {dropped} edges")
+
+    rows = []
+    for k in (0, 1, 2):
+        result = run_pipeline(
+            graph, template, k, PipelineOptions(num_ranks=4)
+        )
+        matched = result.matched_vertices()
+        recovered = sum(
+            1 for members in instance_vertices
+            if all(v in matched for v in members)
+        )
+        rows.append([
+            k,
+            len(result.prototype_set),
+            recovered,
+            f"{recovered / COPIES:.0%}",
+            len(matched),
+        ])
+    print()
+    print(format_table(
+        ["k", "prototypes", "instances recovered", "recall of planted",
+         "matched vertices"],
+        rows,
+    ))
+    print("\nEvery reported vertex is guaranteed to lie in an exact match of "
+          "some <=k-edit prototype (100% precision) — the noisy instances "
+          "surface for inspection instead of vanishing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Social network analysis: the RDT-1 adversarial poster-commenter query.
+
+Reproduces the §5.5 use case: in a Reddit-like metadata graph, find users
+with an adversarial poster-commenter relationship — an author whose
+up-voted post attracts a down-voted comment and vice versa, with the posts
+under *different* subreddits.  The author edges are optional ("a valid
+match can be missing an author-post or an author-comment edge"), so the
+query runs at edit-distance 1 over 5 prototypes, distinguishing *precise*
+matches (the full template) from relaxed ones.
+
+Run:  python examples/reddit_moderation.py
+"""
+
+from repro import PipelineOptions, run_pipeline
+from repro.analysis import format_seconds, format_table
+from repro.core.patterns import rdt1_template
+from repro.graph.generators import reddit_graph
+from repro.graph.generators.reddit import AUTHOR, LABEL_NAMES
+
+
+def main() -> None:
+    graph = reddit_graph(
+        num_authors=600,
+        num_subreddits=25,
+        posts_per_author=1.5,
+        comments_per_post=3.0,
+        planted_rdt1=8,
+        seed=20,
+    )
+    print(f"Reddit-like graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges")
+    counts = graph.label_counts()
+    print("  " + ", ".join(
+        f"{LABEL_NAMES[label]}: {count}" for label, count in sorted(counts.items())
+    ))
+
+    template = rdt1_template()
+    print(f"\nQuery: {template.name} — {template.num_vertices} vertices, "
+          f"{len(template.mandatory_edges)} mandatory + "
+          f"{len(template.optional_edges())} optional edges")
+
+    result = run_pipeline(
+        graph, template, k=1, options=PipelineOptions(num_ranks=4, count_matches=True)
+    )
+
+    root = result.prototype_set.at(0)[0]
+    precise = result.outcome_for(root.id)
+    total_mappings = result.total_match_mappings()
+    print(f"\nPrototypes: {len(result.prototype_set)} "
+          f"({result.prototype_set.level_counts()})")
+    print(f"Total match mappings: {total_mappings} "
+          f"(including {precise.match_mappings} precise)")
+
+    rows = [
+        [o.name, o.distance, len(o.solution_vertices), o.match_mappings]
+        for o in result.outcomes()
+    ]
+    print(format_table(["prototype", "k", "matched vertices", "mappings"], rows))
+
+    # Flag the adversarial authors (vertex labels AUTHOR inside any match).
+    flagged = sorted(
+        v for v in result.matched_vertices() if graph.label(v) == AUTHOR
+    )
+    precise_authors = sorted(
+        v for v in precise.solution_vertices if graph.label(v) == AUTHOR
+    )
+    print(f"\nFlagged authors: {len(flagged)} "
+          f"({len(precise_authors)} with the complete adversarial structure)")
+    print(f"Time-to-solution (simulated): "
+          f"{format_seconds(result.total_simulated_seconds)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Analysis utilities: memory model (Fig. 11), datasets table, reporting."""
+
+from .audit import AuditReport, PrototypeAudit, audit_match_vectors, audit_result
+from .datasets import dataset_row, datasets_table, standard_datasets
+from .memory import (
+    dynamic_state_bytes,
+    memory_breakdown,
+    relative_breakdown,
+    static_state_bytes,
+    topology_bytes,
+)
+from .report import (
+    bar_chart,
+    format_bytes,
+    format_count,
+    format_seconds,
+    format_table,
+    series,
+    speedup,
+)
+
+__all__ = [
+    "AuditReport",
+    "PrototypeAudit",
+    "audit_match_vectors",
+    "audit_result",
+    "bar_chart",
+    "dataset_row",
+    "datasets_table",
+    "dynamic_state_bytes",
+    "format_bytes",
+    "format_count",
+    "format_seconds",
+    "format_table",
+    "memory_breakdown",
+    "relative_breakdown",
+    "series",
+    "speedup",
+    "standard_datasets",
+    "static_state_bytes",
+    "topology_bytes",
+]

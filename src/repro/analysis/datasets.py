@@ -1,0 +1,69 @@
+"""Dataset summary table (the Table 1 analog).
+
+The paper's Table 1 characterizes each evaluation dataset by |V|, 2|E|,
+d_max, d_avg, d_stdev and storage size.  :func:`dataset_row` computes the
+same row for any graph (storage from the CSR memory model), and
+:func:`datasets_table` renders the standard summary for this repository's
+generator-backed stand-ins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..graph.graph import Graph
+from .memory import topology_bytes
+from .report import format_bytes, format_count, format_table
+
+
+def dataset_row(name: str, graph: Graph, kind: str = "Synth.") -> List[object]:
+    """One Table 1-style row: type, |V|, 2|E|, degree stats, storage."""
+    stats = graph.degree_statistics()
+    return [
+        name,
+        kind,
+        format_count(graph.num_vertices),
+        format_count(2 * graph.num_edges),
+        format_count(stats.d_max),
+        f"{stats.d_avg:.1f}",
+        f"{stats.d_stdev:.1f}",
+        format_bytes(topology_bytes(graph)),
+    ]
+
+
+def datasets_table(graphs: Dict[str, Graph], kinds: Dict[str, str] = None) -> str:
+    """Render a Table 1-style summary for a set of graphs."""
+    kinds = kinds or {}
+    rows = [
+        dataset_row(name, graph, kinds.get(name, "Synth."))
+        for name, graph in graphs.items()
+    ]
+    return format_table(
+        ["dataset", "type", "|V|", "2|E|", "d_max", "d_avg", "d_stdev", "size"],
+        rows,
+    )
+
+
+def standard_datasets(seed: int = 0) -> Dict[str, Graph]:
+    """The repository's stand-ins for the paper's Table 1 datasets.
+
+    Sized for interactive use; the benchmark harness uses its own cached
+    instances (see ``benchmarks/common.py``).
+    """
+    from ..graph.generators import (
+        imdb_graph,
+        reddit_graph,
+        rmat_graph,
+        suite_graphs,
+        webgraph,
+    )
+
+    graphs: Dict[str, Graph] = {
+        "WDC-like": webgraph(4000, num_labels=50, seed=seed),
+        "Reddit-like": reddit_graph(num_authors=500, seed=seed),
+        "IMDb-like": imdb_graph(num_movies=300, seed=seed),
+        "R-MAT s10": rmat_graph(scale=10, edge_factor=8, seed=seed),
+    }
+    for name, graph in suite_graphs(seed=seed):
+        graphs[name] = graph
+    return graphs

@@ -1,0 +1,109 @@
+"""Memory model of the distributed system (§5.7, Fig. 11).
+
+The paper breaks cluster-wide memory into three categories:
+
+* **topology** — the CSR graph (vertex offsets, edge targets, labels);
+* **static** — algorithm state allocated before search begins: per-vertex
+  prototype match vectors, candidate bitsets (``ω``), per-edge active
+  bitsets (``ε``), satisfied-constraint sets (``κ``), and the per-vertex
+  MPI process map maintained by HavoqGT;
+* **dynamic** — state created during the search, dominated by the visitor
+  message queues.
+
+This module reproduces that model with the datatype sizes of Fig. 11(a)
+(32 prototypes / 32 template vertices / 32 constraints by default), and
+computes the naïve vs HGT-C vs HGT-P peak comparison of Fig. 11(b) from a
+run's recorded statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..graph.graph import Graph
+from ..runtime.messages import MessageStats
+
+#: Fig. 11(a) datatype sizes, in bits.
+VERTEX_OFFSET_BITS = 64
+EDGE_TARGET_BITS = 64
+VERTEX_LABEL_BITS = 16
+MATCH_VECTOR_BITS = 32  # one bit per prototype, 32 prototypes assumed
+OMEGA_BITS = 32  # candidate-role bitset, 32 template vertices assumed
+EPSILON_BITS_PER_EDGE = 8  # the 8-bit active-edge bitset of Alg. 3
+KAPPA_BITS = 32  # satisfied non-local constraints, 32 assumed
+MPI_RANK_BITS = 32  # HavoqGT per-vertex controller rank
+MESSAGE_BYTES = 32  # one queued visitor (target, payload header)
+
+
+def topology_bytes(graph: Graph) -> int:
+    """CSR storage: offsets + directed edge targets + labels."""
+    bits = (
+        VERTEX_OFFSET_BITS * (graph.num_vertices + 1)
+        + EDGE_TARGET_BITS * 2 * graph.num_edges
+        + VERTEX_LABEL_BITS * graph.num_vertices
+    )
+    return bits // 8
+
+
+def static_state_bytes(
+    graph: Graph,
+    num_prototypes: int = 32,
+    template_vertices: int = 32,
+    num_constraints: int = 32,
+) -> int:
+    """Statically allocated algorithm state (Fig. 11(a) legend)."""
+    per_vertex_bits = (
+        _round_up_bits(num_prototypes)  # rho match vector
+        + _round_up_bits(template_vertices)  # omega candidate bitset
+        + _round_up_bits(num_constraints)  # kappa satisfied constraints
+        + MPI_RANK_BITS
+    )
+    per_edge_bits = EPSILON_BITS_PER_EDGE
+    bits = per_vertex_bits * graph.num_vertices + per_edge_bits * 2 * graph.num_edges
+    return bits // 8
+
+
+def dynamic_state_bytes(stats: MessageStats) -> int:
+    """Peak message-queue bytes across the run's barrier intervals.
+
+    The per-interval max over ranks approximates the largest queue any
+    rank held; multiplying by the rank count bounds the cluster-wide peak.
+    """
+    if not stats.intervals:
+        return 0
+    peak_per_rank = max(interval[1] for interval in stats.intervals)
+    return peak_per_rank * stats.num_ranks * MESSAGE_BYTES
+
+
+def memory_breakdown(
+    graph: Graph,
+    stats: Optional[MessageStats] = None,
+    num_prototypes: int = 32,
+    template_vertices: int = 32,
+    num_constraints: int = 32,
+) -> Dict[str, int]:
+    """Fig. 11(a)-style breakdown for one graph + optional run stats."""
+    breakdown = {
+        "topology": topology_bytes(graph),
+        "static": static_state_bytes(
+            graph, num_prototypes, template_vertices, num_constraints
+        ),
+        "dynamic": dynamic_state_bytes(stats) if stats is not None else 0,
+    }
+    breakdown["total"] = sum(breakdown.values())
+    return breakdown
+
+
+def relative_breakdown(breakdown: Dict[str, int]) -> Dict[str, float]:
+    """Fractions of total memory per category."""
+    total = breakdown.get("total") or sum(
+        v for k, v in breakdown.items() if k != "total"
+    )
+    if not total:
+        return {k: 0.0 for k in breakdown if k != "total"}
+    return {k: v / total for k, v in breakdown.items() if k != "total"}
+
+
+def _round_up_bits(count: int) -> int:
+    """Bitsets are allocated in whole bytes."""
+    return ((count + 7) // 8) * 8

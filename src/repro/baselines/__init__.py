@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against (§5.6, §6)."""
+
+from .arabesque import (
+    ArabesqueResult,
+    arabesque_count_motifs,
+    replicated_graph_bytes,
+)
+from .simulation import (
+    SimulationResult,
+    dual_simulation,
+    graph_simulation,
+    strong_simulation,
+)
+
+__all__ = [
+    "ArabesqueResult",
+    "SimulationResult",
+    "arabesque_count_motifs",
+    "dual_simulation",
+    "graph_simulation",
+    "replicated_graph_bytes",
+    "strong_simulation",
+]

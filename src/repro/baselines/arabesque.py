@@ -1,0 +1,160 @@
+"""Arabesque-style baseline: Think-Like-an-Embedding motif counting (§5.6).
+
+Arabesque (Teixeira et al., SOSP'15) expresses graph mining as BSP rounds
+of *embedding expansion*: size-``i`` embeddings are extended to size
+``i+1`` each superstep, with a canonicality rule ensuring each embedding is
+generated once.  Two properties drive the comparison in the paper:
+
+* the input graph is **replicated in the memory of every worker**, so the
+  largest supported graph is bounded by single-node memory;
+* the embedding frontier grows combinatorially with graph density and
+  pattern size — the 4-motif/LiveJournal run dies with OOM after an hour.
+
+This module reproduces both: a level-synchronous ESU-style enumeration of
+connected vertex-induced subgraphs with per-superstep frontier storage, a
+replication + frontier memory model, and a configurable memory budget that
+raises :class:`~repro.errors.MemoryLimitExceeded` exactly the way the real
+system OOMs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import MemoryLimitExceeded
+from ..graph.graph import Graph
+from ..graph.isomorphism import canonical_form
+
+#: modeled bytes per replicated edge endpoint (CSR target + bookkeeping)
+BYTES_PER_EDGE_ENDPOINT = 16
+#: modeled bytes per replicated vertex (offset + label)
+BYTES_PER_VERTEX = 10
+#: modeled bytes per stored embedding vertex (id + extension bookkeeping)
+BYTES_PER_EMBEDDING_VERTEX = 24
+
+
+class ArabesqueResult:
+    """Counts and execution statistics of one Arabesque-style run."""
+
+    def __init__(self, size: int, num_ranks: int) -> None:
+        self.size = size
+        self.num_ranks = num_ranks
+        #: canonical form → number of vertex-induced embeddings
+        self.counts: Dict[Tuple, int] = {}
+        self.supersteps = 0
+        self.embeddings_processed = 0
+        self.peak_frontier = 0
+        self.peak_memory_bytes = 0
+        self.wall_seconds = 0.0
+        self.simulated_seconds = 0.0
+
+    def total_embeddings(self) -> int:
+        return sum(self.counts.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"ArabesqueResult(size={self.size}, motifs={len(self.counts)}, "
+            f"embeddings={self.total_embeddings()})"
+        )
+
+
+def replicated_graph_bytes(graph: Graph, num_ranks: int) -> int:
+    """Cluster-wide bytes to hold one graph copy per worker."""
+    per_copy = (
+        BYTES_PER_VERTEX * graph.num_vertices
+        + BYTES_PER_EDGE_ENDPOINT * 2 * graph.num_edges
+    )
+    return per_copy * num_ranks
+
+
+def arabesque_count_motifs(
+    graph: Graph,
+    size: int,
+    num_ranks: int = 4,
+    memory_limit_bytes: Optional[int] = None,
+    embedding_cost_seconds: float = 5.0e-4,
+    superstep_cost_seconds: float = 2.0,
+) -> ArabesqueResult:
+    """Count connected ``size``-vertex motifs the Arabesque way.
+
+    Enumerates every connected vertex-induced ``size``-subgraph exactly
+    once (ESU extension rule), level-synchronously, and classifies each by
+    canonical form.  Raises :class:`MemoryLimitExceeded` when replication
+    plus the frontier exceeds ``memory_limit_bytes``.
+
+    ``simulated_seconds`` models the BSP execution: embeddings are spread
+    over ``num_ranks`` workers, plus a fixed cost per superstep.  The
+    default constants are calibrated to the systems gap the paper
+    measured — Arabesque runs on Spark/Giraph, paying JVM embedding
+    materialization, canonicality filtering and shuffle serialization
+    (~0.5 ms per embedding) plus per-superstep stage scheduling (~2 s);
+    EXPERIMENTS.md E9 records the fit against the paper's table.
+    """
+    if size < 1:
+        raise ValueError("motif size must be positive")
+    result = ArabesqueResult(size, num_ranks)
+    started = time.perf_counter()
+    replication = replicated_graph_bytes(graph, num_ranks)
+    result.peak_memory_bytes = replication
+    _check_memory(replication, memory_limit_bytes, "graph replication")
+
+    # Superstep 1: singleton embeddings with ESU extension sets.
+    frontier: List[Tuple[Tuple[int, ...], FrozenSet[int]]] = []
+    for v in graph.vertices():
+        ext = frozenset(u for u in graph.neighbors(v) if u > v)
+        frontier.append(((v,), ext))
+    result.supersteps = 1
+    result.peak_frontier = len(frontier)
+
+    for level in range(2, size + 1):
+        new_frontier: List[Tuple[Tuple[int, ...], FrozenSet[int]]] = []
+        for sub, ext in frontier:
+            result.embeddings_processed += 1
+            root = sub[0]
+            sub_set = set(sub)
+            neighborhood = set()
+            for s in sub:
+                neighborhood.update(graph.neighbors(s))
+            remaining = sorted(ext)
+            while remaining:
+                w = remaining.pop(0)
+                exclusive = {
+                    x
+                    for x in graph.neighbors(w)
+                    if x > root and x not in sub_set and x not in neighborhood
+                }
+                new_frontier.append((sub + (w,), frozenset(remaining) | exclusive))
+        frontier = new_frontier
+        result.supersteps += 1
+        result.peak_frontier = max(result.peak_frontier, len(frontier))
+        frontier_bytes = (
+            len(frontier) * level * BYTES_PER_EMBEDDING_VERTEX
+        )
+        result.peak_memory_bytes = max(
+            result.peak_memory_bytes, replication + frontier_bytes
+        )
+        _check_memory(
+            replication + frontier_bytes,
+            memory_limit_bytes,
+            f"superstep {result.supersteps} frontier",
+        )
+
+    # Classification superstep: canonical form of each induced subgraph.
+    for sub, _ext in frontier:
+        result.embeddings_processed += 1
+        induced = graph.subgraph(sub)
+        key = canonical_form(induced)
+        result.counts[key] = result.counts.get(key, 0) + 1
+
+    result.wall_seconds = time.perf_counter() - started
+    result.simulated_seconds = (
+        result.embeddings_processed * embedding_cost_seconds / num_ranks
+        + result.supersteps * superstep_cost_seconds
+    )
+    return result
+
+
+def _check_memory(used: int, limit: Optional[int], where: str) -> None:
+    if limit is not None and used > limit:
+        raise MemoryLimitExceeded(used, limit, where)

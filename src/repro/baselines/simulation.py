@@ -1,0 +1,164 @@
+"""Graph-simulation baselines (the §6 "Graph Simulation family").
+
+The related-work section contrasts the paper's exact-semantics system with
+the graph simulation family [Henzinger et al., FOCS'95; Fan et al., VLDB'10]:
+polynomial-time relaxations whose results are supersets of subgraph-
+isomorphism semantics.  Implementing them makes the paper's precision
+argument concrete:
+
+* :func:`graph_simulation` — a vertex matches template vertex ``w`` if for
+  every template-neighbor of ``w`` it has *some* matching neighbor
+  (child-condition only);
+* :func:`dual_simulation` — same condition iterated as a fixed point in
+  both directions over undirected adjacency (this coincides with the LCC
+  arc-consistency fixed point — which is exactly why PruneJuice needed the
+  non-local constraints on top);
+* :func:`strong_simulation` — dual simulation restricted to diameter-
+  bounded balls [Ma et al., WWW'12], tighter but still not exact.
+
+All three run in polynomial time and may report *false positives* w.r.t.
+subgraph isomorphism — never false negatives.  The comparison tests and
+the extensions benchmark quantify that precision gap against the exact
+pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Set
+
+from ..graph.algorithms import bfs_order, shortest_path_lengths
+from ..graph.graph import Graph
+
+
+class SimulationResult:
+    """Per-template-vertex candidate sets produced by a simulation run."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        #: template vertex -> set of background vertices simulating it
+        self.candidates: Dict[int, Set[int]] = {}
+        self.iterations = 0
+        self.wall_seconds = 0.0
+
+    def matched_vertices(self) -> Set[int]:
+        matched: Set[int] = set()
+        for vertices in self.candidates.values():
+            matched |= vertices
+        return matched
+
+    @property
+    def empty(self) -> bool:
+        return not any(self.candidates.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.kind}, matched="
+            f"{len(self.matched_vertices())}, iterations={self.iterations})"
+        )
+
+
+def graph_simulation(graph: Graph, template) -> SimulationResult:
+    """Plain graph simulation: one-direction child condition, no iteration
+    to a global fixed point beyond candidate initialization.
+
+    ``template`` is a :class:`~repro.core.template.PatternTemplate` or any
+    object with ``vertices()`` / ``label()`` and a ``graph`` attribute.
+    """
+    return _simulate(graph, template, iterate=False, kind="graph-simulation")
+
+
+def dual_simulation(graph: Graph, template) -> SimulationResult:
+    """Dual simulation: iterate the neighbor condition to a fixed point."""
+    return _simulate(graph, template, iterate=True, kind="dual-simulation")
+
+
+def strong_simulation(
+    graph: Graph, template, ball_radius: Optional[int] = None
+) -> SimulationResult:
+    """Strong simulation: dual simulation within diameter-bounded balls.
+
+    A vertex keeps its candidacy only if the dual simulation *restricted to
+    the ball around it* (radius = template diameter by default) still
+    contains it.  Tighter than dual simulation; still polynomial; still
+    not exact.
+    """
+    started = time.perf_counter()
+    template_graph = template.graph
+    if ball_radius is None:
+        ball_radius = _diameter(template_graph)
+    base = dual_simulation(graph, template)
+    result = SimulationResult("strong-simulation")
+    result.iterations = base.iterations
+    result.candidates = {w: set() for w in template_graph.vertices()}
+    for w, candidates in base.candidates.items():
+        for vertex in candidates:
+            ball = _ball(graph, vertex, ball_radius)
+            local = dual_simulation(graph.subgraph(ball), template)
+            if vertex in local.candidates.get(w, ()):
+                result.candidates[w].add(vertex)
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _simulate(graph: Graph, template, iterate: bool, kind: str) -> SimulationResult:
+    started = time.perf_counter()
+    template_graph = template.graph
+    result = SimulationResult(kind)
+    by_label: Dict[int, Set[int]] = {}
+    for v in graph.vertices():
+        by_label.setdefault(graph.label(v), set()).add(v)
+    candidates: Dict[int, Set[int]] = {
+        w: set(by_label.get(template_graph.label(w), ()))
+        for w in template_graph.vertices()
+    }
+
+    changed = True
+    while changed:
+        result.iterations += 1
+        changed = False
+        for w in template_graph.vertices():
+            survivors = set()
+            for v in candidates[w]:
+                ok = True
+                neighbors = graph.neighbors(v)
+                for t_nbr in template_graph.neighbors(w):
+                    if not (candidates[t_nbr] & neighbors):
+                        ok = False
+                        break
+                if ok:
+                    survivors.add(v)
+            if survivors != candidates[w]:
+                candidates[w] = survivors
+                changed = True
+        if not iterate:
+            break
+    # A simulation exists only if every template vertex has candidates.
+    if any(not c for c in candidates.values()):
+        candidates = {w: set() for w in candidates}
+    result.candidates = candidates
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _diameter(graph: Graph) -> int:
+    best = 0
+    for v in graph.vertices():
+        lengths = shortest_path_lengths(graph, v)
+        if lengths:
+            best = max(best, max(lengths.values()))
+    return best
+
+
+def _ball(graph: Graph, center: int, radius: int) -> Set[int]:
+    lengths = shortest_path_lengths(graph, center)
+    return {v for v, d in lengths.items() if d <= radius}
+
+
+__all__ = [
+    "SimulationResult",
+    "dual_simulation",
+    "graph_simulation",
+    "strong_simulation",
+    "bfs_order",
+]

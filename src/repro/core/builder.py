@@ -1,0 +1,120 @@
+"""Fluent template construction.
+
+Writing templates as raw edge lists with integer labels gets error-prone
+once patterns carry names, mandatory edges, edge labels and wildcards.
+:class:`TemplateBuilder` provides the adoption-grade front door::
+
+    template = (
+        TemplateBuilder("suspicious-cluster")
+        .vertex("author", label=AUTHOR)
+        .vertex("post", label=POST_POSITIVE)
+        .vertex("sub", label=SUBREDDIT)
+        .vertex("anything")                       # wildcard label
+        .edge("author", "post")                   # optional edge
+        .edge("post", "sub", mandatory=True)      # survives every prototype
+        .edge("post", "anything", label=UPVOTE)   # edge-labeled
+        .build()
+    )
+
+Vertex names map deterministically to the integer ids the engine uses
+(insertion order); :meth:`TemplateBuilder.vertex_id` recovers the mapping
+for interpreting results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TemplateError
+from .template import PatternTemplate
+from .wildcards import WILDCARD
+
+
+class TemplateBuilder:
+    """Incremental, named construction of a :class:`PatternTemplate`."""
+
+    def __init__(self, name: str = "template") -> None:
+        self.name = name
+        self._labels: Dict[str, int] = {}
+        self._order: List[str] = []
+        self._edges: List[Tuple[str, str]] = []
+        self._mandatory: List[Tuple[str, str]] = []
+        self._edge_labels: Dict[Tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    def vertex(self, name: str, label: Optional[int] = None) -> "TemplateBuilder":
+        """Add a named vertex; ``label=None`` makes it a wildcard."""
+        if name in self._labels:
+            raise TemplateError(f"vertex {name!r} already defined")
+        self._labels[name] = WILDCARD if label is None else int(label)
+        self._order.append(name)
+        return self
+
+    def edge(
+        self,
+        first: str,
+        second: str,
+        mandatory: bool = False,
+        label: Optional[int] = None,
+    ) -> "TemplateBuilder":
+        """Add an edge between two named vertices."""
+        for name in (first, second):
+            if name not in self._labels:
+                raise TemplateError(f"unknown vertex {name!r}; declare it first")
+        if first == second:
+            raise TemplateError("self loops are not allowed in templates")
+        key = (first, second)
+        if key in self._edges or (second, first) in self._edges:
+            raise TemplateError(f"edge {first!r}-{second!r} already defined")
+        self._edges.append(key)
+        if mandatory:
+            self._mandatory.append(key)
+        if label is not None:
+            self._edge_labels[key] = int(label)
+        return self
+
+    # ------------------------------------------------------------------
+    def vertex_id(self, name: str) -> int:
+        """The integer id ``build()`` assigns to the named vertex."""
+        try:
+            return self._order.index(name)
+        except ValueError as exc:
+            raise TemplateError(f"unknown vertex {name!r}") from exc
+
+    def vertex_names(self) -> Dict[int, str]:
+        """``id -> name`` for interpreting result mappings."""
+        return dict(enumerate(self._order))
+
+    def has_wildcards(self) -> bool:
+        return any(label == WILDCARD for label in self._labels.values())
+
+    # ------------------------------------------------------------------
+    def build(self) -> PatternTemplate:
+        """Materialize the template (raises on empty/disconnected shapes).
+
+        Wildcard-labeled templates build fine; search them with
+        :func:`~repro.core.wildcards.run_wildcard_pipeline`.
+        """
+        if not self._order:
+            raise TemplateError("template must have at least one vertex")
+        ids = {name: index for index, name in enumerate(self._order)}
+        edges = [(ids[a], ids[b]) for a, b in self._edges]
+        labels = {ids[name]: self._labels[name] for name in self._order}
+        mandatory = [(ids[a], ids[b]) for a, b in self._mandatory]
+        edge_labels = {
+            (min(ids[a], ids[b]), max(ids[a], ids[b])): label
+            for (a, b), label in self._edge_labels.items()
+        }
+        return PatternTemplate.from_edges(
+            edges,
+            labels,
+            mandatory_edges=mandatory,
+            name=self.name,
+            edge_labels=edge_labels,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TemplateBuilder({self.name!r}, vertices={len(self._order)}, "
+            f"edges={len(self._edges)})"
+        )

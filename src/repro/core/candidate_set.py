@@ -1,0 +1,116 @@
+"""Maximum candidate set generation — ``M*`` (§3.1, Fig. 1).
+
+``M*`` is the union of all possible approximate matches of the template,
+irrespective of edit-distance.  The key insight making it cheap: it depends
+only on *local* information.  A vertex can participate in some prototype
+match as role ``a`` only if
+
+* its label equals ``l(a)``;
+* every *mandatory* neighbor of ``a`` is witnessed by an active neighbor
+  (mandatory edges survive in every prototype); and
+* at least one template-neighbor of ``a`` is witnessed at all — every
+  prototype is connected over the full vertex set ``W0``, so role ``a``
+  keeps at least one of its template edges in any prototype.
+
+The procedure iterates these conditions to a fixed point, eliminating
+edges to eliminated neighbors along the way (the paper calls this out as a
+key optimization to limit network traffic in later pipeline steps).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from ..runtime.engine import Engine
+from ..graph.graph import canonical_edge
+from .lcc import _exchange_candidacies, _has_adjacent_pair
+from .state import SearchState
+from .template import PatternTemplate
+
+
+def max_candidate_set(
+    graph, template: PatternTemplate, engine: Engine
+) -> SearchState:
+    """Compute ``M*`` as a :class:`SearchState` over ``graph``."""
+    state = SearchState.initial(graph, template)
+    mandatory_neighbors = _mandatory_neighbor_map(template)
+    template_graph = template.graph
+    with engine.stats.phase("max_candidate_set"):
+        changed = True
+        while changed:
+            received = _exchange_candidacies(state, engine)
+            changed = _apply_round(
+                state, template_graph, mandatory_neighbors, received
+            )
+    return state
+
+
+def _mandatory_neighbor_map(template: PatternTemplate) -> Dict[int, Set[int]]:
+    """Template vertex → the neighbors joined to it by mandatory edges."""
+    mandatory: Dict[int, Set[int]] = {w: set() for w in template.vertices()}
+    for u, v in template.mandatory_edges:
+        mandatory[u].add(v)
+        mandatory[v].add(u)
+    return mandatory
+
+
+def _apply_round(
+    state: SearchState,
+    template_graph,
+    mandatory_neighbors: Dict[int, Set[int]],
+    received: Dict[int, Dict[int, FrozenSet[int]]],
+) -> bool:
+    changed = False
+    new_candidates: Dict[int, Set[int]] = {}
+    for vertex, roles in state.candidates.items():
+        inbox = received.get(vertex, {})
+        active = state.active_edges.get(vertex, ())
+        surviving = set()
+        for role in roles:
+            if _role_viable(
+                role, template_graph, mandatory_neighbors, inbox, active
+            ):
+                surviving.add(role)
+        if surviving != roles:
+            changed = True
+        if surviving:
+            new_candidates[vertex] = surviving
+
+    for vertex in list(state.candidates):
+        if vertex not in new_candidates:
+            state.deactivate_vertex(vertex)
+        else:
+            state.candidates[vertex] = new_candidates[vertex]
+
+    for vertex in list(state.candidates):
+        roles_v = state.candidates[vertex]
+        for nbr in list(state.active_edges.get(vertex, ())):
+            if nbr < vertex and nbr in state.candidates:
+                continue  # the pair is handled from nbr's side
+            roles_u = state.candidates.get(nbr)
+            if not roles_u or not _has_adjacent_pair(template_graph, roles_v, roles_u):
+                state.deactivate_edge(vertex, nbr)
+                changed = True
+    return changed
+
+
+def _role_viable(
+    role: int,
+    template_graph,
+    mandatory_neighbors: Dict[int, Set[int]],
+    inbox: Dict[int, FrozenSet[int]],
+    active_neighbors,
+) -> bool:
+    required_any = template_graph.neighbors(role)
+    if not required_any:  # single-vertex template: label match suffices
+        return True
+    witnessed = set()
+    for nbr in active_neighbors:
+        witnessed.update(inbox.get(nbr, ()))
+    for mandatory in mandatory_neighbors.get(role, ()):
+        if mandatory not in witnessed:
+            return False
+    return bool(required_any & witnessed)
+
+
+__all__ = ["max_candidate_set", "canonical_edge"]

@@ -1,0 +1,360 @@
+"""Constraint generation: the template as a set of checks (§3, Fig. 2).
+
+A template prescribes, for every vertex and edge of a match:
+
+* **Local constraints** — a matched vertex must have active neighbors whose
+  labels cover the adjacency structure of its template vertex.  These drive
+  :mod:`~repro.core.lcc`.
+* **Non-local constraints** — directed *closed walks* in the template that
+  a matched vertex must be able to reproduce in the background graph with
+  consistent vertex identities.  Three kinds, as in Fig. 2:
+
+  - ``CC`` cycle constraints: one walk around each simple cycle, generated
+    rooted at every cycle vertex so each role is checked directly;
+  - ``PC`` path constraints: for each pair of same-labeled template
+    vertices, walk to the twin and back — verifies a *distinct* twin exists;
+  - ``TDS`` template-driven search constraints: walks combining cycles that
+    share edges (required for non-edge-monocyclic templates), and, as the
+    final aggregate check, a *full walk* that covers every template edge —
+    a token completing the full walk with all identity checks satisfied
+    has, by construction, traced an exact match, which is what makes the
+    pipeline's 100% precision guarantee unconditional.
+
+Constraints carry a structural identity ``key`` — equal keys mean "the same
+check" even when generated from different prototypes, enabling the
+cross-prototype work recycling of Obs. 2 (Fig. 3(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConstraintError
+from ..graph.algorithms import shortest_path, simple_cycles_upto
+from ..graph.graph import Graph, canonical_edge
+
+LOCAL_KIND = "local"
+CYCLE_KIND = "cycle"
+PATH_KIND = "path"
+TDS_KIND = "tds"
+FULL_WALK_KIND = "tds_full"
+
+
+class LocalConstraint:
+    """Adjacency requirement of one template vertex."""
+
+    __slots__ = ("vertex", "label", "neighbor_labels")
+
+    def __init__(self, vertex: int, label: int, neighbor_labels: Tuple[int, ...]) -> None:
+        self.vertex = vertex
+        self.label = label
+        #: sorted multiset of labels required among the vertex's neighbors
+        self.neighbor_labels = neighbor_labels
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalConstraint(vertex={self.vertex}, label={self.label}, "
+            f"neighbors={self.neighbor_labels})"
+        )
+
+
+class NonLocalConstraint:
+    """A closed identity-checked walk in the template.
+
+    ``walk`` is a tuple of template vertices with ``walk[0] == walk[-1]``.
+    A token reproducing the walk in the background graph must map equal
+    template vertices to equal graph vertices and distinct template
+    vertices to distinct graph vertices (checked incrementally hop by hop).
+    """
+
+    __slots__ = ("kind", "walk", "labels", "key", "proto_graph")
+
+    def __init__(
+        self,
+        kind: str,
+        walk: Sequence[int],
+        labels: Sequence[int],
+        proto_graph: "Graph | None" = None,
+    ) -> None:
+        if len(walk) < 3:
+            raise ConstraintError("a closed walk needs at least three entries")
+        if walk[0] != walk[-1]:
+            raise ConstraintError("non-local constraint walks must be closed")
+        self.kind = kind
+        self.walk = tuple(walk)
+        self.labels = tuple(labels)
+        #: source prototype graph; consulted by NLCC for edge labels
+        self.proto_graph = proto_graph
+        key_edge_labels = ()
+        if proto_graph is not None and proto_graph.has_edge_labels:
+            # -1 encodes "no edge label" so keys stay totally orderable.
+            key_edge_labels = tuple(
+                -1
+                if proto_graph.edge_label(walk[h - 1], walk[h]) is None
+                else proto_graph.edge_label(walk[h - 1], walk[h])
+                for h in range(1, len(walk))
+            )
+        self.key = (kind, self.labels, _identity_pattern(self.walk), key_edge_labels)
+
+    @property
+    def length(self) -> int:
+        """Number of hops a token takes."""
+        return len(self.walk) - 1
+
+    @property
+    def source(self) -> int:
+        """Template vertex whose candidates initiate tokens."""
+        return self.walk[0]
+
+    def __repr__(self) -> str:
+        return f"NonLocalConstraint({self.kind}, walk={self.walk})"
+
+
+def _identity_pattern(walk: Sequence[int]) -> Tuple[int, ...]:
+    """First-occurrence pattern of the walk (identity structure).
+
+    ``(a, b, c, a)`` and ``(x, y, z, x)`` produce the same pattern
+    ``(0, 1, 2, 0)`` — the check they describe is identical whenever the
+    label sequences also agree.
+    """
+    first: Dict[int, int] = {}
+    pattern = []
+    for vertex in walk:
+        if vertex not in first:
+            first[vertex] = len(first)
+        pattern.append(first[vertex])
+    return tuple(pattern)
+
+
+# ----------------------------------------------------------------------
+# Local constraints
+# ----------------------------------------------------------------------
+def local_constraints(proto_graph: Graph) -> List[LocalConstraint]:
+    """One :class:`LocalConstraint` per template vertex of a prototype."""
+    constraints = []
+    for vertex in sorted(proto_graph.vertices()):
+        neighbor_labels = tuple(
+            sorted(proto_graph.label(u) for u in proto_graph.neighbors(vertex))
+        )
+        constraints.append(
+            LocalConstraint(vertex, proto_graph.label(vertex), neighbor_labels)
+        )
+    return constraints
+
+
+# ----------------------------------------------------------------------
+# Non-local constraints
+# ----------------------------------------------------------------------
+def cycle_constraints(proto_graph: Graph) -> List[NonLocalConstraint]:
+    """CC constraints: each simple cycle, rooted at every cycle vertex."""
+    constraints = []
+    for cycle in simple_cycles_upto(proto_graph, proto_graph.num_vertices):
+        n = len(cycle)
+        for offset in range(n):
+            walk = [cycle[(offset + i) % n] for i in range(n)]
+            walk.append(walk[0])
+            labels = [proto_graph.label(w) for w in walk]
+            constraints.append(
+                NonLocalConstraint(CYCLE_KIND, walk, labels, proto_graph)
+            )
+    return constraints
+
+
+def path_constraints(proto_graph: Graph) -> List[NonLocalConstraint]:
+    """PC constraints: walk to a same-labeled twin and back, per endpoint.
+
+    Needed when the template repeats labels: a vertex must prove a twin
+    *distinct from itself* sits at the prescribed distance (Fig. 2 bottom).
+    """
+    constraints = []
+    by_label: Dict[int, List[int]] = {}
+    for vertex in sorted(proto_graph.vertices()):
+        by_label.setdefault(proto_graph.label(vertex), []).append(vertex)
+    for vertices in by_label.values():
+        for i, u in enumerate(vertices):
+            for w in vertices[i + 1 :]:
+                path = shortest_path(proto_graph, u, w)
+                if path is None:  # pragma: no cover - prototypes are connected
+                    continue
+                for rooted in (path, path[::-1]):  # root at u and at w
+                    there_and_back = rooted + rooted[-2::-1]
+                    labels = [proto_graph.label(x) for x in there_and_back]
+                    constraints.append(
+                        NonLocalConstraint(
+                            PATH_KIND, there_and_back, labels, proto_graph
+                        )
+                    )
+    return constraints
+
+
+def tds_constraints(proto_graph: Graph) -> List[NonLocalConstraint]:
+    """TDS constraints from pairs of simple cycles sharing an edge (Fig. 2).
+
+    The combined walk goes around the first cycle and then the second,
+    starting from a shared vertex; identity checks tie the shared edge to
+    the *same* background vertices in both cycles.
+    """
+    cycles = simple_cycles_upto(proto_graph, proto_graph.num_vertices)
+    constraints = []
+    for i, first in enumerate(cycles):
+        first_edges = _cycle_edges(first)
+        for second in cycles[i + 1 :]:
+            shared = first_edges & _cycle_edges(second)
+            if not shared:
+                continue
+            u, _v = next(iter(sorted(shared)))
+            walk = _rotate_closed(first, u) + _rotate_closed(second, u)[1:]
+            labels = [proto_graph.label(x) for x in walk]
+            constraints.append(
+                NonLocalConstraint(TDS_KIND, walk, labels, proto_graph)
+            )
+    return constraints
+
+
+def full_walk_constraint(
+    proto_graph: Graph, root: Optional[int] = None
+) -> NonLocalConstraint:
+    """The aggregate TDS constraint: a closed walk covering every edge.
+
+    Built by a DFS from ``root`` that walks down to each child and back,
+    adding an out-and-back detour for every non-tree edge, so each template
+    edge appears as at least one consecutive pair of the walk.  A completed
+    token is therefore a full exact match containing its initiator.
+    """
+    if proto_graph.num_vertices == 0:
+        raise ConstraintError("cannot build a walk on an empty graph")
+    if root is None:
+        root = min(proto_graph.vertices())
+    walk: List[int] = [root]
+    visited: Set[int] = {root}
+    covered: Set[Tuple[int, int]] = set()
+
+    def dfs(vertex: int) -> None:
+        for nbr in sorted(proto_graph.neighbors(vertex)):
+            edge = canonical_edge(vertex, nbr)
+            if nbr not in visited:
+                visited.add(nbr)
+                covered.add(edge)
+                walk.append(nbr)
+                dfs(nbr)
+                walk.append(vertex)
+            elif edge not in covered:
+                covered.add(edge)
+                walk.append(nbr)
+                walk.append(vertex)
+
+    dfs(root)
+    if len(walk) == 1:  # single-vertex template: trivially closed walk
+        walk.append(root)
+    labels = [proto_graph.label(x) for x in walk]
+    return NonLocalConstraint(FULL_WALK_KIND, walk, labels, proto_graph)
+
+
+def _cycle_edges(cycle: Sequence[int]) -> Set[Tuple[int, int]]:
+    n = len(cycle)
+    return {canonical_edge(cycle[i], cycle[(i + 1) % n]) for i in range(n)}
+
+
+def _rotate_closed(cycle: Sequence[int], start: int) -> List[int]:
+    """Cycle as a closed walk starting and ending at ``start``."""
+    idx = list(cycle).index(start)
+    n = len(cycle)
+    walk = [cycle[(idx + i) % n] for i in range(n)]
+    walk.append(start)
+    return walk
+
+
+def is_edge_monocyclic(proto_graph: Graph) -> bool:
+    """True if every edge belongs to at most one simple cycle.
+
+    Edge-monocyclic templates with distinct labels do not require TDS
+    constraints (Fig. 2's caption); everything else gets the full walk.
+    """
+    seen: Dict[Tuple[int, int], int] = {}
+    for cycle in simple_cycles_upto(proto_graph, proto_graph.num_vertices):
+        for edge in _cycle_edges(cycle):
+            seen[edge] = seen.get(edge, 0) + 1
+            if seen[edge] > 1:
+                return False
+    return True
+
+
+def has_duplicate_labels(proto_graph: Graph) -> bool:
+    counts = proto_graph.label_counts()
+    return any(count > 1 for count in counts.values())
+
+
+def is_tree(proto_graph: Graph) -> bool:
+    return proto_graph.num_edges == proto_graph.num_vertices - 1
+
+
+class ConstraintSet:
+    """All constraints of one prototype, in checking order."""
+
+    def __init__(
+        self,
+        local: List[LocalConstraint],
+        non_local: List[NonLocalConstraint],
+        exact_without_full_walk: bool,
+    ) -> None:
+        self.local = local
+        self.non_local = non_local
+        #: True when LCC (+ the cheap non-local checks) provably leaves
+        #: exactly the solution subgraph, so no full walk was appended.
+        self.exact_without_full_walk = exact_without_full_walk
+
+    def full_walk(self) -> Optional[NonLocalConstraint]:
+        for constraint in self.non_local:
+            if constraint.kind == FULL_WALK_KIND:
+                return constraint
+        return None
+
+    def __repr__(self) -> str:
+        kinds = [c.kind for c in self.non_local]
+        return f"ConstraintSet(local={len(self.local)}, non_local={kinds})"
+
+
+def generate_constraints(
+    proto_graph: Graph,
+    label_frequencies: Optional[Dict[int, int]] = None,
+    include_full_walk: str = "auto",
+) -> ConstraintSet:
+    """The constraint set guaranteeing exactness for one prototype.
+
+    ``include_full_walk``:
+
+    * ``"auto"`` — append the full walk unless the prototype is a tree with
+      all-distinct labels (where iterated local checking is provably exact);
+    * ``True`` / ``False`` — force or suppress it (``False`` gives the
+      paper's cheap-constraints-only mode; combine with enumeration-based
+      verification for exactness).
+    """
+    local = local_constraints(proto_graph)
+    non_local: List[NonLocalConstraint] = []
+    non_local.extend(cycle_constraints(proto_graph))
+    if has_duplicate_labels(proto_graph):
+        non_local.extend(path_constraints(proto_graph))
+    if not is_edge_monocyclic(proto_graph):
+        non_local.extend(tds_constraints(proto_graph))
+
+    provably_exact = is_tree(proto_graph) and not has_duplicate_labels(proto_graph)
+    want_full = (
+        include_full_walk is True
+        or (include_full_walk == "auto" and not provably_exact)
+    )
+    if want_full:
+        root = _rarest_label_vertex(proto_graph, label_frequencies)
+        non_local.append(full_walk_constraint(proto_graph, root=root))
+    return ConstraintSet(local, non_local, exact_without_full_walk=provably_exact)
+
+
+def _rarest_label_vertex(
+    proto_graph: Graph, label_frequencies: Optional[Dict[int, int]]
+) -> int:
+    """Root choice heuristic: start walks at the rarest-label vertex (§5.4)."""
+    if not label_frequencies:
+        return min(proto_graph.vertices())
+    return min(
+        proto_graph.vertices(),
+        key=lambda v: (label_frequencies.get(proto_graph.label(v), 0), v),
+    )

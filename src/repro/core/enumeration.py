@@ -1,0 +1,128 @@
+"""Match enumeration and counting (§4, "Match Enumeration and Counting").
+
+Enumeration runs on the pruned solution subgraph with per-vertex candidate
+roles as a filter, so it is cheap relative to enumerating on the raw graph.
+Two strategies:
+
+* :func:`enumerate_matches` — constrained backtracking (the general path);
+* :func:`extend_from_child_matches` — the paper's edit-distance-specific
+  optimization: a distance-``δ`` prototype differs from its distance
+  ``δ+1`` child by one edge, so its matches are exactly the child's matches
+  in which that edge's image is present in the background graph.  Reusing
+  the child's enumerated matches replaces a full search by one edge probe
+  per match (§5.4 reports ~3.9× on 4-Motif/Youtube from this).
+
+Counting conventions: a *mapping* is an assignment of template vertices to
+graph vertices; the number of *distinct subgraphs* is mappings divided by
+the prototype's automorphism count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..errors import PipelineError
+from ..graph.graph import Graph
+from ..graph.isomorphism import automorphism_count, find_subgraph_isomorphisms
+from .prototypes import Prototype
+from .state import SearchState
+
+Mapping = Dict[int, int]
+
+
+def enumerate_matches(
+    prototype: Prototype,
+    state: SearchState,
+    limit: Optional[int] = None,
+) -> Iterator[Mapping]:
+    """Yield match mappings of ``prototype`` within the active state.
+
+    The backtracking search runs on the materialized pruned subgraph and is
+    additionally filtered by the per-vertex candidate roles (``ω``).
+    """
+    pruned = state.to_graph()
+    candidates = state.candidates
+
+    def role_filter(template_vertex: int, graph_vertex: int) -> bool:
+        return template_vertex in candidates.get(graph_vertex, ())
+
+    yield from find_subgraph_isomorphisms(
+        prototype.graph, pruned, limit=limit, candidate_filter=role_filter
+    )
+
+
+def count_match_mappings(prototype: Prototype, state: SearchState) -> int:
+    """Number of match mappings of ``prototype`` in the active state."""
+    return sum(1 for _ in enumerate_matches(prototype, state))
+
+
+def distinct_match_count(prototype: Prototype, mapping_count: int) -> int:
+    """Convert a mapping count into a distinct-subgraph count."""
+    autos = automorphism_count(prototype.graph)
+    if mapping_count % autos:
+        raise PipelineError(
+            f"mapping count {mapping_count} not divisible by automorphisms {autos}"
+        )
+    return mapping_count // autos
+
+
+def extend_from_child_matches(
+    parent: Prototype,
+    child: Prototype,
+    child_matches: Sequence[Mapping],
+    graph: Graph,
+) -> List[Mapping]:
+    """Derive ``parent`` matches from enumerated matches of one child.
+
+    ``child`` must be a dedup representative linked from ``parent`` (one
+    optional edge removed).  Every parent match is a child match (through
+    the recorded isomorphism) whose removed edge is present in ``graph``,
+    so filtering the child's matches is complete and sound.
+    """
+    link = next(
+        (l for l in parent.child_links if l.child is child),
+        None,
+    )
+    if link is None:
+        raise PipelineError(
+            f"{child.name} is not a derivation child of {parent.name}"
+        )
+    a, b = link.removed_edge
+    required_label = parent.graph.edge_label(a, b)
+    # iso maps (parent − removed_edge) vertices onto child vertices, so the
+    # parent-side mapping is m_child ∘ iso.
+    iso = link.iso
+    matches: List[Mapping] = []
+    for child_match in child_matches:
+        candidate = {w: child_match[iso[w]] for w in iso}
+        if not graph.has_edge(candidate[a], candidate[b]):
+            continue
+        if required_label is not None and graph.edge_label(
+            candidate[a], candidate[b]
+        ) != required_label:
+            continue
+        matches.append(candidate)
+    return matches
+
+
+def state_from_matches(
+    state: SearchState, prototype: Prototype, matches: Sequence[Mapping]
+) -> SearchState:
+    """A fresh state containing exactly the vertices/edges of ``matches``.
+
+    This is the enumeration-based exact verification path: the returned
+    state *is* the solution subgraph by construction.
+    """
+    candidates: Dict[int, set] = {}
+    active_edges: Dict[int, set] = {}
+    proto_edges = list(prototype.graph.edges())
+    for mapping in matches:
+        for template_vertex, graph_vertex in mapping.items():
+            candidates.setdefault(graph_vertex, set()).add(template_vertex)
+        for u, v in proto_edges:
+            gu, gv = mapping[u], mapping[v]
+            active_edges.setdefault(gu, set()).add(gv)
+            active_edges.setdefault(gv, set()).add(gu)
+    for vertex in candidates:
+        active_edges.setdefault(vertex, set())
+    return SearchState(state.graph, candidates, active_edges)

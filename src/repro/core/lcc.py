@@ -1,0 +1,168 @@
+"""Local constraint checking — LCC (Alg. 4).
+
+Iterative pruning: each round, every active vertex broadcasts its candidate
+roles to its active neighbors (one visitor per active edge direction); after
+quiescence each vertex keeps a role only if *every* template-neighbor of
+that role is witnessed by some active neighbor, and edges survive only if
+their endpoints hold template-adjacent roles.  Rounds repeat until nothing
+changes — the fixed point is classic arc consistency over the prototype's
+adjacency structure.
+
+For tree prototypes with all-distinct labels this fixed point is provably
+the exact solution subgraph; in general it is a superset that the non-local
+checks (:mod:`~repro.core.nlcc`) reduce further.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..graph.graph import Graph
+from ..runtime.engine import Engine
+from ..runtime.visitor import Visitor
+from .state import SearchState
+
+
+def local_constraint_checking(
+    state: SearchState,
+    proto_graph: Graph,
+    engine: Engine,
+    max_iterations: Optional[int] = None,
+) -> int:
+    """Prune ``state`` to the LCC fixed point for ``proto_graph``.
+
+    Returns the number of iterations executed.  ``max_iterations`` bounds
+    the loop (useful for ablation experiments); ``None`` runs to fixpoint.
+    """
+    iterations = 0
+    with engine.stats.phase("lcc"):
+        while max_iterations is None or iterations < max_iterations:
+            iterations += 1
+            received = _exchange_candidacies(state, engine)
+            if not _apply_round(state, proto_graph, received):
+                break
+    return iterations
+
+
+def _exchange_candidacies(
+    state: SearchState, engine: Engine
+) -> Dict[int, Dict[int, FrozenSet[int]]]:
+    """One traversal: every active vertex sends its roles to its neighbors.
+
+    Returns ``received[v][u] = roles u claimed``, the per-vertex inbox.
+    """
+    received: Dict[int, Dict[int, FrozenSet[int]]] = {}
+
+    def visit(ctx, visitor: Visitor) -> None:
+        if visitor.payload is None:
+            vertex = visitor.target
+            roles = state.candidates.get(vertex)
+            if not roles:
+                return
+            payload = (vertex, frozenset(roles))
+            ctx.broadcast(vertex, state.active_edges.get(vertex, ()), payload)
+        else:
+            sender, roles = visitor.payload
+            received.setdefault(visitor.target, {})[sender] = roles
+
+    seeds = (Visitor(v) for v in list(state.candidates))
+    engine.do_traversal(seeds, visit)
+    return received
+
+
+def _apply_round(
+    state: SearchState,
+    proto_graph: Graph,
+    received: Dict[int, Dict[int, FrozenSet[int]]],
+) -> bool:
+    """Synchronous role/edge refinement; returns True if anything changed."""
+    changed = False
+    edge_labeled = proto_graph.has_edge_labels
+    new_candidates: Dict[int, Set[int]] = {}
+    for vertex, roles in state.candidates.items():
+        inbox = received.get(vertex, {})
+        surviving = {
+            role
+            for role in roles
+            if _role_supported(
+                vertex, role, proto_graph, state, inbox, edge_labeled
+            )
+        }
+        if surviving != roles:
+            changed = True
+        if surviving:
+            new_candidates[vertex] = surviving
+
+    for vertex in list(state.candidates):
+        if vertex not in new_candidates:
+            state.deactivate_vertex(vertex)
+        else:
+            state.candidates[vertex] = new_candidates[vertex]
+
+    # Edge elimination: both endpoints must hold template-adjacent roles.
+    for vertex in list(state.candidates):
+        roles_v = state.candidates[vertex]
+        for nbr in list(state.active_edges.get(vertex, ())):
+            if nbr < vertex and nbr in state.candidates:
+                continue  # the pair is handled from nbr's side
+            roles_u = state.candidates.get(nbr)
+            if not roles_u or not _has_adjacent_pair(
+                proto_graph, roles_v, roles_u,
+                state.graph.edge_label(vertex, nbr) if edge_labeled else None,
+                edge_labeled,
+            ):
+                state.deactivate_edge(vertex, nbr)
+                changed = True
+    return changed
+
+
+def _role_supported(
+    vertex: int,
+    role: int,
+    proto_graph: Graph,
+    state: SearchState,
+    inbox: Dict[int, FrozenSet[int]],
+    edge_labeled: bool = False,
+) -> bool:
+    """Every template-neighbor of ``role`` needs an active witness neighbor.
+
+    With an edge-labeled prototype the witness edge must also carry a
+    compatible edge label (template edge label ``None`` matches anything).
+    """
+    active = state.active_edges.get(vertex, ())
+    graph = state.graph
+    for required in proto_graph.neighbors(role):
+        wanted = (
+            proto_graph.edge_label(role, required) if edge_labeled else None
+        )
+        satisfied = False
+        for nbr in active:
+            if required not in inbox.get(nbr, ()):
+                continue
+            if wanted is not None and graph.edge_label(vertex, nbr) != wanted:
+                continue
+            satisfied = True
+            break
+        if not satisfied:
+            return False
+    return True
+
+
+def _has_adjacent_pair(
+    proto_graph: Graph,
+    roles_a: Set[int],
+    roles_b: Set[int],
+    graph_edge_label: "int | None" = None,
+    edge_labeled: bool = False,
+) -> bool:
+    for a in roles_a:
+        common = proto_graph.neighbors(a) & roles_b
+        if not common:
+            continue
+        if not edge_labeled:
+            return True
+        for b in common:
+            wanted = proto_graph.edge_label(a, b)
+            if wanted is None or wanted == graph_edge_label:
+                return True
+    return False

@@ -1,0 +1,203 @@
+"""Non-local constraint checking — NLCC (Alg. 5).
+
+Token-passing verification of one closed walk constraint:
+
+* every active vertex holding the constraint's source role initiates a
+  token (unless the work-recycling cache already knows it satisfies this
+  constraint — Obs. 2);
+* a token carries the ordered list of graph vertices that forwarded it; a
+  receiving vertex validates the hop (role membership + identity checks
+  against the template walk) and either drops the token or broadcasts it
+  onward over its active edges;
+* a token whose hop count reaches the walk length has returned to its
+  initiator (closed walks force this through the identity checks); the
+  initiator is marked satisfied;
+* afterwards, every checked vertex that was not marked loses the source
+  role — and possibly gets eliminated.
+
+For *full-walk* constraints (the aggregate TDS check covering every
+template edge), each completed token is an exact match by construction; the
+verified (vertex, role) pairs and traversed edges are recorded so the state
+can be reduced to exactly the solution subgraph, and the number of
+completed tokens equals the number of match mappings (used for counting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..graph.graph import canonical_edge
+from ..runtime.engine import Engine
+from ..runtime.visitor import Visitor
+from .constraints import FULL_WALK_KIND, NonLocalConstraint
+from .state import NlccCache, SearchState
+
+
+class NlccResult:
+    """Outcome of checking one non-local constraint."""
+
+    __slots__ = (
+        "constraint",
+        "checked",
+        "satisfied",
+        "recycled",
+        "eliminated_roles",
+        "completions",
+        "confirmed_roles",
+        "confirmed_edges",
+        "completed_mappings",
+    )
+
+    def __init__(self, constraint: NonLocalConstraint) -> None:
+        self.constraint = constraint
+        self.checked: Set[int] = set()
+        self.satisfied: Set[int] = set()
+        self.recycled: Set[int] = set()
+        self.eliminated_roles = 0
+        #: number of tokens that completed the walk (for full walks this is
+        #: exactly the number of match mappings rooted anywhere)
+        self.completions = 0
+        self.confirmed_roles: Dict[int, Set[int]] = {}
+        self.confirmed_edges: Set[Tuple[int, int]] = set()
+        #: for full walks: one template-vertex -> graph-vertex mapping per
+        #: completed token (each completion IS an exact match)
+        self.completed_mappings: list = []
+
+    @property
+    def changed(self) -> bool:
+        return self.eliminated_roles > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"NlccResult({self.constraint.kind}, checked={len(self.checked)}, "
+            f"satisfied={len(self.satisfied)}, eliminated={self.eliminated_roles})"
+        )
+
+
+def non_local_constraint_checking(
+    state: SearchState,
+    constraint: NonLocalConstraint,
+    engine: Engine,
+    cache: Optional[NlccCache] = None,
+    recycle: bool = True,
+) -> NlccResult:
+    """Verify ``constraint`` over ``state`` in place; returns the outcome.
+
+    Full-walk constraints additionally *reduce* the state to exactly the
+    confirmed vertices/roles/edges (they subsume all weaker checks).
+    Recycling never applies to full walks: their completions double as the
+    exact match evidence and must be recomputed per prototype.
+    """
+    walk = constraint.walk
+    walk_len = len(walk)
+    source_role = constraint.source
+    is_full_walk = constraint.kind == FULL_WALK_KIND
+    use_cache = recycle and cache is not None and not is_full_walk
+    result = NlccResult(constraint)
+    candidates = state.candidates
+    active_edges = state.active_edges
+    proto_graph = getattr(constraint, "proto_graph", None)
+    # Per-hop required edge labels (None = any); populated only for
+    # edge-labeled prototypes so the plain hot path stays unchanged.
+    hop_edge_labels = None
+    if proto_graph is not None and proto_graph.has_edge_labels:
+        hop_edge_labels = [None] + [
+            proto_graph.edge_label(walk[h - 1], walk[h])
+            for h in range(1, walk_len)
+        ]
+        graph_edge_label = state.graph.edge_label
+    # Per-hop identity obligations, precomputed from the walk: positions a
+    # new vertex must equal (same template vertex) or differ from.
+    same_positions = []
+    diff_positions = []
+    for hop in range(walk_len):
+        same = [p for p in range(hop) if walk[p] == walk[hop]]
+        diff = [p for p in range(hop) if walk[p] != walk[hop]]
+        same_positions.append(same)
+        diff_positions.append(diff)
+
+    def visit(ctx, visitor: Visitor) -> None:
+        if visitor.payload is None:
+            _initiate(ctx, visitor.target)
+        else:
+            _advance(ctx, visitor.target, visitor.payload)
+
+    def _initiate(ctx, vertex: int) -> None:
+        roles = candidates.get(vertex)
+        if not roles or source_role not in roles:
+            return
+        result.checked.add(vertex)
+        if use_cache and cache.is_satisfied(constraint.key, vertex):
+            result.satisfied.add(vertex)
+            result.recycled.add(vertex)
+            return
+        ctx.broadcast(vertex, active_edges.get(vertex, ()), (vertex,))
+
+    def _advance(ctx, vertex: int, token: Tuple[int, ...]) -> None:
+        hop = len(token)  # position of `vertex` in the walk
+        roles = candidates.get(vertex)
+        if not roles or walk[hop] not in roles:
+            return  # drop token
+        if hop_edge_labels is not None:
+            wanted = hop_edge_labels[hop]
+            if wanted is not None and graph_edge_label(token[-1], vertex) != wanted:
+                return
+        for position in same_positions[hop]:
+            if token[position] != vertex:
+                return
+        for position in diff_positions[hop]:
+            if token[position] == vertex:
+                return
+        extended = token + (vertex,)
+        if hop == walk_len - 1:
+            # Closed walk: the identity check above already forced
+            # vertex == token[0], the initiator.
+            result.completions += 1
+            result.satisfied.add(extended[0])
+            if is_full_walk:
+                _record_match(extended)
+            return
+        ctx.broadcast(vertex, active_edges.get(vertex, ()), extended)
+
+    def _record_match(token: Tuple[int, ...]) -> None:
+        mapping = {}
+        for position, vertex in enumerate(token):
+            result.confirmed_roles.setdefault(vertex, set()).add(walk[position])
+            mapping[walk[position]] = vertex
+        for position in range(len(token) - 1):
+            result.confirmed_edges.add(
+                canonical_edge(token[position], token[position + 1])
+            )
+        result.completed_mappings.append(mapping)
+
+    with engine.stats.phase("nlcc"):
+        seeds = (Visitor(v) for v in list(state.candidates))
+        engine.do_traversal(seeds, visit)
+
+    if is_full_walk:
+        _reduce_to_confirmed(state, result)
+    else:
+        for vertex in result.checked - result.satisfied:
+            state.remove_role(vertex, source_role)
+            result.eliminated_roles += 1
+        if cache is not None and not is_full_walk:
+            cache.mark_satisfied(constraint.key, result.satisfied - result.recycled)
+    return result
+
+
+def _reduce_to_confirmed(state: SearchState, result: NlccResult) -> None:
+    """Replace the state with exactly the match-confirmed subgraph."""
+    before = state.num_active_vertices
+    for vertex in list(state.candidates):
+        confirmed = result.confirmed_roles.get(vertex)
+        if not confirmed:
+            state.deactivate_vertex(vertex)
+        else:
+            state.candidates[vertex] = set(confirmed)
+    for vertex in list(state.candidates):
+        for nbr in list(state.active_edges.get(vertex, ())):
+            if nbr < vertex:
+                continue
+            if canonical_edge(vertex, nbr) not in result.confirmed_edges:
+                state.deactivate_edge(vertex, nbr)
+    result.eliminated_roles += before - state.num_active_vertices

@@ -1,0 +1,514 @@
+"""The approximate matching pipeline (Alg. 1).
+
+Bottom-up edit-distance sweep: generate prototypes, build the maximum
+candidate set, then search each level — starting from the furthest
+edit-distance — inside the union of the previous level's solution
+subgraphs (the containment rule), recycling non-local constraint results
+across prototypes, and producing the per-vertex approximate match vectors.
+
+Every optimization of §4/§5.4 is a :class:`PipelineOptions` knob, so the
+ablation benchmarks (naïve / X / Y / Z scenarios of Fig. 8) are plain
+option combinations of the same code path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import PipelineError
+from ..graph.graph import Graph
+from ..runtime.engine import Engine
+from ..runtime.messages import CostModel, MessageStats
+from ..runtime.partition import PartitionedGraph, balanced_assignment, hash_assignment
+from .constraints import generate_constraints
+from .enumeration import (
+    distinct_match_count,
+    extend_from_child_matches,
+    state_from_matches,
+)
+from .candidate_set import max_candidate_set
+from .ordering import (
+    estimate_prototype_cost,
+    order_constraints,
+    parallel_makespan,
+    schedule_prototypes,
+)
+from .prototypes import Prototype, PrototypeSet, generate_prototypes
+from .results import LevelReport, PipelineResult, PrototypeSearchOutcome
+from .search import search_prototype
+from .state import NlccCache, SearchState
+from .template import PatternTemplate
+
+
+@dataclass
+class PipelineOptions:
+    """Configuration of one pipeline run.
+
+    Defaults correspond to the paper's fully optimized system (scenario Y
+    of Fig. 8 — bottom-up with search-space reduction and work recycling);
+    set ``load_balance``/``reload_ranks``/``parallel_deployments`` for
+    scenario Z, or disable groups of options for the ablations and the
+    naïve baseline (see :func:`repro.core.naive.naive_options`).
+    """
+
+    #: simulated MPI ranks of the primary deployment
+    num_ranks: int = 4
+    #: ranks sharing a physical node (locality experiments, Fig. 12)
+    ranks_per_node: int = 1
+    #: degree threshold for delegate (hub) partitioning; None disables
+    delegate_degree_threshold: Optional[int] = None
+    #: initial vertex-to-rank assignment: "hash" (HavoqGT default) or
+    #: "block" (contiguous ids — skew-prone, the no-load-balancing strawman)
+    partition_strategy: str = "hash"
+    #: visitors processed per rank before the scheduler rotates
+    batch_size: int = 64
+    #: search-space reduction: compute M* before any search (§3.1)
+    use_max_candidate_set: bool = True
+    #: search-space reduction: containment rule across levels (Obs. 1)
+    use_containment: bool = True
+    #: redundant work elimination: recycle NLCC results (Obs. 2)
+    work_recycling: bool = True
+    #: NLCC constraint ordering: True (rare-labels-first heuristic, §5.4),
+    #: False (kind/length order only), or "walk-cost" (the [65]-style
+    #: statistics-driven pruning-efficiency order)
+    constraint_ordering: object = True
+    #: append the exactness-guaranteeing full-walk TDS check ("auto"/True/False)
+    include_full_walk: object = "auto"
+    #: "auto" | "enumeration" | "constraints" (see search_prototype)
+    verification: str = "auto"
+    #: count match mappings / distinct matches per prototype
+    count_matches: bool = False
+    #: keep the enumerated match mappings in each outcome
+    collect_matches: bool = False
+    #: derive matches of level-δ prototypes from level-δ+1 matches (§4)
+    enumeration_optimization: bool = False
+    #: "none" or "reshuffle" (Fig. 9(a))
+    load_balance: str = "none"
+    #: reload the pruned graph on this many ranks (§5.4 deployment table)
+    reload_ranks: Optional[int] = None
+    #: number of replica deployments searching prototypes in parallel
+    parallel_deployments: int = 1
+    #: LPT prototype scheduling across replicas (Fig. 9(b) middle)
+    prototype_ordering: bool = True
+    #: cost estimates used for scheduling: "estimate" or "measured"
+    prototype_cost_source: str = "estimate"
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: guard against prototype explosion
+    max_prototypes: Optional[int] = 200_000
+    #: OS worker processes that actually execute prototype searches in
+    #: parallel (1 = in-process).  Orthogonal to `parallel_deployments`,
+    #: which models replica deployments in the simulated cost.
+    worker_processes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.parallel_deployments <= 0:
+            raise PipelineError("parallel_deployments must be positive")
+        if self.load_balance not in ("none", "reshuffle"):
+            raise PipelineError(f"unknown load_balance mode {self.load_balance!r}")
+        if self.verification not in ("auto", "enumeration", "constraints"):
+            raise PipelineError(f"unknown verification mode {self.verification!r}")
+        if self.prototype_cost_source not in ("estimate", "measured"):
+            raise PipelineError(
+                f"unknown prototype_cost_source {self.prototype_cost_source!r}"
+            )
+        if self.partition_strategy not in ("hash", "block"):
+            raise PipelineError(
+                f"unknown partition_strategy {self.partition_strategy!r}"
+            )
+        if self.constraint_ordering not in (True, False, "walk-cost"):
+            raise PipelineError(
+                f"unknown constraint_ordering {self.constraint_ordering!r}"
+            )
+        if self.worker_processes < 1:
+            raise PipelineError("worker_processes must be at least 1")
+        if self.worker_processes > 1 and (
+            self.collect_matches or self.enumeration_optimization
+        ):
+            raise PipelineError(
+                "worker_processes > 1 does not support collect_matches / "
+                "enumeration_optimization (match lists are not shipped "
+                "across processes)"
+            )
+
+
+#: simulated seconds per active edge to checkpoint + reload a pruned graph
+REBALANCE_COST_PER_EDGE = 2.0e-6
+
+
+def run_pipeline(
+    graph: Graph,
+    template: PatternTemplate,
+    k: int,
+    options: Optional[PipelineOptions] = None,
+    prototype_set: Optional[PrototypeSet] = None,
+) -> PipelineResult:
+    """Find all matches within edit-distance ``k`` of ``template``.
+
+    Returns a :class:`~repro.core.results.PipelineResult` with per-vertex
+    match vectors, per-prototype exact solution subgraphs, per-level
+    timing/size breakdowns and aggregated message statistics.
+    """
+    options = options or PipelineOptions()
+    wall_start = time.perf_counter()
+    protos = prototype_set or generate_prototypes(
+        template, k, max_prototypes=options.max_prototypes
+    )
+    label_frequencies = graph.label_counts()
+
+    walk_stats = None
+    if options.constraint_ordering == "walk-cost":
+        from .cost_estimation import GraphStatistics, order_constraints_by_cost
+
+        walk_stats = GraphStatistics.from_graph(graph)
+    constraint_sets = {}
+    for proto in protos:
+        constraint_set = generate_constraints(
+            proto.graph, label_frequencies, options.include_full_walk
+        )
+        if walk_stats is not None:
+            constraint_set.non_local = order_constraints_by_cost(
+                constraint_set.non_local, walk_stats
+            )
+        else:
+            constraint_set.non_local = order_constraints(
+                constraint_set.non_local,
+                label_frequencies,
+                optimize=bool(options.constraint_ordering),
+            )
+        constraint_sets[proto.id] = constraint_set
+
+    result = PipelineResult(template.name, k, protos)
+    all_stats: List[MessageStats] = []
+    cache = NlccCache() if options.work_recycling else None
+    cost_model = options.cost_model
+
+    # ------------------------------------------------------------- M*
+    base_pgraph = PartitionedGraph(
+        graph,
+        options.num_ranks,
+        assignment=_initial_assignment(graph, options.num_ranks, options),
+        delegate_degree_threshold=options.delegate_degree_threshold,
+        ranks_per_node=options.ranks_per_node,
+    )
+    mcs_stats = MessageStats(options.num_ranks)
+    mcs_engine = Engine(base_pgraph, mcs_stats, options.batch_size)
+    if options.use_max_candidate_set:
+        base_state = max_candidate_set(graph, template, mcs_engine)
+    else:
+        base_state = SearchState.initial(graph, template)
+    all_stats.append(mcs_stats)
+    result.candidate_set_vertices = base_state.num_active_vertices
+    result.candidate_set_edges = base_state.num_active_edges
+    result.candidate_set_seconds = cost_model.makespan(mcs_stats)
+
+    # ---------------------------------------------- search deployment
+    search_ranks = options.reload_ranks or options.num_ranks
+    deployment_ranks = max(1, search_ranks // options.parallel_deployments)
+    infrastructure = 0.0
+    rebalancing = options.load_balance == "reshuffle" or options.reload_ranks
+    if rebalancing:
+        pruned = base_state.to_graph()
+        infrastructure += REBALANCE_COST_PER_EDGE * (
+            2 * pruned.num_edges + pruned.num_vertices
+        )
+        assignment = _initial_assignment(graph, deployment_ranks, options)
+        assignment.update(balanced_assignment(pruned, deployment_ranks))
+        search_pgraph = PartitionedGraph(
+            graph,
+            deployment_ranks,
+            assignment=assignment,
+            delegate_degree_threshold=options.delegate_degree_threshold,
+            ranks_per_node=options.ranks_per_node,
+        )
+    elif deployment_ranks == options.num_ranks:
+        search_pgraph = base_pgraph
+    else:
+        search_pgraph = PartitionedGraph(
+            graph,
+            deployment_ranks,
+            assignment=_initial_assignment(graph, deployment_ranks, options),
+            delegate_degree_threshold=options.delegate_degree_threshold,
+            ranks_per_node=options.ranks_per_node,
+        )
+
+    # ------------------------------------------------------ level sweep
+    want_matches = options.count_matches or options.collect_matches
+    stored_matches: Dict[int, List[Dict[int, int]]] = {}
+    union_prev: Optional[SearchState] = None
+    deepest = protos.max_distance
+
+    pool = None
+    if options.worker_processes > 1:
+        from ..runtime.parallel import PrototypeSearchPool
+
+        pool = PrototypeSearchPool(
+            graph, template, protos.max_distance, options,
+            options.worker_processes,
+        )
+
+    for distance in range(deepest, -1, -1):
+        level_wall = time.perf_counter()
+        level = LevelReport(distance)
+        level_states: List[SearchState] = []
+        next_stored: Dict[int, List[Dict[int, int]]] = {}
+
+        if pool is not None and len(protos.at(distance)) > 1:
+            union_prev = _pooled_level(
+                pool, protos, distance, deepest, base_state, union_prev,
+                options, level, result,
+            )
+            _finish_level(
+                level, result, options, label_frequencies, union_prev,
+                rebalancing, distance, level_wall,
+            )
+            stored_matches = {}
+            continue
+
+        for proto in protos.at(distance):
+            extended = None
+            if options.enumeration_optimization and distance < deepest:
+                extended = _try_extension(proto, stored_matches, graph)
+            if extended is not None:
+                outcome, proto_state = extended
+                next_stored[proto.id] = outcome.matches
+            else:
+                proto_state = _starting_state(
+                    proto, distance, deepest, base_state, union_prev, options
+                )
+                stats = MessageStats(deployment_ranks)
+                engine = Engine(search_pgraph, stats, options.batch_size)
+                outcome = search_prototype(
+                    proto_state,
+                    proto,
+                    constraint_sets[proto.id],
+                    engine,
+                    cache=cache,
+                    recycle=options.work_recycling,
+                    count_matches=options.count_matches,
+                    collect_matches=(
+                        options.collect_matches or options.enumeration_optimization
+                    ),
+                    verification=options.verification,
+                )
+                outcome.simulated_seconds = cost_model.makespan(stats)
+                outcome.messages = stats.total_messages
+                outcome.remote_messages = stats.total_remote_messages
+                all_stats.append(stats)
+                if outcome.matches is not None and options.enumeration_optimization:
+                    next_stored[proto.id] = outcome.matches
+            if not options.collect_matches:
+                outcome.matches = None
+            level.outcomes.append(outcome)
+            level_states.append(proto_state)
+            for vertex in outcome.solution_vertices:
+                result.match_vectors.setdefault(vertex, set()).add(proto.id)
+
+        # Union of this level's solution subgraphs = next level's scope.
+        union = SearchState.empty(graph)
+        for state in level_states:
+            union.union_with(state)
+        union_prev = union
+        _finish_level(
+            level, result, options, label_frequencies, union,
+            rebalancing, distance, level_wall,
+        )
+        stored_matches = next_stored
+
+    if pool is not None:
+        pool.close()
+
+    # ------------------------------------------------------------ totals
+    result.total_infrastructure_seconds = infrastructure + sum(
+        level.infrastructure_seconds for level in result.levels
+    )
+    result.total_simulated_seconds = (
+        result.candidate_set_seconds
+        + sum(level.search_seconds for level in result.levels)
+        + result.total_infrastructure_seconds
+    )
+    result.total_wall_seconds = time.perf_counter() - wall_start
+    result.message_summary = merge_message_stats(all_stats)
+    return result
+
+
+def _initial_assignment(graph: Graph, num_ranks: int, options: PipelineOptions):
+    """Initial vertex-to-rank map per the configured strategy."""
+    if options.partition_strategy == "block":
+        from ..runtime.partition import block_assignment
+
+        return block_assignment(sorted(graph.vertices()), num_ranks)
+    return hash_assignment(graph.vertices(), num_ranks)
+
+
+def _finish_level(
+    level, result, options, label_frequencies, union,
+    rebalancing, distance, level_wall,
+) -> None:
+    """Shared level epilogue: scheduling time, union sizes, bookkeeping."""
+    costs = [o.simulated_seconds for o in level.outcomes]
+    if options.parallel_deployments > 1 and len(costs) > 1:
+        if options.prototype_cost_source == "measured":
+            schedule_costs = costs
+        else:
+            schedule_costs = [
+                estimate_prototype_cost(o.prototype, label_frequencies)
+                for o in level.outcomes
+            ]
+        batches = schedule_prototypes(
+            schedule_costs,
+            options.parallel_deployments,
+            optimize=options.prototype_ordering,
+        )
+        level.search_seconds = parallel_makespan(costs, batches)
+    else:
+        level.search_seconds = sum(costs)
+    level.union_vertices = union.num_active_vertices
+    level.union_edges = union.num_active_edges
+    if rebalancing and distance > 0:
+        level.infrastructure_seconds = REBALANCE_COST_PER_EDGE * (
+            2 * union.num_active_edges + union.num_active_vertices
+        )
+    level.wall_seconds = time.perf_counter() - level_wall
+    result.levels.append(level)
+
+
+def _pooled_level(
+    pool, protos, distance, deepest, base_state, union_prev,
+    options, level, result,
+):
+    """Execute one level's prototype searches on the worker pool."""
+    from ..runtime.parallel import state_to_payload
+
+    tasks = []
+    for proto in protos.at(distance):
+        scoped = _starting_state(
+            proto, distance, deepest, base_state, union_prev, options
+        )
+        candidates, edges = state_to_payload(scoped)
+        tasks.append((proto.id, candidates, edges))
+    union = SearchState.empty(base_state.graph)
+    for payload in pool.search_level(tasks):
+        proto = protos.by_id(payload["proto_id"])
+        outcome = PrototypeSearchOutcome(proto)
+        outcome.solution_vertices = set(payload["solution_vertices"])
+        outcome.solution_edges = {
+            (int(u), int(v)) for u, v in payload["solution_edges"]
+        }
+        outcome.match_mappings = payload["match_mappings"]
+        outcome.distinct_matches = payload["distinct_matches"]
+        outcome.lcc_iterations = payload["lcc_iterations"]
+        outcome.nlcc_constraints_checked = payload["nlcc_constraints_checked"]
+        outcome.nlcc_roles_eliminated = payload["nlcc_roles_eliminated"]
+        outcome.nlcc_recycled = payload["nlcc_recycled"]
+        outcome.exact = payload["exact"]
+        outcome.simulated_seconds = payload["simulated_seconds"]
+        outcome.messages = payload["messages"]
+        outcome.remote_messages = payload["remote_messages"]
+        outcome.wall_seconds = payload["wall_seconds"]
+        level.outcomes.append(outcome)
+        for vertex in outcome.solution_vertices:
+            result.match_vectors.setdefault(vertex, set()).add(proto.id)
+        # Rebuild the union scope from the exact solution subgraph.
+        for vertex in outcome.solution_vertices:
+            union.candidates.setdefault(vertex, set())
+            union.active_edges.setdefault(vertex, set())
+        for u, v in outcome.solution_edges:
+            union.active_edges.setdefault(u, set()).add(v)
+            union.active_edges.setdefault(v, set()).add(u)
+    return union
+
+
+def _starting_state(
+    proto: Prototype,
+    distance: int,
+    deepest: int,
+    base_state: SearchState,
+    union_prev: Optional[SearchState],
+    options: PipelineOptions,
+) -> SearchState:
+    """Scope for one prototype search, per the containment rule."""
+    use_union = (
+        options.use_containment
+        and distance < deepest
+        and union_prev is not None
+        and proto.child_links
+    )
+    if not use_union:
+        if not options.use_max_candidate_set:
+            # Naive mode: a fresh, fully-unpruned state per prototype --
+            # the per-prototype re-pruning cost the pipeline avoids.
+            return SearchState.initial(base_state.graph, proto.graph)
+        return base_state.for_prototype_search(proto)
+    link = proto.child_links[0]
+    a, b = link.removed_edge
+    template_graph = proto.template.graph
+    pair = (template_graph.label(a), template_graph.label(b))
+    return union_prev.for_prototype_search(proto, readmit_label_pairs=[pair])
+
+
+def _try_extension(
+    proto: Prototype,
+    stored_matches: Dict[int, List[Dict[int, int]]],
+    graph: Graph,
+):
+    """Derive this prototype's result from a child's stored matches (§4)."""
+    for link in proto.child_links:
+        child_matches = stored_matches.get(link.child.id)
+        if child_matches is None:
+            continue
+        started = time.perf_counter()
+        matches = extend_from_child_matches(proto, link.child, child_matches, graph)
+        outcome = PrototypeSearchOutcome(proto)
+        outcome.matches = matches
+        outcome.match_mappings = len(matches)
+        outcome.distinct_matches = distinct_match_count(proto, len(matches))
+        state = state_from_matches(SearchState.empty(graph), proto, matches)
+        outcome.solution_vertices = set(state.candidates)
+        outcome.solution_edges = set(state.active_edge_list())
+        outcome.exact = True
+        outcome.wall_seconds = time.perf_counter() - started
+        # Simulated cost: one edge probe per child match.
+        outcome.simulated_seconds = 1.0e-7 * max(len(child_matches), 1)
+        return outcome, state
+    return None
+
+
+def merge_message_stats(stats_list: List[MessageStats]) -> Dict[str, object]:
+    """Aggregate message accounting across all engines of a run."""
+    total = 0
+    remote = 0
+    visits = 0
+    barriers = 0
+    control = 0
+    peak_interval_messages = 0
+    phases: Dict[str, Dict[str, int]] = {}
+    for stats in stats_list:
+        total += stats.total_messages
+        remote += stats.total_remote_messages
+        visits += stats.total_visits
+        barriers += stats.total_barriers
+        control += stats.control_messages
+        if stats.intervals:
+            peak_interval_messages = max(
+                peak_interval_messages,
+                max(interval[1] for interval in stats.intervals),
+            )
+        for name, counters in stats.phases.items():
+            bucket = phases.setdefault(
+                name, {"messages": 0, "remote_messages": 0, "visits": 0}
+            )
+            bucket["messages"] += counters.messages
+            bucket["remote_messages"] += counters.remote_messages
+            bucket["visits"] += counters.visits
+    return {
+        "total_messages": total,
+        "remote_messages": remote,
+        "remote_fraction": remote / total if total else 0.0,
+        "total_visits": visits,
+        "barriers": barriers,
+        "control_messages": control,
+        "peak_interval_messages": peak_interval_messages,
+        "phases": phases,
+    }

@@ -1,0 +1,232 @@
+"""Prototype generation through recursive edge removal (§3.1).
+
+From the supplied template ``H0``, prototypes in ``P_k`` are generated
+level by level: distance ``δ+1`` prototypes are constructed from distance
+``δ`` prototypes by removing one optional edge, subject to the prototype
+staying connected.  Isomorphic duplicates are merged (label-preserving
+isomorphism that also respects which edges are mandatory), and the
+parent → child derivation links are retained: they drive the containment
+rule and the match-extension enumeration optimization.
+
+Counting convention: ``H_{0,0} = H0`` itself is a prototype, so e.g. the
+6-clique with distinct labels yields ``1 + 15 + 105 + 455 + 1365 = 1941``
+prototypes within ``k = 4`` — the exact number reported in §5.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import PrototypeError
+from ..graph.algorithms import is_connected
+from ..graph.graph import Edge, Graph, canonical_edge
+from ..graph.isomorphism import canonical_form, find_subgraph_isomorphisms
+from .template import PatternTemplate
+
+
+class ChildLink:
+    """Derivation link ``parent --remove edge--> child`` (one level down).
+
+    ``iso`` maps vertices of ``parent.graph - removed_edge`` onto vertices
+    of the (dedup-representative) child prototype: composing a child match
+    with ``iso`` yields a match of the parent minus the removed edge, which
+    becomes a parent match whenever the removed edge's image is present.
+    """
+
+    __slots__ = ("parent", "child", "removed_edge", "iso")
+
+    def __init__(
+        self,
+        parent: "Prototype",
+        child: "Prototype",
+        removed_edge: Edge,
+        iso: Dict[int, int],
+    ) -> None:
+        self.parent = parent
+        self.child = child
+        self.removed_edge = removed_edge
+        self.iso = iso
+
+    def __repr__(self) -> str:
+        return (
+            f"ChildLink({self.parent.name} -{self.removed_edge}-> {self.child.name})"
+        )
+
+
+class Prototype:
+    """One connected edit-distance-``distance`` variant of the template."""
+
+    def __init__(
+        self,
+        proto_id: int,
+        distance: int,
+        index: int,
+        graph: Graph,
+        template: PatternTemplate,
+    ) -> None:
+        self.id = proto_id
+        self.distance = distance
+        self.index = index
+        self.graph = graph
+        self.template = template
+        self.name = f"k{distance}_p{index}"
+        self.child_links: List[ChildLink] = []
+        self.parent_links: List[ChildLink] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def removed_edges(self) -> List[Edge]:
+        """Edges of ``H0`` absent from this prototype."""
+        return [
+            e for e in self.template.graph.edges() if not self.graph.has_edge(*e)
+        ]
+
+    def optional_edges(self) -> List[Edge]:
+        """This prototype's edges that may still be removed."""
+        return [
+            e for e in sorted(self.graph.edges())
+            if e not in self.template.mandatory_edges
+        ]
+
+    def children(self) -> List["Prototype"]:
+        return [link.child for link in self.child_links]
+
+    def parents(self) -> List["Prototype"]:
+        return [link.parent for link in self.parent_links]
+
+    def __repr__(self) -> str:
+        return f"Prototype({self.name}, m={self.num_edges})"
+
+
+class PrototypeSet:
+    """All prototypes within edit-distance ``k``, organized by level."""
+
+    def __init__(self, template: PatternTemplate, levels: List[List[Prototype]]) -> None:
+        self.template = template
+        self.levels = levels
+
+    @property
+    def max_distance(self) -> int:
+        return len(self.levels) - 1
+
+    def at(self, distance: int) -> List[Prototype]:
+        """Prototypes at exactly ``distance`` (empty beyond max)."""
+        if distance < 0:
+            raise PrototypeError("distance must be non-negative")
+        return self.levels[distance] if distance < len(self.levels) else []
+
+    def all(self) -> List[Prototype]:
+        return [proto for level in self.levels for proto in level]
+
+    def __len__(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def __iter__(self) -> Iterator[Prototype]:
+        return iter(self.all())
+
+    def by_id(self, proto_id: int) -> Prototype:
+        for proto in self.all():
+            if proto.id == proto_id:
+                return proto
+        raise PrototypeError(f"no prototype with id {proto_id}")
+
+    def level_counts(self) -> List[int]:
+        """``[1, |k=1|, |k=2|, ...]`` — the ``#p`` breakdown of the figures."""
+        return [len(level) for level in self.levels]
+
+    def __repr__(self) -> str:
+        return (
+            f"PrototypeSet({self.template.name!r}, k<={self.max_distance}, "
+            f"counts={self.level_counts()})"
+        )
+
+
+def _mandatory_aware_key(graph: Graph, template: PatternTemplate) -> Tuple:
+    """Canonical form that distinguishes mandatory from optional edges.
+
+    Mandatory edges are subdivided with a reserved-label dummy vertex before
+    canonicalization, so two prototypes merge only if some isomorphism maps
+    mandatory edges to mandatory edges.
+    """
+    if not template.mandatory_edges:
+        return canonical_form(graph)
+    reserved = max(template.label_set()) + 1
+    aux = graph.copy()
+    next_id = max(graph.vertices()) + 1
+    for u, v in sorted(graph.edges()):
+        if canonical_edge(u, v) in template.mandatory_edges:
+            aux.remove_edge(u, v)
+            aux.add_vertex(next_id, reserved)
+            aux.add_edge(u, next_id)
+            aux.add_edge(next_id, v)
+            next_id += 1
+    return canonical_form(aux)
+
+
+def _isomorphism_between(first: Graph, second: Graph) -> Dict[int, int]:
+    """A label-preserving isomorphism ``first → second`` (must exist)."""
+    for mapping in find_subgraph_isomorphisms(first, second, limit=1):
+        return mapping
+    raise PrototypeError("expected isomorphic graphs (canonical-form collision?)")
+
+
+def generate_prototypes(
+    template: PatternTemplate,
+    k: int,
+    max_prototypes: Optional[int] = None,
+) -> PrototypeSet:
+    """Generate all connected prototypes of ``template`` within distance ``k``.
+
+    ``k`` is clamped to the template's maximum meaningful distance (beyond
+    which every spanning subgraph is disconnected).  ``max_prototypes``
+    guards against accidental explosion (raises :class:`PrototypeError`).
+    """
+    if k < 0:
+        raise PrototypeError("edit-distance k must be non-negative")
+    k = min(k, template.max_meaningful_distance())
+
+    next_id = 0
+    root = Prototype(next_id, 0, 0, template.graph.copy(), template)
+    next_id += 1
+    levels: List[List[Prototype]] = [[root]]
+    total = 1
+
+    for distance in range(1, k + 1):
+        seen: Dict[Tuple, Prototype] = {}
+        level: List[Prototype] = []
+        for parent in levels[distance - 1]:
+            for edge in parent.optional_edges():
+                candidate = parent.graph.copy()
+                candidate.remove_edge(*edge)
+                if not is_connected(candidate):
+                    continue
+                key = _mandatory_aware_key(candidate, template)
+                child = seen.get(key)
+                if child is None:
+                    child = Prototype(next_id, distance, len(level), candidate, template)
+                    next_id += 1
+                    level.append(child)
+                    seen[key] = child
+                    total += 1
+                    if max_prototypes is not None and total > max_prototypes:
+                        raise PrototypeError(
+                            f"prototype budget exceeded ({max_prototypes}); "
+                            f"lower k or raise the budget"
+                        )
+                    iso = {v: v for v in candidate.vertices()}
+                else:
+                    iso = _isomorphism_between(candidate, child.graph)
+                link = ChildLink(parent, child, edge, iso)
+                parent.child_links.append(link)
+                child.parent_links.append(link)
+        if not level:
+            break
+        levels.append(level)
+    return PrototypeSet(template, levels)

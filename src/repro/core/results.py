@@ -1,0 +1,162 @@
+"""Result objects produced by searches and the full pipeline."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Edge, Graph
+
+
+class PrototypeSearchOutcome:
+    """Everything recorded while searching one prototype."""
+
+    def __init__(self, prototype) -> None:
+        self.prototype = prototype
+        self.proto_id: int = prototype.id
+        self.name: str = prototype.name
+        self.distance: int = prototype.distance
+        #: vertices/edges of the exact solution subgraph
+        self.solution_vertices: Set[int] = set()
+        self.solution_edges: Set[Edge] = set()
+        #: number of match mappings, if counted (None otherwise)
+        self.match_mappings: Optional[int] = None
+        #: number of distinct matching subgraphs, if counted
+        self.distinct_matches: Optional[int] = None
+        #: enumerated match mappings, if collected
+        self.matches: Optional[List[Dict[int, int]]] = None
+        self.lcc_iterations = 0
+        self.nlcc_constraints_checked = 0
+        self.nlcc_roles_eliminated = 0
+        self.nlcc_recycled = 0
+        self.exact = True
+        #: simulated parallel seconds for this prototype's search
+        self.simulated_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.messages = 0
+        self.remote_messages = 0
+
+    @property
+    def has_matches(self) -> bool:
+        return bool(self.solution_vertices)
+
+    def __repr__(self) -> str:
+        return (
+            f"PrototypeSearchOutcome({self.name}, vertices="
+            f"{len(self.solution_vertices)}, mappings={self.match_mappings})"
+        )
+
+
+class LevelReport:
+    """Per-edit-distance-level breakdown (the stacks of Figs. 6 and 8)."""
+
+    def __init__(self, distance: int) -> None:
+        self.distance = distance
+        self.outcomes: List[PrototypeSearchOutcome] = []
+        #: union-of-solution-subgraph sizes after this level (|V*_k| row)
+        self.union_vertices = 0
+        self.union_edges = 0
+        #: simulated seconds spent searching this level (after scheduling)
+        self.search_seconds = 0.0
+        #: simulated seconds of infrastructure management for this level
+        self.infrastructure_seconds = 0.0
+        self.wall_seconds = 0.0
+
+    @property
+    def num_prototypes(self) -> int:
+        return len(self.outcomes)
+
+    def labels_generated(self) -> int:
+        """Total (vertex, prototype) labels produced at this level."""
+        return sum(len(o.solution_vertices) for o in self.outcomes)
+
+    def __repr__(self) -> str:
+        return (
+            f"LevelReport(k={self.distance}, prototypes={self.num_prototypes}, "
+            f"union_vertices={self.union_vertices})"
+        )
+
+
+class PipelineResult:
+    """Full output of an approximate-matching run.
+
+    The primary product is the per-vertex *approximate match vector*
+    (Def. 3): for each vertex, the set of prototype ids it participates in.
+    """
+
+    def __init__(self, template_name: str, k: int, prototype_set) -> None:
+        self.template_name = template_name
+        self.k = k
+        self.prototype_set = prototype_set
+        #: vertex → frozenset of prototype ids (only matching vertices appear)
+        self.match_vectors: Dict[int, Set[int]] = {}
+        self.levels: List[LevelReport] = []
+        self.candidate_set_vertices = 0
+        self.candidate_set_edges = 0
+        self.candidate_set_seconds = 0.0
+        self.total_simulated_seconds = 0.0
+        self.total_wall_seconds = 0.0
+        self.total_infrastructure_seconds = 0.0
+        #: aggregated message accounting across all engines of the run
+        self.message_summary: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def outcomes(self) -> List[PrototypeSearchOutcome]:
+        return [o for level in self.levels for o in level.outcomes]
+
+    def outcome_for(self, proto_id: int) -> PrototypeSearchOutcome:
+        for outcome in self.outcomes():
+            if outcome.proto_id == proto_id:
+                return outcome
+        raise KeyError(f"no outcome for prototype id {proto_id}")
+
+    def match_vector(self, vertex: int) -> FrozenSet[int]:
+        """The vertex's approximate match vector (empty if non-matching)."""
+        return frozenset(self.match_vectors.get(vertex, ()))
+
+    def vertices_matching(self, proto_id: int) -> Set[int]:
+        return set(self.outcome_for(proto_id).solution_vertices)
+
+    def matched_vertices(self) -> Set[int]:
+        """Union of all matches over all prototypes."""
+        return set(self.match_vectors)
+
+    def union_subgraph(self, graph: Graph) -> Graph:
+        """The union of all solution subgraphs, materialized."""
+        edges: Set[Edge] = set()
+        for outcome in self.outcomes():
+            edges |= outcome.solution_edges
+        sub = Graph()
+        for vertex in self.match_vectors:
+            sub.add_vertex(vertex, graph.label(vertex))
+        for u, v in edges:
+            sub.add_edge(u, v)
+        return sub
+
+    def total_labels_generated(self) -> int:
+        """Total vertex/prototype labels (the bulk-labeling output size)."""
+        return sum(len(vector) for vector in self.match_vectors.values())
+
+    def total_match_mappings(self) -> Optional[int]:
+        counts = [o.match_mappings for o in self.outcomes()]
+        if any(c is None for c in counts):
+            return None
+        return sum(counts)
+
+    def total_distinct_matches(self) -> Optional[int]:
+        counts = [o.distinct_matches for o in self.outcomes()]
+        if any(c is None for c in counts):
+            return None
+        return sum(counts)
+
+    def level_for(self, distance: int) -> LevelReport:
+        for level in self.levels:
+            if level.distance == distance:
+                return level
+        raise KeyError(f"no level at distance {distance}")
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineResult({self.template_name!r}, k={self.k}, "
+            f"matched_vertices={len(self.match_vectors)}, "
+            f"simulated_seconds={self.total_simulated_seconds:.3f})"
+        )

@@ -1,0 +1,116 @@
+"""Search routine for a single prototype (Alg. 2).
+
+``search_prototype`` drives one prototype to its exact solution subgraph:
+
+1. local constraint checking to a fixed point;
+2. each non-local constraint in the configured order, re-running LCC after
+   any constraint that eliminated something (Alg. 2 lines #7–9);
+3. exactness: either the constraint set ends with the full-walk TDS check
+   (which reduces the state to exactly the solution subgraph and counts
+   match mappings as a by-product), the prototype is a distinct-labeled
+   tree (LCC fixed point is provably exact), or — when the caller disabled
+   the full walk — an enumeration-based verification pass.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..runtime.engine import Engine
+from .constraints import FULL_WALK_KIND, ConstraintSet
+from .enumeration import (
+    count_match_mappings,
+    distinct_match_count,
+    enumerate_matches,
+    state_from_matches,
+)
+from .lcc import local_constraint_checking
+from .nlcc import non_local_constraint_checking
+from .prototypes import Prototype
+from .results import PrototypeSearchOutcome
+from .state import NlccCache, SearchState
+
+
+def search_prototype(
+    state: SearchState,
+    prototype: Prototype,
+    constraint_set: ConstraintSet,
+    engine: Engine,
+    cache: Optional[NlccCache] = None,
+    recycle: bool = True,
+    count_matches: bool = False,
+    collect_matches: bool = False,
+    verification: str = "auto",
+) -> PrototypeSearchOutcome:
+    """Reduce ``state`` to the prototype's solution subgraph, in place.
+
+    ``verification``:
+
+    * ``"auto"`` — trust the constraint set when it guarantees exactness
+      (full walk included, or distinct-labeled tree); otherwise fall back
+      to enumeration;
+    * ``"enumeration"`` — always verify by enumeration;
+    * ``"constraints"`` — never enumerate; the outcome's ``exact`` flag
+      reports whether the constraint set alone guarantees exactness.
+    """
+    outcome = PrototypeSearchOutcome(prototype)
+    started = time.perf_counter()
+
+    outcome.lcc_iterations = local_constraint_checking(state, prototype.graph, engine)
+
+    full_walk_ran = False
+    full_walk_completions = 0
+    full_walk_matches = None
+    for constraint in constraint_set.non_local:
+        if not state.num_active_vertices:
+            break
+        result = non_local_constraint_checking(
+            state, constraint, engine, cache=cache, recycle=recycle
+        )
+        outcome.nlcc_constraints_checked += 1
+        outcome.nlcc_roles_eliminated += result.eliminated_roles
+        outcome.nlcc_recycled += len(result.recycled)
+        if constraint.kind == FULL_WALK_KIND:
+            full_walk_ran = True
+            full_walk_completions = result.completions
+            full_walk_matches = result.completed_mappings
+        elif result.changed:
+            outcome.lcc_iterations += local_constraint_checking(
+                state, prototype.graph, engine
+            )
+
+    constraints_exact = full_walk_ran or constraint_set.exact_without_full_walk
+    need_enumeration = verification == "enumeration" or (
+        verification == "auto" and not constraints_exact
+    )
+    if collect_matches and not need_enumeration:
+        if full_walk_ran:
+            # Each completed full-walk token already is an exact match.
+            outcome.matches = full_walk_matches
+        else:
+            outcome.matches = list(enumerate_matches(prototype, state))
+        outcome.match_mappings = len(outcome.matches)
+    elif need_enumeration:
+        matches = list(enumerate_matches(prototype, state))
+        reduced = state_from_matches(state, prototype, matches)
+        state.candidates = reduced.candidates
+        state.active_edges = reduced.active_edges
+        outcome.match_mappings = len(matches)
+        if collect_matches:
+            outcome.matches = matches
+    elif full_walk_ran:
+        outcome.match_mappings = full_walk_completions
+    elif count_matches:
+        outcome.match_mappings = count_match_mappings(prototype, state)
+
+    outcome.exact = constraints_exact or need_enumeration
+    if outcome.match_mappings is not None and (count_matches or collect_matches):
+        outcome.distinct_matches = distinct_match_count(
+            prototype, outcome.match_mappings
+        )
+
+    outcome.solution_vertices = set(state.candidates)
+    outcome.solution_edges = set(state.active_edge_list())
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome

@@ -1,0 +1,167 @@
+"""Search templates (``H0``) with mandatory and optional edges.
+
+A :class:`PatternTemplate` wraps a small connected labeled graph and
+remembers which edges are *mandatory* — the paper lets users mark edges
+that every prototype must keep (§1, "may indicate mandatory relationships"),
+so only the *optional* edges are subject to edit-distance removal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import TemplateError
+from ..graph.algorithms import is_connected
+from ..graph.graph import Edge, Graph, canonical_edge
+
+
+class PatternTemplate:
+    """A connected, vertex-labeled search template.
+
+    Parameters
+    ----------
+    graph:
+        The template graph ``H0(W0, F0)``; must be connected and non-empty.
+    mandatory_edges:
+        Edges every prototype must retain (default: none — all optional).
+    name:
+        Display name used by benchmarks and reports (e.g. ``"WDC-1"``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        mandatory_edges: Iterable[Edge] = (),
+        name: str = "template",
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise TemplateError("template must be non-empty")
+        if not is_connected(graph):
+            raise TemplateError("template must be connected")
+        self.graph = graph.copy()
+        self.name = name
+        self.mandatory_edges: FrozenSet[Edge] = frozenset(
+            canonical_edge(u, v) for u, v in mandatory_edges
+        )
+        for u, v in self.mandatory_edges:
+            if not graph.has_edge(u, v):
+                raise TemplateError(f"mandatory edge ({u}, {v}) not in template")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Sequence[Edge],
+        labels: Dict[int, int],
+        mandatory_edges: Iterable[Edge] = (),
+        name: str = "template",
+        edge_labels: Optional[Dict[Edge, int]] = None,
+    ) -> "PatternTemplate":
+        """Build a template from an edge list and label maps.
+
+        ``edge_labels`` maps canonical edges to required edge labels; a
+        template edge without an entry matches background edges of any
+        (or no) edge label.
+        """
+        graph = Graph()
+        edge_labels = edge_labels or {}
+        for vertex, label in labels.items():
+            graph.add_vertex(vertex, label)
+        for u, v in edges:
+            if u not in graph or v not in graph:
+                raise TemplateError(f"edge ({u}, {v}) references unlabeled vertex")
+            graph.add_edge(u, v, edge_labels.get(canonical_edge(u, v)))
+        return cls(graph, mandatory_edges=mandatory_edges, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def vertices(self) -> List[int]:
+        return list(self.graph.vertices())
+
+    def edges(self) -> List[Edge]:
+        return sorted(self.graph.edges())
+
+    def optional_edges(self) -> List[Edge]:
+        """Edges eligible for edit-distance removal."""
+        return [e for e in self.edges() if e not in self.mandatory_edges]
+
+    def label(self, vertex: int) -> int:
+        return self.graph.label(vertex)
+
+    def label_set(self) -> Set[int]:
+        return self.graph.label_set()
+
+    def has_duplicate_labels(self) -> bool:
+        """True if two template vertices share a label (needs PC checks)."""
+        counts = self.graph.label_counts()
+        return any(count > 1 for count in counts.values())
+
+    def max_meaningful_distance(self) -> int:
+        """Largest edit-distance before every prototype disconnects.
+
+        Removing more than ``|F0| - (|W0| - 1)`` edges cannot leave a
+        connected spanning subgraph, so this bounds prototype generation.
+        """
+        return max(0, self.num_edges - (self.num_vertices - 1))
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternTemplate({self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges}, mandatory={len(self.mandatory_edges)})"
+        )
+
+
+def clique_template(
+    size: int, labels: Optional[Sequence[int]] = None, name: str = "clique"
+) -> PatternTemplate:
+    """A ``size``-clique template (WDC-4 in the paper is a 6-Clique).
+
+    Labels default to ``0..size-1`` (all distinct, like the Fig. 5 WDC-4
+    pattern whose prototype counts the paper reports: 1,941 within k=4).
+    """
+    if size < 2:
+        raise TemplateError("clique size must be at least 2")
+    if labels is None:
+        labels = list(range(size))
+    if len(labels) != size:
+        raise TemplateError("need exactly one label per clique vertex")
+    graph = Graph()
+    for vertex in range(size):
+        graph.add_vertex(vertex, int(labels[vertex]))
+    for u in range(size):
+        for v in range(u + 1, size):
+            graph.add_edge(u, v)
+    return PatternTemplate(graph, name=name)
+
+
+def path_template(
+    labels: Sequence[int], name: str = "path"
+) -> PatternTemplate:
+    """A simple path template labeled ``labels[0] - labels[1] - ...``."""
+    if len(labels) < 2:
+        raise TemplateError("path needs at least two vertices")
+    graph = Graph()
+    for vertex, label in enumerate(labels):
+        graph.add_vertex(vertex, int(label))
+    for vertex in range(len(labels) - 1):
+        graph.add_edge(vertex, vertex + 1)
+    return PatternTemplate(graph, name=name)
+
+
+def cycle_template(labels: Sequence[int], name: str = "cycle") -> PatternTemplate:
+    """A simple cycle template over ``labels``."""
+    if len(labels) < 3:
+        raise TemplateError("cycle needs at least three vertices")
+    graph = Graph()
+    for vertex, label in enumerate(labels):
+        graph.add_vertex(vertex, int(label))
+    for vertex in range(len(labels)):
+        graph.add_edge(vertex, (vertex + 1) % len(labels))
+    return PatternTemplate(graph, name=name)

@@ -1,0 +1,135 @@
+"""Top-down exploratory search mode (§4, §5.5).
+
+The bottom-up pipeline (Alg. 1) requires a fixed ``k``.  Exploratory search
+inverts the sweep: start with exact matches of the full template and
+*relax* — increase the edit-distance one level at a time — until a
+user-defined stopping condition is met (by default: the first level at
+which any match exists, the WDC-4 6-Clique scenario of §5.5).
+
+Each level reuses the same prototype search machinery; the maximum
+candidate set is computed once, and NLCC work recycling applies across
+levels exactly as in the bottom-up mode (here it flows "top-down", the
+first direction of Obs. 2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..graph.graph import Graph
+from ..runtime.engine import Engine
+from ..runtime.messages import MessageStats
+from ..runtime.partition import PartitionedGraph
+from .candidate_set import max_candidate_set
+from .constraints import generate_constraints
+from .ordering import order_constraints
+from .pipeline import PipelineOptions, merge_message_stats
+from .prototypes import generate_prototypes
+from .results import LevelReport, PipelineResult
+from .search import search_prototype
+from .state import NlccCache
+from .template import PatternTemplate
+
+#: stop as soon as a level produced at least one matching vertex
+def first_match_condition(level: LevelReport) -> bool:
+    """Default stopping condition: some prototype at this level matched."""
+    return any(outcome.has_matches for outcome in level.outcomes)
+
+
+def exploratory_search(
+    graph: Graph,
+    template: PatternTemplate,
+    max_k: Optional[int] = None,
+    stop_condition: Callable[[LevelReport], bool] = first_match_condition,
+    options: Optional[PipelineOptions] = None,
+) -> PipelineResult:
+    """Search top-down, relaxing the template until ``stop_condition``.
+
+    Returns a :class:`PipelineResult` whose levels run from distance 0
+    upward; levels beyond the stopping level are not searched.  If no level
+    satisfies the condition within ``max_k`` (default: the template's
+    maximum meaningful distance), all levels appear with their (empty)
+    outcomes.
+    """
+    options = options or PipelineOptions()
+    wall_start = time.perf_counter()
+    if max_k is None:
+        max_k = template.max_meaningful_distance()
+    protos = generate_prototypes(template, max_k, options.max_prototypes)
+    label_frequencies = graph.label_counts()
+    cache = NlccCache() if options.work_recycling else None
+    cost_model = options.cost_model
+
+    pgraph = PartitionedGraph(
+        graph,
+        options.num_ranks,
+        delegate_degree_threshold=options.delegate_degree_threshold,
+        ranks_per_node=options.ranks_per_node,
+    )
+    mcs_stats = MessageStats(options.num_ranks)
+    mcs_engine = Engine(pgraph, mcs_stats, options.batch_size)
+    base_state = max_candidate_set(graph, template, mcs_engine)
+
+    result = PipelineResult(template.name, max_k, protos)
+    result.candidate_set_vertices = base_state.num_active_vertices
+    result.candidate_set_edges = base_state.num_active_edges
+    result.candidate_set_seconds = cost_model.makespan(mcs_stats)
+    all_stats: List[MessageStats] = [mcs_stats]
+
+    for distance in range(0, protos.max_distance + 1):
+        level_wall = time.perf_counter()
+        level = LevelReport(distance)
+        for proto in protos.at(distance):
+            constraint_set = generate_constraints(
+                proto.graph, label_frequencies, options.include_full_walk
+            )
+            constraint_set.non_local = order_constraints(
+                constraint_set.non_local,
+                label_frequencies,
+                optimize=options.constraint_ordering,
+            )
+            state = base_state.for_prototype_search(proto)
+            stats = MessageStats(options.num_ranks)
+            engine = Engine(pgraph, stats, options.batch_size)
+            outcome = search_prototype(
+                state,
+                proto,
+                constraint_set,
+                engine,
+                cache=cache,
+                recycle=options.work_recycling,
+                count_matches=options.count_matches,
+                collect_matches=options.collect_matches,
+                verification=options.verification,
+            )
+            outcome.simulated_seconds = cost_model.makespan(stats)
+            outcome.messages = stats.total_messages
+            outcome.remote_messages = stats.total_remote_messages
+            all_stats.append(stats)
+            level.outcomes.append(outcome)
+            for vertex in outcome.solution_vertices:
+                result.match_vectors.setdefault(vertex, set()).add(proto.id)
+        level.search_seconds = sum(o.simulated_seconds for o in level.outcomes)
+        level.union_vertices = len(
+            {v for o in level.outcomes for v in o.solution_vertices}
+        )
+        level.wall_seconds = time.perf_counter() - level_wall
+        result.levels.append(level)
+        if stop_condition(level):
+            break
+
+    result.total_simulated_seconds = result.candidate_set_seconds + sum(
+        level.search_seconds for level in result.levels
+    )
+    result.total_wall_seconds = time.perf_counter() - wall_start
+    result.message_summary = merge_message_stats(all_stats)
+    return result
+
+
+def stopping_distance(result: PipelineResult) -> Optional[int]:
+    """The first distance at which matches were found, if any."""
+    for level in result.levels:
+        if any(outcome.has_matches for outcome in level.outcomes):
+            return level.distance
+    return None

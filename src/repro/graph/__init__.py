@@ -1,0 +1,72 @@
+"""Graph substrate: labeled graphs, algorithms, isomorphism, I/O, generators."""
+
+from . import generators, metrics
+from .algorithms import (
+    bfs_order,
+    connected_components,
+    is_connected,
+    k_core,
+    shortest_path,
+    shortest_path_lengths,
+    simple_cycles_upto,
+)
+from .builder import GraphBuilder, undirected_simple
+from .graph import DegreeStatistics, Graph, canonical_edge, from_edges
+from .io import (
+    read_edge_list,
+    read_json,
+    read_label_file,
+    write_edge_list,
+    write_json,
+    write_labels,
+)
+from .isomorphism import (
+    are_isomorphic,
+    automorphism_count,
+    canonical_form,
+    count_subgraph_isomorphisms,
+    find_subgraph_isomorphisms,
+    has_match,
+)
+from .labeling import (
+    apply_degree_labels,
+    coverage,
+    degree_log2_label,
+    label_frequency,
+    zipf_labels,
+)
+
+__all__ = [
+    "DegreeStatistics",
+    "Graph",
+    "GraphBuilder",
+    "apply_degree_labels",
+    "are_isomorphic",
+    "automorphism_count",
+    "bfs_order",
+    "canonical_edge",
+    "canonical_form",
+    "connected_components",
+    "count_subgraph_isomorphisms",
+    "coverage",
+    "degree_log2_label",
+    "find_subgraph_isomorphisms",
+    "from_edges",
+    "generators",
+    "metrics",
+    "has_match",
+    "is_connected",
+    "k_core",
+    "label_frequency",
+    "read_edge_list",
+    "read_json",
+    "read_label_file",
+    "shortest_path",
+    "shortest_path_lengths",
+    "simple_cycles_upto",
+    "undirected_simple",
+    "write_edge_list",
+    "write_json",
+    "write_labels",
+    "zipf_labels",
+]

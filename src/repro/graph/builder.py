@@ -1,0 +1,82 @@
+"""Incremental construction of large graphs from raw edge streams.
+
+Raw data sources (R-MAT samplers, web-crawl style edge dumps) emit duplicate
+and self-loop edges; :class:`GraphBuilder` deduplicates and symmetrizes them
+so downstream code always sees a simple undirected graph, as required by §2
+of the paper ("we assume G is simple ... undirected").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from .graph import Graph
+
+
+class GraphBuilder:
+    """Accumulates edges and labels and produces a :class:`Graph`.
+
+    Duplicate edges (in either direction) and self loops are dropped
+    silently; counters record how many of each were seen so ingest
+    pipelines can report data-quality statistics.
+    """
+
+    def __init__(self) -> None:
+        self._graph = Graph()
+        self.duplicate_edges = 0
+        self.self_loops = 0
+
+    def add_vertex(self, vertex: int, label: int = 0) -> "GraphBuilder":
+        self._graph.add_vertex(vertex, label)
+        return self
+
+    def add_edge(self, u: int, v: int, edge_label=None) -> "GraphBuilder":
+        """Add an edge, creating endpoints (label 0) as needed."""
+        if u == v:
+            self.self_loops += 1
+            return self
+        if u not in self._graph:
+            self._graph.add_vertex(u, 0)
+        if v not in self._graph:
+            self._graph.add_vertex(v, 0)
+        if not self._graph.add_edge(u, v, edge_label):
+            self.duplicate_edges += 1
+        return self
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> "GraphBuilder":
+        for u, v in edges:
+            self.add_edge(u, v)
+        return self
+
+    def set_labels(self, labels: Dict[int, int]) -> "GraphBuilder":
+        """Assign labels; vertices not yet present are created."""
+        for vertex, label in labels.items():
+            self._graph.add_vertex(vertex, label)
+        return self
+
+    def build(self, relabel_contiguous: bool = False) -> Graph:
+        """Return the built graph.
+
+        With ``relabel_contiguous`` vertex ids are remapped to a dense
+        ``0..n-1`` range (useful before partitioning).
+        """
+        if not relabel_contiguous:
+            return self._graph
+        mapping = {v: i for i, v in enumerate(self._graph.vertices())}
+        dense = Graph()
+        for old, new in mapping.items():
+            dense.add_vertex(new, self._graph.label(old))
+        for u, v in self._graph.edges():
+            dense.add_edge(mapping[u], mapping[v], self._graph.edge_label(u, v))
+        return dense
+
+
+def undirected_simple(
+    edges: Iterable[Tuple[int, int]], labels: Optional[Dict[int, int]] = None
+) -> Graph:
+    """One-shot helper: simple undirected graph from a raw edge stream."""
+    builder = GraphBuilder()
+    builder.add_edges(edges)
+    if labels:
+        builder.set_labels(labels)
+    return builder.build()

@@ -1,0 +1,28 @@
+"""Synthetic dataset generators mirroring the paper's evaluation datasets.
+
+Every generator is deterministic given a ``seed`` and produces a
+:class:`repro.graph.Graph`.  See DESIGN.md §2 for the mapping from each
+paper dataset to its generator here.
+"""
+
+from .imdb import imdb_graph
+from .random_labeled import gnm_graph, gnp_graph, planted_graph
+from .reddit import reddit_graph
+from .rmat import rmat_edges, rmat_graph
+from .suite import scale_free_unlabeled, suite_graph, suite_graphs
+from .webgraph import plant_pattern, webgraph
+
+__all__ = [
+    "gnm_graph",
+    "gnp_graph",
+    "imdb_graph",
+    "plant_pattern",
+    "planted_graph",
+    "reddit_graph",
+    "rmat_edges",
+    "rmat_graph",
+    "scale_free_unlabeled",
+    "suite_graph",
+    "suite_graphs",
+    "webgraph",
+]

@@ -1,0 +1,106 @@
+"""IMDb-like bipartite metadata graph generator.
+
+The paper's IMDb graph has five vertex types — Movie, Genre, Actress, Actor,
+Director — and is bipartite: edges only connect a Movie vertex to a
+non-Movie vertex.  The IMDB-1 query of §5.5 looks for
+(actress, actor, director, movie, movie) tuples where both movies share a
+genre and at least one individual repeats a role across the two movies.
+
+The generator builds a bipartite graph with configurable cast sizes and can
+plant complete IMDB-1 tuples for ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph import Graph
+
+MOVIE = 0
+GENRE = 1
+ACTRESS = 2
+ACTOR = 3
+DIRECTOR = 4
+
+LABEL_NAMES = {
+    MOVIE: "Movie",
+    GENRE: "Genre",
+    ACTRESS: "Actress",
+    ACTOR: "Actor",
+    DIRECTOR: "Director",
+}
+
+
+def imdb_graph(
+    num_movies: int = 300,
+    num_genres: int = 12,
+    num_actresses: int = 250,
+    num_actors: int = 250,
+    num_directors: int = 80,
+    cast_size: int = 4,
+    genres_per_movie: int = 2,
+    planted_imdb1: int = 0,
+    seed: int = 0,
+) -> Graph:
+    """Generate an IMDb-like bipartite graph.
+
+    Every movie is linked to ``genres_per_movie`` genres, one director, and
+    ``cast_size`` performers split between actresses and actors.
+
+    ``planted_imdb1`` plants that many complete IMDB-1 structures (a shared
+    actress+actor+director across two movies of the same genre).
+    """
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    next_id = 0
+
+    def new_vertex(label: int) -> int:
+        nonlocal next_id
+        graph.add_vertex(next_id, label)
+        next_id += 1
+        return next_id - 1
+
+    genres = [new_vertex(GENRE) for _ in range(num_genres)]
+    actresses = [new_vertex(ACTRESS) for _ in range(num_actresses)]
+    actors = [new_vertex(ACTOR) for _ in range(num_actors)]
+    directors = [new_vertex(DIRECTOR) for _ in range(num_directors)]
+
+    for _ in range(num_movies):
+        movie = new_vertex(MOVIE)
+        for genre_idx in rng.choice(num_genres, size=min(genres_per_movie, num_genres), replace=False):
+            graph.add_edge(movie, genres[int(genre_idx)])
+        graph.add_edge(movie, directors[int(rng.integers(num_directors))])
+        for _ in range(cast_size):
+            if rng.random() < 0.5:
+                graph.add_edge(movie, actresses[int(rng.integers(num_actresses))])
+            else:
+                graph.add_edge(movie, actors[int(rng.integers(num_actors))])
+
+    for _ in range(planted_imdb1):
+        plant_imdb1_instance(graph, rng, genres, actresses, actors, directors, new_vertex)
+    return graph
+
+
+def plant_imdb1_instance(
+    graph, rng, genres, actresses, actors, directors, new_vertex
+) -> List[int]:
+    """Plant one complete IMDB-1 tuple; returns its vertices.
+
+    Two fresh movies share one genre, and the same actress, actor and
+    director appear in both (so every person "has the same role in two
+    different movies", the strictest version of the query).
+    """
+    genre = genres[int(rng.integers(len(genres)))]
+    actress = actresses[int(rng.integers(len(actresses)))]
+    actor = actors[int(rng.integers(len(actors)))]
+    director = directors[int(rng.integers(len(directors)))]
+    movie_a = new_vertex(MOVIE)
+    movie_b = new_vertex(MOVIE)
+    for movie in (movie_a, movie_b):
+        graph.add_edge(movie, genre)
+        graph.add_edge(movie, actress)
+        graph.add_edge(movie, actor)
+        graph.add_edge(movie, director)
+    return [genre, actress, actor, director, movie_a, movie_b]

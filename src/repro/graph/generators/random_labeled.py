@@ -1,0 +1,91 @@
+"""Random labeled graphs for testing and micro-benchmarks.
+
+Erdős–Rényi G(n, m) and G(n, p) variants with uniform labels, plus a
+planted-pattern helper so correctness tests can work with known matches.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..graph import Graph
+
+
+def gnm_graph(
+    num_vertices: int,
+    num_edges: int,
+    num_labels: int = 4,
+    seed: int = 0,
+) -> Graph:
+    """Uniform random simple graph with ``num_edges`` edges, uniform labels."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"too many edges requested: {num_edges} > {max_edges}")
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, int(rng.integers(num_labels)))
+    added = 0
+    while added < num_edges:
+        u = int(rng.integers(num_vertices))
+        v = int(rng.integers(num_vertices))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def gnp_graph(
+    num_vertices: int,
+    edge_probability: float,
+    num_labels: int = 4,
+    seed: int = 0,
+) -> Graph:
+    """Erdős–Rényi G(n, p) with uniform labels."""
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex, int(rng.integers(num_labels)))
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def planted_graph(
+    num_vertices: int,
+    num_edges: int,
+    pattern_edges: Sequence[tuple],
+    pattern_labels: Sequence[int],
+    copies: int,
+    num_labels: Optional[int] = None,
+    seed: int = 0,
+) -> Graph:
+    """A G(n, m) graph with ``copies`` disjoint planted pattern instances.
+
+    Planted instances use fresh vertices appended after the random part, so
+    they are guaranteed present and easy to locate in tests (the last
+    ``copies * |pattern|`` vertex ids).
+    """
+    if num_labels is None:
+        num_labels = max(pattern_labels) + 1
+    graph = gnm_graph(num_vertices, num_edges, num_labels, seed)
+    next_id = num_vertices
+    for _ in range(copies):
+        members = []
+        for label in pattern_labels:
+            graph.add_vertex(next_id, int(label))
+            members.append(next_id)
+            next_id += 1
+        for u, v in pattern_edges:
+            graph.add_edge(members[u], members[v])
+        # A random attachment edge keeps the planted part connected to the
+        # background (exercises pruning around real matches).
+        rng = np.random.default_rng(seed + next_id)
+        anchor = int(rng.integers(num_vertices))
+        if not graph.has_edge(members[0], anchor):
+            graph.add_edge(members[0], anchor)
+    return graph

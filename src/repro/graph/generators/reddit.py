@@ -1,0 +1,134 @@
+"""Reddit-like metadata graph generator.
+
+The paper curates a 14-billion-edge graph from public Reddit dumps with four
+vertex types — Author, Post, Comment, Subreddit — where Post and Comment
+vertices carry a vote-balance label (Positive / Negative / Neutral / No
+Rating).  Edges exist between Author–Post, Author–Comment, Subreddit–Post,
+Post–Comment and Comment–Comment (parent-child threads).
+
+This generator reproduces that schema at laptop scale, with knobs for the
+thread shape, vote-balance distribution and the number of *planted* RDT-1
+adversarial poster-commenter structures (so experiments have ground truth).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph import Graph
+
+# Label space (module-level constants shared with the RDT-1 template).
+AUTHOR = 0
+SUBREDDIT = 1
+POST_POSITIVE = 2
+POST_NEGATIVE = 3
+POST_NEUTRAL = 4
+POST_NO_RATING = 5
+COMMENT_POSITIVE = 6
+COMMENT_NEGATIVE = 7
+COMMENT_NEUTRAL = 8
+COMMENT_NO_RATING = 9
+
+LABEL_NAMES = {
+    AUTHOR: "Author",
+    SUBREDDIT: "Subreddit",
+    POST_POSITIVE: "Post(+)",
+    POST_NEGATIVE: "Post(-)",
+    POST_NEUTRAL: "Post(0)",
+    POST_NO_RATING: "Post(nr)",
+    COMMENT_POSITIVE: "Comment(+)",
+    COMMENT_NEGATIVE: "Comment(-)",
+    COMMENT_NEUTRAL: "Comment(0)",
+    COMMENT_NO_RATING: "Comment(nr)",
+}
+
+_POST_LABELS = [POST_POSITIVE, POST_NEGATIVE, POST_NEUTRAL, POST_NO_RATING]
+_COMMENT_LABELS = [
+    COMMENT_POSITIVE,
+    COMMENT_NEGATIVE,
+    COMMENT_NEUTRAL,
+    COMMENT_NO_RATING,
+]
+
+
+def reddit_graph(
+    num_authors: int = 400,
+    num_subreddits: int = 20,
+    posts_per_author: float = 1.5,
+    comments_per_post: float = 3.0,
+    reply_probability: float = 0.3,
+    planted_rdt1: int = 0,
+    seed: int = 0,
+) -> Graph:
+    """Generate a Reddit-like metadata graph.
+
+    ``planted_rdt1`` plants that many full RDT-1 structures (author with an
+    up-voted and a down-voted post under different subreddits, each carrying
+    an adversarial comment by the same author); these guarantee at least
+    that many exact matches for the RDT-1 template.
+    """
+    rng = np.random.default_rng(seed)
+    graph = Graph()
+    next_id = 0
+
+    def new_vertex(label: int) -> int:
+        nonlocal next_id
+        graph.add_vertex(next_id, label)
+        next_id += 1
+        return next_id - 1
+
+    authors = [new_vertex(AUTHOR) for _ in range(num_authors)]
+    subreddits = [new_vertex(SUBREDDIT) for _ in range(num_subreddits)]
+
+    num_posts = max(1, int(num_authors * posts_per_author))
+    posts: List[int] = []
+    for _ in range(num_posts):
+        label = int(rng.choice(_POST_LABELS, p=[0.35, 0.15, 0.3, 0.2]))
+        post = new_vertex(label)
+        posts.append(post)
+        graph.add_edge(post, authors[int(rng.integers(num_authors))])
+        graph.add_edge(post, subreddits[int(rng.integers(num_subreddits))])
+
+    num_comments = int(num_posts * comments_per_post)
+    comments: List[int] = []
+    for _ in range(num_comments):
+        label = int(rng.choice(_COMMENT_LABELS, p=[0.3, 0.2, 0.3, 0.2]))
+        comment = new_vertex(label)
+        graph.add_edge(comment, authors[int(rng.integers(num_authors))])
+        if comments and rng.random() < reply_probability:
+            parent = comments[int(rng.integers(len(comments)))]
+        else:
+            parent = posts[int(rng.integers(num_posts))]
+        graph.add_edge(comment, parent)
+        comments.append(comment)
+
+    for _ in range(planted_rdt1):
+        plant_rdt1_instance(graph, rng, authors, subreddits, new_vertex)
+    return graph
+
+
+def plant_rdt1_instance(graph, rng, authors, subreddits, new_vertex) -> List[int]:
+    """Plant one full RDT-1 structure; returns its vertices.
+
+    The structure (Fig. 10, all edges present): author ``A`` with posts
+    ``P+`` and ``P-`` in *different* subreddits; a negative comment by ``A``
+    on the positive post and a positive comment by ``A`` on the negative
+    post.
+    """
+    author = authors[int(rng.integers(len(authors)))]
+    sub_a_idx, sub_b_idx = rng.choice(len(subreddits), size=2, replace=False)
+    post_pos = new_vertex(POST_POSITIVE)
+    post_neg = new_vertex(POST_NEGATIVE)
+    comment_neg = new_vertex(COMMENT_NEGATIVE)
+    comment_pos = new_vertex(COMMENT_POSITIVE)
+    graph.add_edge(post_pos, author)
+    graph.add_edge(post_neg, author)
+    graph.add_edge(post_pos, subreddits[int(sub_a_idx)])
+    graph.add_edge(post_neg, subreddits[int(sub_b_idx)])
+    graph.add_edge(comment_neg, post_pos)
+    graph.add_edge(comment_pos, post_neg)
+    graph.add_edge(comment_neg, author)
+    graph.add_edge(comment_pos, author)
+    return [author, post_pos, post_neg, comment_neg, comment_pos]

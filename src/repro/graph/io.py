@@ -1,0 +1,116 @@
+"""Reading and writing graphs in simple interchange formats.
+
+Two formats are supported:
+
+* **edge list + label file** — the format used by HavoqGT ingest tooling:
+  one ``u v`` pair per line, plus an optional ``vertex label`` file;
+* **JSON** — a self-contained single-file format convenient for examples
+  and checkpoint metadata.
+
+Lines starting with ``#`` are comments in the text formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..errors import GraphError
+from .builder import GraphBuilder
+from .graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write canonical undirected edges, one ``u v [edge_label]`` per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# undirected simple graph: n={graph.num_vertices} m={graph.num_edges}\n")
+        for u, v in sorted(graph.edges()):
+            label = graph.edge_label(u, v)
+            if label is None:
+                handle.write(f"{u} {v}\n")
+            else:
+                handle.write(f"{u} {v} {label}\n")
+
+
+def write_labels(graph: Graph, path: PathLike) -> None:
+    """Write ``vertex label`` pairs, one per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for vertex in sorted(graph.vertices()):
+            handle.write(f"{vertex} {graph.label(vertex)}\n")
+
+
+def read_edge_list(path: PathLike, labels_path: PathLike = None) -> Graph:
+    """Read an edge-list file (and optional label file) into a graph.
+
+    Duplicate edges and self loops in the input are dropped, mirroring the
+    symmetrization step the paper applies to its raw datasets.
+    """
+    builder = GraphBuilder()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2 or len(parts) > 3:
+                raise GraphError(
+                    f"{path}:{line_no}: expected 'u v [label]', got {line!r}"
+                )
+            builder.add_edge(
+                int(parts[0]),
+                int(parts[1]),
+                edge_label=int(parts[2]) if len(parts) == 3 else None,
+            )
+    if labels_path is not None:
+        builder.set_labels(read_label_file(labels_path))
+    return builder.build()
+
+
+def read_label_file(path: PathLike) -> Dict[int, int]:
+    """Read a ``vertex label`` file into a dict."""
+    labels: Dict[int, int] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphError(
+                    f"{path}:{line_no}: expected 'vertex label', got {line!r}"
+                )
+            labels[int(parts[0])] = int(parts[1])
+    return labels
+
+
+def write_json(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a single JSON document."""
+    document = {
+        "format": "repro-graph-v1",
+        "labels": {str(v): graph.label(v) for v in graph.vertices()},
+        "edges": sorted(graph.edges()),
+        "edge_labels": [
+            [u, v, label] for (u, v), label in sorted(graph.edge_labels().items())
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def read_json(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-graph-v1":
+        raise GraphError(f"{path}: not a repro-graph-v1 document")
+    graph = Graph()
+    for vertex, label in document["labels"].items():
+        graph.add_vertex(int(vertex), int(label))
+    for u, v in document["edges"]:
+        graph.add_edge(int(u), int(v))
+    for u, v, label in document.get("edge_labels", []):
+        graph.add_edge(int(u), int(v), int(label))
+    return graph

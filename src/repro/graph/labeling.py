@@ -1,0 +1,80 @@
+"""Vertex labeling strategies used by the paper's datasets.
+
+The weak-scaling experiments (§5, Datasets) label R-MAT vertices by degree:
+``l(v) = ceil(log2(d(v) + 1))`` so that the label distribution is stable as
+the graph scales.  The WDC webgraph uses skewed categorical labels
+(top-level domains); :func:`zipf_labels` reproduces that shape.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .graph import Graph
+
+
+def degree_log2_label(degree: int) -> int:
+    """The paper's weak-scaling labeling rule ``ceil(log2(d + 1))``."""
+    if degree < 0:
+        raise ValueError("degree must be non-negative")
+    return int(math.ceil(math.log2(degree + 1))) if degree > 0 else 0
+
+
+def apply_degree_labels(graph: Graph) -> Graph:
+    """Relabel every vertex of ``graph`` in place by its degree class."""
+    for vertex in graph.vertices():
+        graph.add_vertex(vertex, degree_log2_label(graph.degree(vertex)))
+    return graph
+
+
+def zipf_labels(
+    num_vertices: int,
+    num_labels: int,
+    seed: int = 0,
+    exponent: float = 1.2,
+) -> List[int]:
+    """Draw ``num_vertices`` labels from a Zipf-shaped categorical distribution.
+
+    Label 0 is the most frequent.  This mirrors the WDC label distribution
+    where a few domains (.com, .org, ...) cover a large fraction of vertices
+    while thousands of labels are rare.
+    """
+    if num_labels <= 0:
+        raise ValueError("num_labels must be positive")
+    rng = np.random.default_rng(seed)
+    weights = np.array([1.0 / (rank + 1) ** exponent for rank in range(num_labels)])
+    weights /= weights.sum()
+    return list(rng.choice(num_labels, size=num_vertices, p=weights))
+
+
+def apply_labels(graph: Graph, labels: Sequence[int]) -> Graph:
+    """Assign ``labels[i]`` to the i-th vertex in iteration order."""
+    for index, vertex in enumerate(list(graph.vertices())):
+        graph.add_vertex(vertex, int(labels[index % len(labels)]))
+    return graph
+
+
+def label_frequency(graph: Graph) -> Dict[int, float]:
+    """Fraction of vertices holding each label (descending popularity)."""
+    counts = graph.label_counts()
+    total = max(graph.num_vertices, 1)
+    return {
+        label: counts[label] / total
+        for label in sorted(counts, key=counts.get, reverse=True)
+    }
+
+
+def coverage(graph: Graph, labels: Sequence[int]) -> float:
+    """Fraction of graph vertices whose label is in ``labels``.
+
+    The paper reports template label coverage this way (e.g. "the labels
+    selected ... cover ~21% of the vertices in the WDC graph").
+    """
+    wanted = set(labels)
+    if graph.num_vertices == 0:
+        return 0.0
+    hit = sum(1 for v in graph.vertices() if graph.label(v) in wanted)
+    return hit / graph.num_vertices

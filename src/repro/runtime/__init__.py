@@ -1,0 +1,45 @@
+"""Simulated HavoqGT-style distributed runtime.
+
+In-process reproduction of the MPI substrate the paper builds on: hash and
+delegate partitioning, an asynchronous vertex-centric visitor engine with
+quiescence detection, message accounting (local / remote / cross-network),
+a parallel cost model, load balancing, and checkpointing.
+"""
+
+from .balance import rebalance_cost, reload_on, reshuffle
+from .checkpoint import load_checkpoint, save_checkpoint
+from .engine import Context, Engine
+from .messages import CostModel, MessageStats, PhaseCounters
+from .parallel import PrototypeSearchPool, state_to_payload
+from .partition import (
+    PartitionedGraph,
+    balanced_assignment,
+    block_assignment,
+    hash_assignment,
+)
+from .quiescence import SafraDetector
+from .store import DistributedGraphStore, RankShard
+from .visitor import Visitor
+
+__all__ = [
+    "Context",
+    "CostModel",
+    "Engine",
+    "MessageStats",
+    "PartitionedGraph",
+    "PhaseCounters",
+    "DistributedGraphStore",
+    "PrototypeSearchPool",
+    "RankShard",
+    "SafraDetector",
+    "Visitor",
+    "balanced_assignment",
+    "block_assignment",
+    "hash_assignment",
+    "load_checkpoint",
+    "rebalance_cost",
+    "reload_on",
+    "reshuffle",
+    "save_checkpoint",
+    "state_to_payload",
+]

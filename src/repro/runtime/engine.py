@@ -1,0 +1,196 @@
+"""Asynchronous vertex-centric execution engine (HavoqGT simulation).
+
+The engine reproduces HavoqGT's programming model on one process:
+
+* ``do_traversal(seed, visit)`` delivers a seed visitor to every vertex the
+  algorithm chooses and then drains all visitor queues to quiescence;
+* inside a ``visit`` callback the algorithm calls :meth:`Context.push` to
+  send a visitor to a neighboring vertex — this is the only vertex-to-vertex
+  communication channel, exactly as in the vertex-centric abstraction;
+* each simulated MPI rank owns a visitor queue; the scheduler drains ranks
+  round-robin in bounded batches, interleaving ranks the way asynchronous
+  message-driven execution does;
+* every push is recorded in :class:`~repro.runtime.messages.MessageStats`
+  with local/remote/network classification, and quiescence closes a barrier
+  interval so the cost model can compute the critical-path makespan.
+
+Determinism: given the same graph, partitioning and algorithm, execution
+order is fully deterministic (queues are FIFO, ranks are drained in index
+order), which the test suite relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional
+
+from ..errors import EngineError
+from .messages import MessageStats
+from .partition import PartitionedGraph
+from .quiescence import SafraDetector
+from .visitor import Visitor
+
+VisitCallback = Callable[["Context", Visitor], None]
+
+
+class Context:
+    """Per-callback view of the engine handed to ``visit`` functions."""
+
+    __slots__ = ("_engine", "_current_rank")
+
+    def __init__(self, engine: "Engine") -> None:
+        self._engine = engine
+        self._current_rank = 0
+
+    @property
+    def graph(self):
+        return self._engine.pgraph.graph
+
+    @property
+    def pgraph(self) -> PartitionedGraph:
+        return self._engine.pgraph
+
+    def push(self, visitor: Visitor) -> None:
+        """Send ``visitor`` to its target vertex's rank (counts a message)."""
+        self._engine._enqueue(visitor, from_rank=self._current_rank)
+
+    def broadcast(self, source: int, targets, payload) -> None:
+        """Push one visitor per target — the hot path of Algs. 4 and 5.
+
+        Equivalent to ``push(Visitor(t, payload, source))`` per target but
+        with the per-push bookkeeping inlined.
+        """
+        engine = self._engine
+        assignment = engine._assignment
+        delegates = engine._delegates
+        queues = engine._queues
+        matrix_row = engine._msg_matrix[self._current_rank]
+        current = self._current_rank
+        for target in targets:
+            dst_rank = assignment[target]
+            if delegates and target in delegates:
+                dst_rank = current
+            matrix_row[dst_rank] += 1
+            queues[dst_rank].append(Visitor(target, payload, source))
+
+
+class Engine:
+    """Drives visitor queues over a partitioned graph.
+
+    Parameters
+    ----------
+    pgraph:
+        The partitioned background graph.
+    stats:
+        Message accounting sink; a fresh one is created if omitted.
+    batch_size:
+        How many visitors one rank processes before the scheduler rotates to
+        the next rank — models asynchronous interleaving.
+    """
+
+    def __init__(
+        self,
+        pgraph: PartitionedGraph,
+        stats: Optional[MessageStats] = None,
+        batch_size: int = 64,
+    ) -> None:
+        if batch_size <= 0:
+            raise EngineError("batch_size must be positive")
+        self.pgraph = pgraph
+        self.stats = stats if stats is not None else MessageStats(pgraph.num_ranks)
+        if self.stats.num_ranks != pgraph.num_ranks:
+            raise EngineError("stats rank count does not match partitioning")
+        self.batch_size = batch_size
+        self._queues: List[Deque[Visitor]] = [deque() for _ in range(pgraph.num_ranks)]
+        self._context = Context(self)
+        self._running = False
+        # Hot-path snapshots of the partitioning (read-only during a run).
+        self._assignment = pgraph.assignment
+        self._delegates = pgraph.delegates
+        self._rank_node = [pgraph.node_of_rank(r) for r in range(pgraph.num_ranks)]
+        # Per-traversal accounting accumulators, folded into `stats` at
+        # quiescence (phases only change between traversals, so deferred
+        # accounting is exact).
+        self._msg_matrix = [[0] * pgraph.num_ranks for _ in range(pgraph.num_ranks)]
+        self._visit_counts = [0] * pgraph.num_ranks
+        self._detector = SafraDetector(pgraph.num_ranks)
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, visitor: Visitor, from_rank: Optional[int]) -> None:
+        dst_rank = self._assignment[visitor.target]
+        if (
+            self._delegates
+            and visitor.source is not None
+            and visitor.target in self._delegates
+        ):
+            # Delegate copies live on every rank: handle on the sender's rank.
+            dst_rank = (
+                from_rank
+                if from_rank is not None
+                else self._assignment[visitor.source]
+            )
+        if from_rank is not None:
+            self._msg_matrix[from_rank][dst_rank] += 1
+        self._queues[dst_rank].append(visitor)
+
+    def do_traversal(
+        self,
+        seed_visitors: Iterable[Visitor],
+        visit: VisitCallback,
+    ) -> None:
+        """Run one asynchronous traversal to quiescence.
+
+        ``seed_visitors`` are delivered locally on their owning rank (no
+        message cost — HavoqGT seeds via local iteration), then queues are
+        drained; each dequeued visitor triggers ``visit(context, visitor)``
+        which may push more visitors.  Returns at distributed quiescence,
+        closing a barrier interval in the stats.
+        """
+        if self._running:
+            raise EngineError("engine is not reentrant")
+        self._running = True
+        try:
+            for visitor in seed_visitors:
+                rank = self.pgraph.rank_of(visitor.target)
+                self._queues[rank].append(visitor)
+            self._detector.reset()
+            self._drain(visit)
+            self.stats.record_quiescence(
+                self._detector.control_messages(), self._detector.circuits()
+            )
+            self.stats.bulk_record(
+                self._msg_matrix, self._visit_counts, self._rank_node
+            )
+            num_ranks = self.pgraph.num_ranks
+            self._msg_matrix = [[0] * num_ranks for _ in range(num_ranks)]
+            self._visit_counts = [0] * num_ranks
+            self.stats.barrier()
+        finally:
+            self._running = False
+
+    def _drain(self, visit: VisitCallback) -> None:
+        """Round-robin drain of all rank queues until global quiescence."""
+        queues = self._queues
+        context = self._context
+        visit_counts = self._visit_counts
+        detector = self._detector
+        batch = self.batch_size
+        active = True
+        while active:
+            active = False
+            for rank, queue in enumerate(queues):
+                if not queue:
+                    detector.rank_idle(rank)
+                    continue
+                detector.rank_activated(rank)
+                active = True
+                context._current_rank = rank
+                chunk = min(batch, len(queue))
+                visit_counts[rank] += chunk
+                for _ in range(chunk):
+                    visit(context, queue.popleft())
+            detector.sweep_completed()
+
+    def pending(self) -> int:
+        """Total queued visitors (0 at quiescence)."""
+        return sum(len(queue) for queue in self._queues)

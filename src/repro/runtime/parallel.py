@@ -1,0 +1,150 @@
+"""Real multi-core execution of prototype searches (worker processes).
+
+The pipeline's ``parallel_deployments`` option *models* replica
+deployments in the simulated cost; this module additionally *executes*
+prototype searches on worker processes, cutting wall-clock time on
+multi-core machines.  Each worker behaves like one replica deployment of
+§4: it holds its own copy of the background graph (initialized once per
+worker via fork), rebuilds the prototype set deterministically, and keeps
+its own NLCC work-recycling cache across the tasks it serves — exactly the
+sharing a physical replica would have.
+
+Results are identical to sequential execution (outcomes are pure functions
+of the shipped starting scope); only wall-clock changes.  Simulated
+makespans are computed inside the workers from their own message traces.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+#: per-worker state, populated by the pool initializer
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(graph, template, k, options) -> None:
+    """Runs once per worker process: build the shared per-replica state."""
+    from ..core.constraints import generate_constraints
+    from ..core.ordering import order_constraints
+    from ..core.prototypes import generate_prototypes
+    from ..core.state import NlccCache
+
+    label_frequencies = graph.label_counts()
+    protos = generate_prototypes(template, k, options.max_prototypes)
+    constraint_sets = {}
+    for proto in protos:
+        constraint_set = generate_constraints(
+            proto.graph, label_frequencies, options.include_full_walk
+        )
+        constraint_set.non_local = order_constraints(
+            constraint_set.non_local,
+            label_frequencies,
+            optimize=bool(options.constraint_ordering),
+        )
+        constraint_sets[proto.id] = constraint_set
+    _WORKER.update(
+        graph=graph,
+        options=options,
+        prototypes={p.id: p for p in protos},
+        constraint_sets=constraint_sets,
+        cache=NlccCache() if options.work_recycling else None,
+    )
+
+
+def _search_task(payload: Tuple) -> Dict:
+    """Search one prototype inside a worker; returns a plain-data outcome."""
+    from ..core.search import search_prototype
+    from ..core.state import SearchState
+    from .engine import Engine
+    from .messages import MessageStats
+    from .partition import PartitionedGraph
+
+    proto_id, candidates_payload, edges_payload = payload
+    graph = _WORKER["graph"]
+    options = _WORKER["options"]
+    proto = _WORKER["prototypes"][proto_id]
+
+    candidates = {v: set(roles) for v, roles in candidates_payload}
+    active_edges: Dict[int, set] = {v: set() for v in candidates}
+    for u, v in edges_payload:
+        active_edges.setdefault(u, set()).add(v)
+        active_edges.setdefault(v, set()).add(u)
+    state = SearchState(graph, candidates, active_edges)
+
+    pgraph = PartitionedGraph(
+        graph,
+        options.num_ranks,
+        delegate_degree_threshold=options.delegate_degree_threshold,
+        ranks_per_node=options.ranks_per_node,
+    )
+    stats = MessageStats(options.num_ranks)
+    engine = Engine(pgraph, stats, options.batch_size)
+    outcome = search_prototype(
+        state,
+        proto,
+        _WORKER["constraint_sets"][proto_id],
+        engine,
+        cache=_WORKER["cache"],
+        recycle=options.work_recycling,
+        count_matches=options.count_matches,
+        verification=options.verification,
+    )
+    return {
+        "proto_id": proto_id,
+        "solution_vertices": sorted(outcome.solution_vertices),
+        "solution_edges": sorted(outcome.solution_edges),
+        "match_mappings": outcome.match_mappings,
+        "distinct_matches": outcome.distinct_matches,
+        "lcc_iterations": outcome.lcc_iterations,
+        "nlcc_constraints_checked": outcome.nlcc_constraints_checked,
+        "nlcc_roles_eliminated": outcome.nlcc_roles_eliminated,
+        "nlcc_recycled": outcome.nlcc_recycled,
+        "exact": outcome.exact,
+        "simulated_seconds": options.cost_model.makespan(stats),
+        "messages": stats.total_messages,
+        "remote_messages": stats.total_remote_messages,
+        "wall_seconds": outcome.wall_seconds,
+    }
+
+
+class PrototypeSearchPool:
+    """A pool of replica workers executing prototype searches.
+
+    Use as a context manager; submit per-level batches with
+    :meth:`search_level`.
+    """
+
+    def __init__(self, graph, template, k, options, processes: int) -> None:
+        if processes <= 1:
+            raise ValueError("a pool needs at least two processes")
+        import multiprocessing as mp
+
+        self._pool = ProcessPoolExecutor(
+            max_workers=processes,
+            mp_context=mp.get_context("fork"),
+            initializer=_init_worker,
+            initargs=(graph, template, k, options),
+        )
+
+    def search_level(self, tasks: List[Tuple]) -> List[Dict]:
+        """Run a level's (proto_id, candidates, edges) tasks; keeps order."""
+        return list(self._pool.map(_search_task, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "PrototypeSearchPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def state_to_payload(state) -> Tuple[List, List]:
+    """Serialize a SearchState's candidates/edges for shipping to workers."""
+    candidates = [
+        (v, sorted(state.candidates[v])) for v in state.candidates
+    ]
+    edges = state.active_edge_list()
+    return candidates, edges

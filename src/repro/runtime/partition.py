@@ -1,0 +1,197 @@
+"""Distributed graph partitioning (simulated).
+
+HavoqGT distributes graphs across MPI ranks by hashing vertex ids, and uses
+*delegate partitioning* [Pearce et al., SC'14] for high-degree vertices: a
+hub's edges are spread across all ranks and every rank holds a delegate copy
+of the hub, so messages to the hub are rank-local.
+
+This module reproduces both strategies for the in-process simulation.  A
+:class:`PartitionedGraph` wraps a :class:`~repro.graph.Graph` with a
+vertex → rank assignment plus the delegate set, and a rank → physical-node
+mapping used by the locality experiment (Fig. 12): messages between ranks on
+the same node are "local" at the network level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..errors import PartitionError
+from ..graph.graph import Graph
+
+
+class PartitionedGraph:
+    """A graph distributed over ``num_ranks`` simulated MPI ranks.
+
+    Parameters
+    ----------
+    graph:
+        The underlying (shared, read-mostly) graph.
+    num_ranks:
+        Number of simulated MPI processes.
+    assignment:
+        Explicit vertex → rank map; defaults to hash partitioning.
+    delegate_degree_threshold:
+        Vertices with degree at or above this become *delegates*: every rank
+        holds a copy, so visitor pushes to them are always rank-local (the
+        controller rank remains ``assignment[v]``).  ``None`` disables
+        delegates.
+    ranks_per_node:
+        How many ranks share a physical node (Fig. 12 locality knob).  A
+        message between ranks on the same node does not cross the network.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_ranks: int,
+        assignment: Optional[Dict[int, int]] = None,
+        delegate_degree_threshold: Optional[int] = None,
+        ranks_per_node: int = 1,
+    ) -> None:
+        if num_ranks <= 0:
+            raise PartitionError("num_ranks must be positive")
+        if ranks_per_node <= 0:
+            raise PartitionError("ranks_per_node must be positive")
+        self.graph = graph
+        self.num_ranks = num_ranks
+        self.ranks_per_node = ranks_per_node
+        if assignment is None:
+            assignment = hash_assignment(graph.vertices(), num_ranks)
+        else:
+            bad = [v for v in graph.vertices() if v not in assignment]
+            if bad:
+                raise PartitionError(f"{len(bad)} vertices missing from assignment")
+            out_of_range = [r for r in assignment.values() if not 0 <= r < num_ranks]
+            if out_of_range:
+                raise PartitionError("assignment contains out-of-range ranks")
+        self.assignment = assignment
+        if delegate_degree_threshold is None:
+            self.delegates: Set[int] = set()
+        else:
+            self.delegates = {
+                v for v in graph.vertices() if graph.degree(v) >= delegate_degree_threshold
+            }
+        self.delegate_degree_threshold = delegate_degree_threshold
+
+    # ------------------------------------------------------------------
+    def rank_of(self, vertex: int) -> int:
+        """Controller rank of ``vertex``."""
+        try:
+            return self.assignment[vertex]
+        except KeyError as exc:
+            raise PartitionError(f"vertex {vertex} not assigned") from exc
+
+    def node_of_rank(self, rank: int) -> int:
+        """Physical node hosting ``rank``."""
+        return rank // self.ranks_per_node
+
+    def num_nodes(self) -> int:
+        return (self.num_ranks + self.ranks_per_node - 1) // self.ranks_per_node
+
+    def is_remote(self, src_vertex: int, dst_vertex: int) -> bool:
+        """Would a visitor push ``src → dst`` cross rank boundaries?
+
+        Pushes to delegate vertices are always rank-local (every rank holds
+        a delegate copy).
+        """
+        if dst_vertex in self.delegates:
+            return False
+        return self.rank_of(src_vertex) != self.rank_of(dst_vertex)
+
+    def crosses_network(self, src_rank: int, dst_rank: int) -> bool:
+        """Would a rank-to-rank message cross the physical network?"""
+        return self.node_of_rank(src_rank) != self.node_of_rank(dst_rank)
+
+    # ------------------------------------------------------------------
+    def vertices_of_rank(self, rank: int) -> List[int]:
+        return [v for v, r in self.assignment.items() if r == rank and v in self.graph]
+
+    def rank_vertex_counts(self) -> List[int]:
+        counts = [0] * self.num_ranks
+        for vertex in self.graph.vertices():
+            counts[self.assignment[vertex]] += 1
+        return counts
+
+    def rank_edge_counts(self) -> List[int]:
+        """Per-rank count of edge endpoints owned by each rank.
+
+        Delegate hub edges are spread evenly across ranks, matching the
+        delegate-partitioned storage model.
+        """
+        counts = [0.0] * self.num_ranks
+        for vertex in self.graph.vertices():
+            degree = self.graph.degree(vertex)
+            if vertex in self.delegates:
+                share = degree / self.num_ranks
+                for rank in range(self.num_ranks):
+                    counts[rank] += share
+            else:
+                counts[self.assignment[vertex]] += degree
+        return [int(round(c)) for c in counts]
+
+    def load_imbalance(self) -> float:
+        """``max / avg`` edge-endpoint load across ranks (1.0 = perfect)."""
+        counts = self.rank_edge_counts()
+        total = sum(counts)
+        if total == 0:
+            return 1.0
+        avg = total / self.num_ranks
+        return max(counts) / avg if avg else 1.0
+
+    def with_assignment(self, assignment: Dict[int, int]) -> "PartitionedGraph":
+        """A new view with a different vertex → rank assignment."""
+        return PartitionedGraph(
+            self.graph,
+            self.num_ranks,
+            assignment=assignment,
+            delegate_degree_threshold=self.delegate_degree_threshold,
+            ranks_per_node=self.ranks_per_node,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedGraph(n={self.graph.num_vertices}, ranks={self.num_ranks}, "
+            f"delegates={len(self.delegates)}, nodes={self.num_nodes()})"
+        )
+
+
+def hash_assignment(vertices: Iterable[int], num_ranks: int) -> Dict[int, int]:
+    """HavoqGT-style hash partitioning: rank = hash(vertex) mod ranks.
+
+    A multiplicative hash decorrelates rank from vertex id (consecutive ids
+    produced by generators would otherwise stripe perfectly).
+    """
+    if num_ranks <= 0:
+        raise PartitionError("num_ranks must be positive")
+    mask = (1 << 64) - 1
+    return {
+        v: ((v * 0x9E3779B97F4A7C15 + 0x7F4A7C15) & mask) % num_ranks
+        for v in vertices
+    }
+
+
+def block_assignment(vertices: Sequence[int], num_ranks: int) -> Dict[int, int]:
+    """Contiguous block partitioning (poor balance on skewed graphs)."""
+    if num_ranks <= 0:
+        raise PartitionError("num_ranks must be positive")
+    vertices = list(vertices)
+    block = max(1, (len(vertices) + num_ranks - 1) // num_ranks)
+    return {v: min(i // block, num_ranks - 1) for i, v in enumerate(vertices)}
+
+
+def balanced_assignment(graph: Graph, num_ranks: int) -> Dict[int, int]:
+    """Greedy balanced partitioning by degree (largest-first bin packing).
+
+    Used by the load-balancing step (§4): after pruning, active vertices are
+    reshuffled so edge-endpoint load is even across ranks.
+    """
+    if num_ranks <= 0:
+        raise PartitionError("num_ranks must be positive")
+    loads = [0] * num_ranks
+    assignment: Dict[int, int] = {}
+    for vertex in sorted(graph.vertices(), key=graph.degree, reverse=True):
+        rank = loads.index(min(loads))
+        assignment[vertex] = rank
+        loads[rank] += graph.degree(vertex) + 1
+    return assignment

@@ -1,0 +1,89 @@
+"""Distributed quiescence detection (Safra-style token ring).
+
+HavoqGT's asynchronous traversals complete "when all 'visitors' events
+have been processed, which is determined by distributed quiescence
+detection" (§4, citing Wellman & Walsh).  A sequential simulation *knows*
+when the queues are empty, but the real system must pay for finding out:
+a control token circulates the rank ring carrying message-count balances,
+and termination is declared only after a full circuit observes every rank
+idle with balanced send/receive counters — a circuit that must be
+restarted whenever a rank is re-activated by a late message.
+
+:class:`SafraDetector` reproduces that accounting.  The engine feeds it
+rank activation events during the drain; at quiescence it reports how many
+token circuits the protocol would have needed and how many control
+messages that costs (one per ring hop).  The counts flow into
+:class:`~repro.runtime.messages.MessageStats` so §5.7-style message
+analyses include control traffic, and into the cost model as serialized
+ring latency.
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineError
+
+
+class SafraDetector:
+    """Token-ring termination detection accounting for one traversal.
+
+    The model: the ring token needs one *clean* circuit — every rank idle,
+    no in-flight messages — to declare termination, plus one initial
+    circuit to arm the protocol.  Every *reactivation wave* (some rank
+    receiving new work after it had been observed idle) taints the current
+    circuit and forces another.
+    """
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks <= 0:
+            raise EngineError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.reset()
+
+    def reset(self) -> None:
+        self._observed_idle = [False] * self.num_ranks
+        self._reactivation_waves = 0
+        self._wave_tainted = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def rank_idle(self, rank: int) -> None:
+        """The sweep found ``rank`` with an empty queue."""
+        self._observed_idle[rank] = True
+
+    def rank_activated(self, rank: int) -> None:
+        """``rank`` received work; taints the circuit if it was seen idle."""
+        if self._observed_idle[rank]:
+            self._observed_idle[rank] = False
+            if not self._wave_tainted:
+                self._wave_tainted = True
+                self._reactivation_waves += 1
+
+    def sweep_completed(self) -> None:
+        """One pass over all ranks finished; a tainted circuit restarts."""
+        self._wave_tainted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def reactivation_waves(self) -> int:
+        return self._reactivation_waves
+
+    def circuits(self) -> int:
+        """Token circuits needed: arm + final clean + one per tainted wave."""
+        return 2 + self._reactivation_waves
+
+    def control_messages(self) -> int:
+        """Ring hops: one control message per rank per circuit."""
+        return self.num_ranks * self.circuits()
+
+    def finish(self) -> int:
+        """Declare termination; returns the control-message count."""
+        if self._finished:
+            raise EngineError("detector already finished")
+        self._finished = True
+        return self.control_messages()
+
+    def __repr__(self) -> str:
+        return (
+            f"SafraDetector(ranks={self.num_ranks}, "
+            f"waves={self._reactivation_waves}, circuits={self.circuits()})"
+        )

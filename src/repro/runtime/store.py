@@ -1,0 +1,162 @@
+"""Per-rank distributed graph storage (HavoqGT's delegate-partitioned CSR).
+
+The engine simulates communication over a logically shared graph; this
+module models the *storage* side of HavoqGT's design [Pearce et al.,
+IPDPS'13/SC'14]: every rank holds a CSR shard of the edges owned by its
+vertices, and the edges of *delegate* (high-degree) vertices are striped
+round-robin across all ranks, each of which also keeps a delegate copy of
+the hub itself.
+
+Uses: per-rank memory accounting (the cluster-wide view behind Fig. 11),
+storage-balance analysis for the load-balancing experiments, and a
+faithful answer to "what does rank r actually hold?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import PartitionError
+from .partition import PartitionedGraph
+
+#: bytes per CSR offset / edge target / vertex label, as in Fig. 11(a)
+OFFSET_BYTES = 8
+TARGET_BYTES = 8
+LABEL_BYTES = 2
+
+
+class RankShard:
+    """One rank's CSR shard: locally-owned vertices plus delegate copies."""
+
+    def __init__(
+        self,
+        rank: int,
+        vertex_ids: List[int],
+        offsets: np.ndarray,
+        targets: np.ndarray,
+        labels: np.ndarray,
+    ) -> None:
+        self.rank = rank
+        #: vertex ids in shard order (owned vertices, then delegate copies)
+        self.vertex_ids = vertex_ids
+        self._index = {v: i for i, v in enumerate(vertex_ids)}
+        self.offsets = offsets
+        self.targets = targets
+        self.labels = labels
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_ids)
+
+    @property
+    def num_edge_slots(self) -> int:
+        return int(self.targets.shape[0])
+
+    def holds(self, vertex: int) -> bool:
+        return vertex in self._index
+
+    def adjacency(self, vertex: int) -> np.ndarray:
+        """The edge targets stored on this rank for ``vertex``."""
+        try:
+            i = self._index[vertex]
+        except KeyError as exc:
+            raise PartitionError(
+                f"rank {self.rank} does not hold vertex {vertex}"
+            ) from exc
+        return self.targets[self.offsets[i]:self.offsets[i + 1]]
+
+    def label(self, vertex: int) -> int:
+        return int(self.labels[self._index[vertex]])
+
+    def memory_bytes(self) -> int:
+        return (
+            OFFSET_BYTES * (self.num_vertices + 1)
+            + TARGET_BYTES * self.num_edge_slots
+            + LABEL_BYTES * self.num_vertices
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RankShard(rank={self.rank}, vertices={self.num_vertices}, "
+            f"edge_slots={self.num_edge_slots})"
+        )
+
+
+class DistributedGraphStore:
+    """The full set of rank shards for a partitioned graph."""
+
+    def __init__(self, pgraph: PartitionedGraph) -> None:
+        self.pgraph = pgraph
+        self.shards = [_build_shard(pgraph, rank) for rank in range(pgraph.num_ranks)]
+
+    def shard(self, rank: int) -> RankShard:
+        try:
+            return self.shards[rank]
+        except IndexError as exc:
+            raise PartitionError(f"no shard for rank {rank}") from exc
+
+    def total_memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self.shards)
+
+    def memory_by_rank(self) -> List[int]:
+        return [shard.memory_bytes() for shard in self.shards]
+
+    def storage_imbalance(self) -> float:
+        """max/avg shard memory (1.0 = perfectly even)."""
+        sizes = self.memory_by_rank()
+        avg = sum(sizes) / len(sizes)
+        return max(sizes) / avg if avg else 1.0
+
+    def iter_all_edges(self) -> Iterator[Tuple[int, int]]:
+        """Every stored (source, target) slot across all shards.
+
+        Non-delegate edges appear once per direction, delegate edges once
+        per stripe — exactly the cluster-wide storage footprint.
+        """
+        for shard in self.shards:
+            for i, v in enumerate(shard.vertex_ids):
+                for t in shard.targets[shard.offsets[i]:shard.offsets[i + 1]]:
+                    yield v, int(t)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedGraphStore(ranks={len(self.shards)}, "
+            f"total={self.total_memory_bytes()}B, "
+            f"imbalance={self.storage_imbalance():.2f})"
+        )
+
+
+def _build_shard(pgraph: PartitionedGraph, rank: int) -> RankShard:
+    graph = pgraph.graph
+    num_ranks = pgraph.num_ranks
+    delegates = pgraph.delegates
+
+    rows: List[Tuple[int, List[int]]] = []
+    # Locally-owned, non-delegate vertices: full adjacency.
+    for vertex in graph.vertices():
+        if pgraph.rank_of(vertex) == rank and vertex not in delegates:
+            rows.append((vertex, sorted(graph.neighbors(vertex))))
+    # Delegate vertices: every rank holds a copy with a stripe of edges.
+    for hub in sorted(delegates):
+        stripe = [
+            nbr
+            for index, nbr in enumerate(sorted(graph.neighbors(hub)))
+            if index % num_ranks == rank
+        ]
+        rows.append((hub, stripe))
+
+    vertex_ids = [v for v, _nbrs in rows]
+    offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+    total = sum(len(nbrs) for _v, nbrs in rows)
+    targets = np.empty(total, dtype=np.int64)
+    labels = np.empty(len(rows), dtype=np.int64)
+    position = 0
+    for i, (vertex, nbrs) in enumerate(rows):
+        labels[i] = graph.label(vertex)
+        for nbr in nbrs:
+            targets[position] = nbr
+            position += 1
+        offsets[i + 1] = position
+    return RankShard(rank, vertex_ids, offsets, targets, labels)

@@ -1,0 +1,31 @@
+"""Visitor protocol of the simulated vertex-centric engine.
+
+HavoqGT algorithms are written as vertex callbacks triggered by *visitors*
+(events addressed to a vertex).  In this simulation a visitor is a plain
+object carrying its target vertex and an algorithm-defined payload; the
+engine routes it to the owning rank's queue and invokes the algorithm's
+``visit`` callback there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Visitor:
+    """An event addressed to ``target`` with an opaque ``payload``.
+
+    ``source`` is the vertex that pushed the visitor (``None`` for seed
+    visitors created by ``do_traversal``); the engine uses it for
+    local/remote message classification.
+    """
+
+    __slots__ = ("target", "payload", "source")
+
+    def __init__(self, target: int, payload: Any = None, source: Optional[int] = None) -> None:
+        self.target = target
+        self.payload = payload
+        self.source = source
+
+    def __repr__(self) -> str:
+        return f"Visitor(target={self.target}, source={self.source}, payload={self.payload!r})"

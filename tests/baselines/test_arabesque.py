@@ -1,0 +1,92 @@
+"""Tests for the Arabesque-style TLE baseline."""
+
+import pytest
+
+from repro.baselines import (
+    arabesque_count_motifs,
+    replicated_graph_bytes,
+)
+from repro.errors import MemoryLimitExceeded
+from repro.graph import from_edges
+from repro.graph.generators import gnm_graph, suite_graph
+from repro.graph.isomorphism import canonical_form
+
+
+class TestCorrectness:
+    def test_triangle_and_paths(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        result = arabesque_count_motifs(g, 3)
+        by_edges = {}
+        for key, count in result.counts.items():
+            edges = len(key[2])
+            by_edges[edges] = by_edges.get(edges, 0) + count
+        assert by_edges[3] == 1
+        assert by_edges[2] == 2
+
+    def test_matches_exhaustive_enumeration(self):
+        import itertools
+
+        from repro.graph.algorithms import is_connected
+
+        g = gnm_graph(14, 30, num_labels=1, seed=1)
+        result = arabesque_count_motifs(g, 3)
+        expected = {}
+        for triple in itertools.combinations(list(g.vertices()), 3):
+            sub = g.subgraph(triple)
+            if sub.num_vertices == 3 and is_connected(sub) and sub.num_edges >= 2:
+                key = canonical_form(sub)
+                expected[key] = expected.get(key, 0) + 1
+        assert result.counts == expected
+
+    def test_each_embedding_once(self):
+        # K4: exactly one 4-clique embedding, 4 triangles.
+        k4 = from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        four = arabesque_count_motifs(k4, 4)
+        assert four.total_embeddings() == 1
+        three = arabesque_count_motifs(k4, 3)
+        assert three.total_embeddings() == 4
+
+    def test_size_one(self):
+        g = from_edges([(0, 1)])
+        result = arabesque_count_motifs(g, 1)
+        assert result.total_embeddings() == 2
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            arabesque_count_motifs(from_edges([(0, 1)]), 0)
+
+
+class TestExecutionModel:
+    def test_replication_scales_with_ranks(self):
+        g = suite_graph("citeseer")
+        assert replicated_graph_bytes(g, 8) == 4 * replicated_graph_bytes(g, 2)
+
+    def test_oom_on_replication(self):
+        g = suite_graph("mico")
+        with pytest.raises(MemoryLimitExceeded) as info:
+            arabesque_count_motifs(g, 3, num_ranks=16, memory_limit_bytes=1000)
+        assert "replication" in str(info.value)
+
+    def test_oom_on_frontier_growth(self):
+        g = gnm_graph(200, 2000, num_labels=1, seed=2)
+        budget = replicated_graph_bytes(g, 4) + 10_000
+        with pytest.raises(MemoryLimitExceeded) as info:
+            arabesque_count_motifs(g, 4, num_ranks=4, memory_limit_bytes=budget)
+        assert "frontier" in str(info.value)
+
+    def test_supersteps_counted(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)])
+        result = arabesque_count_motifs(g, 3)
+        assert result.supersteps == 3
+
+    def test_simulated_time_scales_down_with_ranks(self):
+        g = suite_graph("citeseer")
+        few = arabesque_count_motifs(g, 3, num_ranks=2)
+        many = arabesque_count_motifs(g, 3, num_ranks=16)
+        assert many.simulated_seconds < few.simulated_seconds
+
+    def test_peak_memory_recorded(self):
+        g = suite_graph("citeseer")
+        result = arabesque_count_motifs(g, 3, num_ranks=4)
+        assert result.peak_memory_bytes >= replicated_graph_bytes(g, 4)
+        assert result.peak_frontier > 0

@@ -1,0 +1,107 @@
+"""Tests for the graph-simulation baseline family."""
+
+from repro.baselines.simulation import (
+    dual_simulation,
+    graph_simulation,
+    strong_simulation,
+)
+from repro.core import PipelineOptions, run_pipeline
+from repro.core.template import PatternTemplate
+from repro.graph import from_edges
+from repro.graph.generators import planted_graph
+from repro.graph.isomorphism import find_subgraph_isomorphisms
+
+
+def triangle_template():
+    return PatternTemplate.from_edges(
+        [(0, 1), (1, 2), (2, 0)], labels={0: 1, 1: 2, 2: 3}, name="tri"
+    )
+
+
+def hexagon():
+    """The Fig. 2-style fooling structure: locally perfect, no triangle."""
+    return from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        labels={0: 1, 1: 2, 2: 3, 3: 1, 4: 2, 5: 3},
+    )
+
+
+class TestSemantics:
+    def test_simulation_never_misses_real_matches(self):
+        template = triangle_template()
+        graph = planted_graph(40, 90, template.edges(), [1, 2, 3], copies=2, seed=61)
+        exact = {
+            v
+            for m in find_subgraph_isomorphisms(template.graph, graph)
+            for v in m.values()
+        }
+        for simulate in (graph_simulation, dual_simulation, strong_simulation):
+            assert exact <= simulate(graph, template).matched_vertices()
+
+    def test_dual_simulation_keeps_false_positives(self):
+        """The hexagon survives dual simulation — the paper's reason for
+        non-local constraints on top of arc consistency."""
+        result = dual_simulation(hexagon(), triangle_template())
+        assert len(result.matched_vertices()) == 6  # all false positives
+
+    def test_exact_pipeline_rejects_what_simulation_keeps(self):
+        graph = hexagon()
+        exact = run_pipeline(
+            graph, triangle_template(), 0, PipelineOptions(num_ranks=2)
+        )
+        dual = dual_simulation(graph, triangle_template())
+        assert exact.match_vectors == {}
+        assert dual.matched_vertices() != set()
+
+    def test_strong_simulation_tighter_than_dual(self):
+        # A long path of 1-2-3 repeats with one real triangle: strong
+        # simulation's ball restriction prunes the far-away pretenders.
+        graph = from_edges(
+            [(0, 1), (1, 2), (2, 0),               # real triangle
+             (10, 11), (11, 12)],                  # bare path, labels 1-2-3
+            labels={0: 1, 1: 2, 2: 3, 10: 1, 11: 2, 12: 3},
+        )
+        template = triangle_template()
+        dual = dual_simulation(graph, template)
+        strong = strong_simulation(graph, template)
+        assert strong.matched_vertices() <= dual.matched_vertices()
+        assert {0, 1, 2} <= strong.matched_vertices()
+        assert 10 not in strong.matched_vertices()
+
+    def test_all_or_nothing(self):
+        """No simulation exists when a template vertex has no candidate."""
+        graph = from_edges([(0, 1)], labels={0: 1, 1: 2})
+        result = dual_simulation(graph, triangle_template())
+        assert result.empty
+        assert result.matched_vertices() == set()
+
+
+class TestMechanics:
+    def test_graph_simulation_single_pass(self):
+        result = graph_simulation(hexagon(), triangle_template())
+        assert result.iterations == 1
+
+    def test_dual_simulation_iterates(self):
+        # Chain that collapses step by step under iteration.
+        graph = from_edges(
+            [(0, 1), (1, 2)], labels={0: 1, 1: 2, 2: 3}
+        )
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3)], labels={0: 1, 1: 2, 2: 3, 3: 1}
+        )
+        result = dual_simulation(graph, template)
+        assert result.empty
+        assert result.iterations >= 2
+
+    def test_candidate_sets_keyed_by_template_vertex(self):
+        template = triangle_template()
+        graph = planted_graph(30, 60, template.edges(), [1, 2, 3], copies=1, seed=62)
+        result = dual_simulation(graph, template)
+        assert set(result.candidates) == set(template.graph.vertices())
+        for w, candidates in result.candidates.items():
+            for v in candidates:
+                assert graph.label(v) == template.label(w)
+
+    def test_repr(self):
+        result = dual_simulation(hexagon(), triangle_template())
+        assert "dual-simulation" in repr(result)

@@ -1,0 +1,97 @@
+"""Tests for the fluent TemplateBuilder."""
+
+import pytest
+
+from repro.core import PipelineOptions, run_pipeline
+from repro.core.builder import TemplateBuilder
+from repro.core.wildcards import WILDCARD
+from repro.errors import TemplateError
+from repro.graph.generators import planted_graph
+
+
+def build_triangle():
+    return (
+        TemplateBuilder("tri")
+        .vertex("a", label=1)
+        .vertex("b", label=2)
+        .vertex("c", label=3)
+        .edge("a", "b")
+        .edge("b", "c", mandatory=True)
+        .edge("c", "a", label=7)
+        .build()
+    )
+
+
+class TestBuilding:
+    def test_ids_follow_insertion_order(self):
+        builder = TemplateBuilder().vertex("x", 1).vertex("y", 2)
+        assert builder.vertex_id("x") == 0
+        assert builder.vertex_id("y") == 1
+        assert builder.vertex_names() == {0: "x", 1: "y"}
+
+    def test_full_feature_template(self):
+        template = build_triangle()
+        assert template.name == "tri"
+        assert template.num_edges == 3
+        assert (1, 2) in template.mandatory_edges  # b-c
+        assert template.graph.edge_label(0, 2) == 7  # c-a
+
+    def test_wildcard_vertex(self):
+        builder = (
+            TemplateBuilder().vertex("a", 1).vertex("w").edge("a", "w")
+        )
+        assert builder.has_wildcards()
+        assert builder.build().label(1) == WILDCARD
+
+    def test_repr(self):
+        assert "tri" in repr(TemplateBuilder("tri"))
+
+
+class TestValidation:
+    def test_duplicate_vertex(self):
+        with pytest.raises(TemplateError):
+            TemplateBuilder().vertex("a", 1).vertex("a", 2)
+
+    def test_edge_before_vertex(self):
+        with pytest.raises(TemplateError):
+            TemplateBuilder().vertex("a", 1).edge("a", "b")
+
+    def test_self_loop(self):
+        with pytest.raises(TemplateError):
+            TemplateBuilder().vertex("a", 1).edge("a", "a")
+
+    def test_duplicate_edge_either_direction(self):
+        builder = TemplateBuilder().vertex("a", 1).vertex("b", 2).edge("a", "b")
+        with pytest.raises(TemplateError):
+            builder.edge("b", "a")
+
+    def test_empty_build(self):
+        with pytest.raises(TemplateError):
+            TemplateBuilder().build()
+
+    def test_disconnected_build(self):
+        builder = TemplateBuilder().vertex("a", 1).vertex("b", 2)
+        with pytest.raises(TemplateError):
+            builder.build()
+
+    def test_unknown_vertex_id(self):
+        with pytest.raises(TemplateError):
+            TemplateBuilder().vertex_id("nope")
+
+
+class TestEndToEnd:
+    def test_built_template_searches(self):
+        builder = (
+            TemplateBuilder("e2e")
+            .vertex("a", 1).vertex("b", 2).vertex("c", 3)
+            .edge("a", "b").edge("b", "c").edge("c", "a")
+        )
+        template = builder.build()
+        graph = planted_graph(
+            40, 90, template.edges(), [1, 2, 3], copies=2, num_labels=4, seed=71
+        )
+        result = run_pipeline(graph, template, 1, PipelineOptions(num_ranks=2))
+        assert result.match_vectors
+        # vertex_names lets callers decode the template side of matches
+        names = builder.vertex_names()
+        assert names[builder.vertex_id("a")] == "a"

@@ -1,0 +1,200 @@
+"""Tests for edge-labeled matching (the §2 generalization)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import PatternTemplate, PipelineOptions, generate_prototypes, run_pipeline
+from repro.graph.graph import Graph
+from repro.graph.isomorphism import (
+    are_isomorphic,
+    canonical_form,
+    find_subgraph_isomorphisms,
+)
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def labeled_triangle(edge_labels):
+    g = Graph()
+    for v, lab in enumerate([1, 2, 3]):
+        g.add_vertex(v, lab)
+    for (u, v), el in zip([(0, 1), (1, 2), (2, 0)], edge_labels):
+        g.add_edge(u, v, el)
+    return g
+
+
+class TestGraphEdgeLabels:
+    def test_store_and_query(self):
+        g = labeled_triangle([7, None, 9])
+        assert g.edge_label(0, 1) == 7
+        assert g.edge_label(1, 0) == 7
+        assert g.edge_label(1, 2) is None
+        assert g.has_edge_labels
+
+    def test_removal_clears_label(self):
+        g = labeled_triangle([7, 8, 9])
+        g.remove_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.edge_label(0, 1) is None
+
+    def test_remove_vertex_clears_labels(self):
+        g = labeled_triangle([7, 8, 9])
+        g.remove_vertex(0)
+        assert not g.has_edge(0, 1)
+        assert (0, 1) not in g.edge_labels()
+
+    def test_copy_and_subgraph_preserve(self):
+        g = labeled_triangle([7, 8, 9])
+        assert g.copy().edge_label(2, 0) == 9
+        assert g.subgraph([0, 1]).edge_label(0, 1) == 7
+        assert g.edge_subgraph([(1, 2)]).edge_label(1, 2) == 8
+
+    def test_equality_includes_edge_labels(self):
+        assert labeled_triangle([7, 8, 9]) != labeled_triangle([7, 8, 1])
+        assert labeled_triangle([7, 8, 9]) == labeled_triangle([7, 8, 9])
+
+
+class TestIsomorphismWithEdgeLabels:
+    def test_matcher_respects_edge_labels(self):
+        pattern = labeled_triangle([7, None, None])
+        wrong = labeled_triangle([6, None, None])
+        right = labeled_triangle([7, 5, 5])
+        assert not list(find_subgraph_isomorphisms(pattern, wrong))
+        assert list(find_subgraph_isomorphisms(pattern, right))
+
+    def test_unlabeled_pattern_edge_matches_anything(self):
+        pattern = labeled_triangle([None, None, None])
+        target = labeled_triangle([7, 8, 9])
+        assert list(find_subgraph_isomorphisms(pattern, target))
+
+    def test_are_isomorphic_exact_on_edge_labels(self):
+        assert are_isomorphic(labeled_triangle([7, 8, 9]), labeled_triangle([7, 8, 9]))
+        assert not are_isomorphic(
+            labeled_triangle([7, 8, 9]), labeled_triangle([7, 8, None])
+        )
+
+    def test_canonical_form_distinguishes_edge_labels(self):
+        assert canonical_form(labeled_triangle([7, 8, 9])) != canonical_form(
+            labeled_triangle([9, 8, 7])
+        ) or are_isomorphic(
+            labeled_triangle([7, 8, 9]), labeled_triangle([9, 8, 7])
+        )
+        assert canonical_form(labeled_triangle([7, 7, 7])) == canonical_form(
+            labeled_triangle([7, 7, 7])
+        )
+
+    def test_canonical_form_invariant_under_relabeling(self):
+        a = labeled_triangle([7, 8, 9])
+        b = Graph()
+        for v, lab in [(10, 2), (20, 3), (30, 1)]:
+            b.add_vertex(v, lab)
+        b.add_edge(30, 10, 7)   # 1-2 edge
+        b.add_edge(10, 20, 8)   # 2-3 edge
+        b.add_edge(20, 30, 9)   # 3-1 edge
+        assert canonical_form(a) == canonical_form(b)
+
+
+class TestTemplatesAndPrototypes:
+    def template(self):
+        return PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+            name="el",
+        )
+
+    def test_template_carries_edge_labels(self):
+        assert self.template().graph.edge_label(0, 1) == 7
+
+    def test_prototypes_inherit_edge_labels(self):
+        for proto in generate_prototypes(self.template(), 1):
+            if proto.graph.has_edge(0, 1):
+                assert proto.graph.edge_label(0, 1) == 7
+
+    def test_dedup_distinguishes_edge_labels(self):
+        # An unlabeled symmetric square with ONE labeled edge: removing the
+        # labeled edge vs an unlabeled one must give different prototypes.
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={v: 0 for v in range(4)},
+            edge_labels={(0, 1): 5},
+        )
+        level1 = generate_prototypes(template, 1).at(1)
+        # Three classes: labeled edge removed; labeled edge at a path end;
+        # labeled edge in the middle.  Without edge-label-aware dedup all
+        # four removals would collapse into a single path prototype.
+        assert len(level1) == 3
+        with_label = [p for p in level1 if p.graph.has_edge_labels]
+        assert len(with_label) == 2
+
+
+class TestEdgeLabeledPipeline:
+    def background(self):
+        g = Graph()
+        labels = {0: 1, 1: 2, 2: 3, 3: 2}
+        for v, lab in labels.items():
+            g.add_vertex(v, lab)
+        g.add_edge(0, 1, 7)   # the matching triangle
+        g.add_edge(1, 2, 4)
+        g.add_edge(2, 0)
+        g.add_edge(0, 3, 6)   # decoy triangle with the wrong edge label
+        g.add_edge(3, 2, 4)
+        return g
+
+    def test_pipeline_filters_by_edge_label(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+            name="el",
+        )
+        result = run_pipeline(
+            self.background(), template, 0, PipelineOptions(num_ranks=2)
+        )
+        assert result.matched_vertices() == {0, 1, 2}
+
+    def test_relaxation_readmits_decoy(self):
+        """At k=1 the labeled edge may be deleted — the decoy matches."""
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+            name="el",
+        )
+        result = run_pipeline(
+            self.background(), template, 1, PipelineOptions(num_ranks=2)
+        )
+        assert 3 in result.matched_vertices()
+
+    @SLOW
+    @given(st.data())
+    def test_property_pipeline_equals_brute_force(self, data):
+        rng_labels = st.integers(0, 2)
+        edge_label_or_none = st.one_of(st.none(), st.integers(0, 1))
+        n = data.draw(st.integers(6, 14))
+        graph = Graph()
+        for v in range(n):
+            graph.add_vertex(v, data.draw(rng_labels))
+        for u in range(n):
+            for v in range(u + 1, n):
+                if data.draw(st.booleans()) and data.draw(st.booleans()):
+                    graph.add_edge(u, v, data.draw(edge_label_or_none))
+        template_graph = Graph()
+        for v in range(3):
+            template_graph.add_vertex(v, data.draw(rng_labels))
+        for (u, v) in [(0, 1), (1, 2), (2, 0)]:
+            template_graph.add_edge(u, v, data.draw(edge_label_or_none))
+        template = PatternTemplate(template_graph, name="rand-el")
+        k = data.draw(st.integers(0, 1))
+        result = run_pipeline(graph, template, k, PipelineOptions(num_ranks=2))
+        expected = {}
+        for proto in generate_prototypes(template, k):
+            for mapping in find_subgraph_isomorphisms(proto.graph, graph):
+                for v in mapping.values():
+                    expected.setdefault(v, set()).add(proto.id)
+        assert result.match_vectors == expected

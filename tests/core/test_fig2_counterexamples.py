@@ -1,0 +1,130 @@
+"""Fig. 2's "need for non-local constraints" examples, as executable tests.
+
+Fig. 2 (bottom) shows invalid structures that would survive if only local
+constraints were used.  These tests construct such structures and verify:
+
+* iterated LCC alone keeps them (they are locally consistent everywhere);
+* the non-local checks eliminate them;
+* the full pipeline reports nothing (100% precision).
+"""
+
+from repro.core import (
+    PatternTemplate,
+    PipelineOptions,
+    SearchState,
+    generate_constraints,
+    generate_prototypes,
+    run_pipeline,
+)
+from repro.core.lcc import local_constraint_checking
+from repro.core.nlcc import non_local_constraint_checking
+from repro.graph import from_edges
+from repro.runtime import Engine, MessageStats, PartitionedGraph
+
+
+def engine_for(graph):
+    return Engine(PartitionedGraph(graph, 2), MessageStats(2))
+
+
+def run_lcc_only(graph, template):
+    state = SearchState.initial(graph, template)
+    proto = generate_prototypes(template, 0).at(0)[0]
+    local_constraint_checking(state, proto.graph, engine_for(graph))
+    return state, proto
+
+
+class TestCycleCounterexample:
+    """A 6-cycle with the labels of a triangle repeated twice: every vertex
+    has locally perfect neighborhoods, but no triangle exists."""
+
+    template = PatternTemplate.from_edges(
+        [(0, 1), (1, 2), (2, 0)], labels={0: 1, 1: 2, 2: 3}, name="triangle"
+    )
+    # 1-2-3-1-2-3 hexagon
+    graph = from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+        labels={0: 1, 1: 2, 2: 3, 3: 1, 4: 2, 5: 3},
+    )
+
+    def test_lcc_alone_is_fooled(self):
+        state, _proto = run_lcc_only(self.graph, self.template)
+        assert state.num_active_vertices == 6  # everything survives
+
+    def test_cycle_constraint_eliminates(self):
+        state, proto = run_lcc_only(self.graph, self.template)
+        constraint_set = generate_constraints(proto.graph)
+        cycle = next(c for c in constraint_set.non_local if c.kind == "cycle")
+        result = non_local_constraint_checking(
+            state, cycle, engine_for(self.graph)
+        )
+        assert result.eliminated_roles > 0
+
+    def test_pipeline_reports_nothing(self):
+        result = run_pipeline(
+            self.graph, self.template, 0, PipelineOptions(num_ranks=2)
+        )
+        assert result.match_vectors == {}
+
+
+class TestDuplicateLabelCounterexample:
+    """Template: a path 1-2-1 (two *distinct* label-1 endpoints).  A single
+    1-2 edge lets the lone label-1 vertex pretend to be both endpoints."""
+
+    template = PatternTemplate.from_edges(
+        [(0, 1), (1, 2)], labels={0: 1, 1: 2, 2: 1}, name="twins"
+    )
+    graph = from_edges([(0, 1)], labels={0: 1, 1: 2})
+
+    def test_lcc_alone_is_fooled(self):
+        state, _proto = run_lcc_only(self.graph, self.template)
+        # vertex 0 claims both endpoint roles; vertex 1 the middle.
+        assert state.is_active(0)
+        assert state.is_active(1)
+
+    def test_path_constraint_eliminates(self):
+        state, proto = run_lcc_only(self.graph, self.template)
+        constraint_set = generate_constraints(proto.graph)
+        path = next(c for c in constraint_set.non_local if c.kind == "path")
+        result = non_local_constraint_checking(state, path, engine_for(self.graph))
+        assert result.eliminated_roles > 0
+
+    def test_pipeline_reports_nothing(self):
+        result = run_pipeline(
+            self.graph, self.template, 0, PipelineOptions(num_ranks=2)
+        )
+        assert result.match_vectors == {}
+
+
+class TestSharedEdgeCounterexample:
+    """Non-edge-monocyclic template (two triangles sharing an edge): each
+    cycle exists individually through different vertices, but never with a
+    consistent shared edge — the TDS/full-walk case of Fig. 2."""
+
+    template = PatternTemplate.from_edges(
+        [(0, 1), (1, 2), (2, 0), (1, 3), (3, 2)],
+        labels={0: 1, 1: 2, 2: 3, 3: 4},
+        name="bowtie-ish",
+    )
+
+    def build_graph(self):
+        # Two triangles (1,2,3) and a (2,3,4) triangle that do NOT share
+        # their 2-3 edge: the 2-3 edges involved are different.
+        return from_edges(
+            [
+                (0, 1), (1, 2), (2, 0),          # triangle labels 1-2-3
+                (1, 5), (5, 3), (3, 1),          # 2-3'-4 triangle via other 3
+            ],
+            labels={0: 1, 1: 2, 2: 3, 3: 4, 5: 3},
+        )
+
+    def test_individual_cycles_pass_but_pipeline_rejects(self):
+        graph = self.build_graph()
+        result = run_pipeline(
+            graph, self.template, 0, PipelineOptions(num_ranks=2)
+        )
+        assert result.match_vectors == {}
+
+    def test_brute_force_agrees(self):
+        from repro.graph.isomorphism import has_match
+
+        assert not has_match(self.template.graph, self.build_graph())

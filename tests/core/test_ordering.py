@@ -1,0 +1,90 @@
+"""Tests for constraint/prototype ordering heuristics."""
+
+import pytest
+
+from repro.core import (
+    estimate_prototype_cost,
+    generate_prototypes,
+    order_constraints,
+    parallel_makespan,
+    schedule_prototypes,
+)
+from repro.core.constraints import (
+    CYCLE_KIND,
+    FULL_WALK_KIND,
+    PATH_KIND,
+    NonLocalConstraint,
+)
+from repro.core.ordering import orient_walk
+from repro.core.patterns import wdc1_template
+
+
+def cyc(walk, labels):
+    return NonLocalConstraint(CYCLE_KIND, walk, labels)
+
+
+class TestOrientWalk:
+    def test_prefers_rare_labels_early(self):
+        constraint = cyc((0, 1, 2, 0), (5, 6, 7, 5))
+        freq = {5: 10, 6: 100, 7: 1}
+        oriented = orient_walk(constraint, freq)
+        assert oriented.labels[1] == 7  # rare label visited first
+
+    def test_keeps_direction_when_already_good(self):
+        constraint = cyc((0, 1, 2, 0), (5, 1, 9, 5))
+        freq = {5: 10, 1: 1, 9: 100}
+        assert orient_walk(constraint, freq).walk == constraint.walk
+
+
+class TestOrderConstraints:
+    def test_kind_priority(self):
+        full = NonLocalConstraint(FULL_WALK_KIND, (0, 1, 0), (1, 2, 1))
+        path = NonLocalConstraint(PATH_KIND, (0, 1, 2, 1, 0), (1, 2, 1, 2, 1))
+        cycle = cyc((0, 1, 2, 0), (1, 2, 3, 1))
+        ordered = order_constraints([full, path, cycle])
+        assert [c.kind for c in ordered] == [CYCLE_KIND, PATH_KIND, FULL_WALK_KIND]
+
+    def test_shorter_first_within_kind(self):
+        short = cyc((0, 1, 2, 0), (1, 2, 3, 1))
+        long = cyc((0, 1, 2, 3, 0), (1, 2, 3, 4, 1))
+        assert order_constraints([long, short])[0] is short
+
+    def test_rare_label_constraint_first_when_optimized(self):
+        common = cyc((0, 1, 2, 0), (9, 9, 9, 9))
+        rare = cyc((3, 4, 5, 3), (1, 1, 1, 1))
+        freq = {9: 1000, 1: 2}
+        ordered = order_constraints([common, rare], freq, optimize=True)
+        assert ordered[0].labels[0] == 1
+
+    def test_unoptimized_is_deterministic(self):
+        a = cyc((0, 1, 2, 0), (3, 1, 2, 3))
+        b = cyc((0, 1, 2, 0), (2, 1, 3, 2))
+        assert order_constraints([a, b]) == order_constraints([b, a])
+
+
+class TestPrototypeScheduling:
+    def test_lpt_beats_round_robin(self):
+        costs = [10.0, 1.0, 1.0, 1.0, 9.0, 1.0]
+        lpt = schedule_prototypes(costs, 2, optimize=True)
+        rr = schedule_prototypes(costs, 2, optimize=False)
+        assert parallel_makespan(costs, lpt) <= parallel_makespan(costs, rr)
+
+    def test_all_prototypes_assigned_once(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0]
+        batches = schedule_prototypes(costs, 3)
+        assigned = sorted(i for batch in batches for i in batch)
+        assert assigned == list(range(5))
+
+    def test_zero_deployments_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_prototypes([1.0], 0)
+
+    def test_makespan_empty(self):
+        assert parallel_makespan([], []) == 0.0
+
+    def test_estimate_scales_with_density(self):
+        ps = generate_prototypes(wdc1_template(), 2)
+        freq = {label: 10 for label in wdc1_template().label_set()}
+        root_cost = estimate_prototype_cost(ps.at(0)[0], freq)
+        deep_tree = min(ps.at(2), key=lambda p: p.num_edges)
+        assert root_cost > estimate_prototype_cost(deep_tree, freq)

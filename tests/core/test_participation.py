@@ -1,0 +1,48 @@
+"""Tests for participation-rate feature vectors (Def. 3's richer variant)."""
+
+from repro.core import (
+    PatternTemplate,
+    PipelineOptions,
+    participation_rates,
+    run_pipeline,
+)
+from repro.graph.generators import planted_graph
+from repro.graph.isomorphism import find_subgraph_isomorphisms
+
+EDGES = [(0, 1), (1, 2), (2, 0)]
+LABELS = [1, 2, 3]
+
+
+def workload():
+    graph = planted_graph(40, 90, EDGES, LABELS, copies=2, num_labels=4, seed=27)
+    template = PatternTemplate.from_edges(
+        EDGES, {i: l for i, l in enumerate(LABELS)}, name="tri"
+    )
+    return graph, template
+
+
+class TestParticipationRates:
+    def test_counts_match_brute_force(self):
+        graph, template = workload()
+        result = run_pipeline(graph, template, 1, PipelineOptions(num_ranks=2))
+        rates = participation_rates(result, graph)
+        for proto in result.prototype_set:
+            expected = {}
+            for mapping in find_subgraph_isomorphisms(proto.graph, graph):
+                for vertex in set(mapping.values()):
+                    expected[vertex] = expected.get(vertex, 0) + 1
+            for vertex, count in expected.items():
+                assert rates[vertex][proto.id] == count
+
+    def test_support_equals_match_vectors(self):
+        graph, template = workload()
+        result = run_pipeline(graph, template, 1, PipelineOptions(num_ranks=2))
+        rates = participation_rates(result, graph)
+        support = {v: set(per_proto) for v, per_proto in rates.items()}
+        assert support == {v: set(ids) for v, ids in result.match_vectors.items()}
+
+    def test_rates_positive(self):
+        graph, template = workload()
+        result = run_pipeline(graph, template, 0, PipelineOptions(num_ranks=2))
+        for per_proto in participation_rates(result, graph).values():
+            assert all(count > 0 for count in per_proto.values())

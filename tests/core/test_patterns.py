@@ -1,0 +1,123 @@
+"""Tests for the paper's template zoo and its use-case semantics."""
+
+import pytest
+
+from repro.core import PipelineOptions, run_pipeline
+from repro.core.patterns import (
+    PAPER_PATTERNS,
+    imdb1_template,
+    rdt1_template,
+    rmat1_template,
+    wdc2_template,
+)
+from repro.errors import TemplateError
+from repro.graph.generators import imdb_graph, reddit_graph
+from repro.graph.generators import reddit as rdt
+
+
+class TestZooShape:
+    def test_all_patterns_buildable(self):
+        for name, (factory, k) in PAPER_PATTERNS.items():
+            template = factory()
+            assert template.name == name
+            assert k <= template.max_meaningful_distance() or k <= 4
+
+    def test_rmat1_needs_distinct_labels(self):
+        with pytest.raises(TemplateError):
+            rmat1_template(labels=[1, 1, 2, 3, 4, 5])
+        with pytest.raises(TemplateError):
+            rmat1_template(labels=[1, 2, 3])
+
+    def test_wdc2_stressors(self):
+        from repro.core import is_edge_monocyclic
+
+        t = wdc2_template()
+        assert t.has_duplicate_labels()
+        assert not is_edge_monocyclic(t.graph)
+
+    def test_rdt1_mandatory_structure(self):
+        t = rdt1_template()
+        assert len(t.mandatory_edges) == 4
+        assert len(t.optional_edges()) == 4
+
+    def test_imdb1_mandatory_structure(self):
+        t = imdb1_template()
+        assert len(t.mandatory_edges) == 5
+        assert len(t.optional_edges()) == 3
+
+
+class TestRdt1Semantics:
+    """§5.5: adversarial poster-commenter matches with optional edges."""
+
+    def test_planted_instances_found_precisely(self):
+        g = reddit_graph(num_authors=60, num_subreddits=8, planted_rdt1=3, seed=21)
+        result = run_pipeline(g, rdt1_template(), 1, PipelineOptions(num_ranks=2))
+        root = result.prototype_set.at(0)[0]
+        exact_vertices = result.outcome_for(root.id).solution_vertices
+        assert exact_vertices, "planted full structures must match exactly"
+        # Containment rule: the exact solution lies inside the union of the
+        # k=1 prototype solutions.
+        union_k1 = set()
+        for proto in result.prototype_set.at(1):
+            union_k1 |= result.outcome_for(proto.id).solution_vertices
+        assert exact_vertices <= union_k1
+
+    def test_distinct_subreddits_enforced(self):
+        """Posts under the *same* subreddit must not match (PC checks)."""
+        from repro.graph.graph import Graph
+
+        g = Graph()
+        labels = {
+            0: rdt.AUTHOR, 1: rdt.POST_POSITIVE, 2: rdt.POST_NEGATIVE,
+            3: rdt.COMMENT_NEGATIVE, 4: rdt.COMMENT_POSITIVE, 5: rdt.SUBREDDIT,
+        }
+        for v, lab in labels.items():
+            g.add_vertex(v, lab)
+        # Full RDT-1 wiring but BOTH posts under the single subreddit 5.
+        for u, v in [(0, 1), (0, 2), (0, 3), (0, 4), (1, 3), (2, 4), (1, 5), (2, 5)]:
+            g.add_edge(u, v)
+        result = run_pipeline(g, rdt1_template(), 1, PipelineOptions(num_ranks=1))
+        assert result.match_vectors == {}
+
+    def test_missing_author_edge_matches_only_relaxed_prototypes(self):
+        g = reddit_graph(num_authors=40, num_subreddits=6, planted_rdt1=0, seed=22)
+        # Plant a structure with one author-comment edge missing.
+        rng_base = max(g.vertices()) + 1
+        labels = [
+            rdt.AUTHOR, rdt.POST_POSITIVE, rdt.POST_NEGATIVE,
+            rdt.COMMENT_NEGATIVE, rdt.COMMENT_POSITIVE, rdt.SUBREDDIT, rdt.SUBREDDIT,
+        ]
+        for offset, lab in enumerate(labels):
+            g.add_vertex(rng_base + offset, lab)
+        wiring = [(0, 1), (0, 2), (0, 3), (1, 3), (2, 4), (1, 5), (2, 6)]
+        for u, v in wiring:  # note: (0, 4) missing
+            g.add_edge(rng_base + u, rng_base + v)
+        result = run_pipeline(g, rdt1_template(), 1, PipelineOptions(num_ranks=2))
+        root = result.prototype_set.at(0)[0]
+        author = rng_base
+        assert author not in result.vertices_matching(root.id)
+        assert root.id not in result.match_vector(author)
+        assert result.match_vector(author), "author must match a k=1 prototype"
+
+
+class TestImdb1Semantics:
+    def test_planted_instances_found(self):
+        g = imdb_graph(num_movies=60, planted_imdb1=2, seed=23)
+        result = run_pipeline(g, imdb1_template(), 2, PipelineOptions(num_ranks=2))
+        root = result.prototype_set.at(0)[0]
+        assert result.outcome_for(root.id).solution_vertices
+
+    def test_both_movies_need_shared_genre(self):
+        from repro.graph.graph import Graph
+        from repro.graph.generators.imdb import ACTOR, ACTRESS, DIRECTOR, GENRE, MOVIE
+
+        g = Graph()
+        labels = {0: ACTRESS, 1: ACTOR, 2: DIRECTOR, 3: MOVIE, 4: MOVIE,
+                  5: GENRE, 6: GENRE}
+        for v, lab in labels.items():
+            g.add_vertex(v, lab)
+        # Shared cast but different genres for the two movies.
+        for u, v in [(0, 3), (0, 4), (1, 3), (1, 4), (2, 3), (2, 4), (3, 5), (4, 6)]:
+            g.add_edge(u, v)
+        result = run_pipeline(g, imdb1_template(), 2, PipelineOptions(num_ranks=1))
+        assert result.match_vectors == {}

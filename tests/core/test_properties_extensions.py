@@ -1,0 +1,107 @@
+"""Property-based tests for the extension modules."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import PatternTemplate, PipelineOptions
+from repro.core.flips import envelope_template, generate_flip_variants
+from repro.core.wildcards import WILDCARD, instantiations, run_wildcard_pipeline
+from repro.graph import is_connected
+from repro.graph.graph import Graph
+from repro.graph.isomorphism import are_isomorphic, find_subgraph_isomorphisms
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_templates(draw, num_labels=3, allow_wildcards=False):
+    n = draw(st.integers(3, 5))
+    graph = Graph()
+    for v in range(n):
+        if allow_wildcards and draw(st.booleans()) and v == n - 1:
+            graph.add_vertex(v, WILDCARD)
+        else:
+            graph.add_vertex(v, draw(st.integers(0, num_labels - 1)))
+    for v in range(1, n):
+        graph.add_edge(draw(st.integers(0, v - 1)), v)
+    extras = [
+        (u, v) for u in range(n) for v in range(u + 1, n)
+        if not graph.has_edge(u, v)
+    ]
+    for edge in extras:
+        if draw(st.booleans()):
+            graph.add_edge(*edge)
+    return PatternTemplate(graph, name="prop")
+
+
+@st.composite
+def small_graphs(draw, num_labels=3, max_vertices=16):
+    n = draw(st.integers(4, max_vertices))
+    graph = Graph()
+    for v in range(n):
+        graph.add_vertex(v, draw(st.integers(0, num_labels - 1)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()) and draw(st.booleans()):
+                graph.add_edge(u, v)
+    return graph
+
+
+class TestFlipProperties:
+    @SLOW
+    @given(small_templates())
+    def test_variants_invariants(self, template):
+        variants = generate_flip_variants(template, flips=1, max_variants=500)
+        assert variants[0].graph == template.graph
+        for variant in variants:
+            assert is_connected(variant.graph)
+            assert variant.num_edges == template.num_edges
+            assert set(variant.graph.vertices()) == set(template.graph.vertices())
+        for i, a in enumerate(variants):
+            for b in variants[i + 1 :]:
+                assert not are_isomorphic(a.graph, b.graph)
+
+    @SLOW
+    @given(small_templates())
+    def test_envelope_covers_family(self, template):
+        variants = generate_flip_variants(template, flips=1, max_variants=500)
+        envelope = envelope_template(template, variants)
+        for variant in variants:
+            for u, v in variant.edges():
+                assert envelope.graph.has_edge(u, v)
+
+
+class TestWildcardProperties:
+    @SLOW
+    @given(small_templates(allow_wildcards=True), small_graphs())
+    def test_instantiations_sound_and_labeled(self, template, graph):
+        for instantiation in instantiations(template, graph, max_instantiations=200):
+            assert WILDCARD not in instantiation.label_set()
+            assert set(instantiation.graph.vertices()) == set(
+                template.graph.vertices()
+            )
+            assert sorted(instantiation.edges()) == sorted(template.edges())
+
+    @SLOW
+    @given(small_graphs(max_vertices=12))
+    def test_wildcard_pipeline_exact(self, graph):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2)], labels={0: 0, 1: WILDCARD, 2: 1}, name="w"
+        )
+        result = run_wildcard_pipeline(
+            graph, template, 0, PipelineOptions(num_ranks=2)
+        )
+        expected = {}
+        for instantiation in instantiations(template, graph):
+            for mapping in find_subgraph_isomorphisms(instantiation.graph, graph):
+                for v in mapping.values():
+                    expected.setdefault(v, set()).add(instantiation.name)
+        reported = {
+            v: {name for name, _pid in pairs}
+            for v, pairs in result.match_vectors.items()
+        }
+        assert reported == expected

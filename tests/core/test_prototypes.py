@@ -1,0 +1,188 @@
+"""Tests for prototype generation — counts, links, dedup, invariants."""
+
+import pytest
+
+from repro.core import PatternTemplate, clique_template, generate_prototypes
+from repro.core.patterns import (
+    imdb1_template,
+    rdt1_template,
+    rmat1_template,
+    wdc1_template,
+    wdc3_template,
+    wdc4_template,
+)
+from repro.errors import PrototypeError
+from repro.graph import are_isomorphic, is_connected
+
+
+def fig3_template():
+    """Triangle + square sharing a vertex: Fig. 3(a) of the paper."""
+    return wdc1_template()
+
+
+class TestPaperCounts:
+    """Prototype counts the paper states explicitly — hard ground truth."""
+
+    def test_fig3_counts(self):
+        counts = generate_prototypes(fig3_template(), 2).level_counts()
+        assert counts == [1, 7, 12]  # "7 at distance k=1 and 12 more at k=2"
+
+    def test_rmat1_counts(self):
+        ps = generate_prototypes(rmat1_template(), 2)
+        assert ps.level_counts() == [1, 7, 16]
+        assert len(ps) == 24  # "a total of 24 prototypes; 16 of which at k=2"
+
+    def test_rmat1_disconnects_beyond_k2(self):
+        ps = generate_prototypes(rmat1_template(), 5)
+        assert ps.max_distance == 2  # "up to k=2 (before getting disconnected)"
+
+    def test_wdc3_counts(self):
+        ps = generate_prototypes(wdc3_template(), 4)
+        assert len(ps.at(3)) == 61  # "WDC-3 has 61, k=3 prototypes"
+        assert len(ps) >= 100  # "100+, up to k=4, prototypes"
+
+    def test_wdc4_6clique_counts(self):
+        ps = generate_prototypes(wdc4_template(), 4)
+        assert len(ps) == 1941  # "searching over 1,900 prototypes"
+        assert len(ps.at(4)) == 1365  # "1,365 prototypes at distance k=4"
+
+    def test_rdt1_counts(self):
+        assert len(generate_prototypes(rdt1_template(), 1)) == 5
+
+    def test_imdb1_counts(self):
+        assert len(generate_prototypes(imdb1_template(), 2)) == 7
+
+    def test_motif_counts(self):
+        three = generate_prototypes(clique_template(3, labels=[0, 0, 0]), 1)
+        assert len(three) == 2  # "three vertices can form two possible motifs"
+        four = generate_prototypes(clique_template(4, labels=[0] * 4), 3)
+        assert len(four) == 6  # "up to six motifs are possible for four vertices"
+
+
+class TestInvariants:
+    def test_all_prototypes_connected(self):
+        for proto in generate_prototypes(rmat1_template(), 2):
+            assert is_connected(proto.graph)
+
+    def test_vertex_set_preserved(self):
+        template = rmat1_template()
+        for proto in generate_prototypes(template, 2):
+            assert set(proto.graph.vertices()) == set(template.graph.vertices())
+
+    def test_edges_subset_of_template(self):
+        template = rmat1_template()
+        for proto in generate_prototypes(template, 2):
+            for u, v in proto.graph.edges():
+                assert template.graph.has_edge(u, v)
+
+    def test_distance_equals_removed_edges(self):
+        template = rmat1_template()
+        for proto in generate_prototypes(template, 2):
+            assert len(proto.removed_edges()) == proto.distance
+            assert proto.num_edges == template.num_edges - proto.distance
+
+    def test_no_isomorphic_duplicates_within_level(self):
+        ps = generate_prototypes(clique_template(4, labels=[0] * 4), 3)
+        for level in ps.levels:
+            for i, a in enumerate(level):
+                for b in level[i + 1 :]:
+                    assert not are_isomorphic(a.graph, b.graph)
+
+    def test_level_zero_is_template(self):
+        template = fig3_template()
+        root = generate_prototypes(template, 2).at(0)[0]
+        assert root.graph == template.graph
+
+
+class TestLinks:
+    def test_children_one_level_down(self):
+        ps = generate_prototypes(fig3_template(), 2)
+        for proto in ps:
+            for link in proto.child_links:
+                assert link.child.distance == proto.distance + 1
+                assert link.parent is proto
+
+    def test_every_deeper_prototype_has_a_parent(self):
+        ps = generate_prototypes(fig3_template(), 2)
+        for distance in range(1, ps.max_distance + 1):
+            for proto in ps.at(distance):
+                assert proto.parent_links
+
+    def test_link_iso_maps_parent_minus_edge_onto_child(self):
+        ps = generate_prototypes(clique_template(4, labels=[0] * 4), 2)
+        for proto in ps:
+            for link in proto.child_links:
+                reduced = proto.graph.copy()
+                reduced.remove_edge(*link.removed_edge)
+                for u, v in reduced.edges():
+                    assert link.child.graph.has_edge(link.iso[u], link.iso[v])
+                assert len(set(link.iso.values())) == reduced.num_vertices
+
+    def test_parents_children_helpers(self):
+        ps = generate_prototypes(fig3_template(), 1)
+        root = ps.at(0)[0]
+        assert len(root.children()) == 7
+        assert all(root in c.parents() for c in ps.at(1))
+
+
+class TestMandatoryEdges:
+    def make(self):
+        return PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)],
+            labels={0: 1, 1: 2, 2: 3, 3: 4},
+            mandatory_edges=[(2, 3)],
+        )
+
+    def test_mandatory_edges_never_removed(self):
+        for proto in generate_prototypes(self.make(), 3):
+            assert proto.graph.has_edge(2, 3)
+
+    def test_mandatory_reduces_prototype_count(self):
+        with_mand = generate_prototypes(self.make(), 2)
+        free = generate_prototypes(
+            PatternTemplate.from_edges(
+                [(0, 1), (1, 2), (2, 0), (2, 3)],
+                labels={0: 1, 1: 2, 2: 3, 3: 4},
+            ),
+            2,
+        )
+        assert len(with_mand) <= len(free)
+
+    def test_mandatory_aware_dedup(self):
+        # Symmetric square where one edge is mandatory: removals adjacent vs
+        # opposite to the mandatory edge must not be merged.
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={0: 0, 1: 0, 2: 0, 3: 0},
+            mandatory_edges=[(0, 1)],
+        )
+        level1 = generate_prototypes(template, 1).at(1)
+        assert len(level1) == 2  # remove an adjacent edge vs the opposite edge
+
+
+class TestGuards:
+    def test_negative_k_rejected(self):
+        with pytest.raises(PrototypeError):
+            generate_prototypes(fig3_template(), -1)
+
+    def test_budget_enforced(self):
+        with pytest.raises(PrototypeError):
+            generate_prototypes(wdc4_template(), 4, max_prototypes=100)
+
+    def test_k_clamped_to_meaningful(self):
+        ps = generate_prototypes(fig3_template(), 99)
+        assert ps.max_distance == 2
+
+    def test_by_id(self):
+        ps = generate_prototypes(fig3_template(), 1)
+        proto = ps.at(1)[0]
+        assert ps.by_id(proto.id) is proto
+        with pytest.raises(PrototypeError):
+            ps.by_id(10**6)
+
+    def test_at_negative_rejected(self):
+        with pytest.raises(PrototypeError):
+            generate_prototypes(fig3_template(), 1).at(-1)
+
+    def test_at_beyond_max_is_empty(self):
+        assert generate_prototypes(fig3_template(), 1).at(9) == []

@@ -1,0 +1,165 @@
+"""Tests for SearchState and the NLCC work-recycling cache."""
+
+from repro.core import NlccCache, PatternTemplate, SearchState, generate_prototypes
+from repro.graph import from_edges
+
+
+def template():
+    return PatternTemplate.from_edges(
+        [(0, 1), (1, 2), (2, 0)], labels={0: 1, 1: 2, 2: 3}, name="tri"
+    )
+
+
+def background():
+    return from_edges(
+        [(10, 11), (11, 12), (12, 10), (12, 13), (13, 14)],
+        labels={10: 1, 11: 2, 12: 3, 13: 1, 14: 9},
+    )
+
+
+class TestInitialState:
+    def test_candidates_by_label(self):
+        state = SearchState.initial(background(), template())
+        assert state.roles(10) == {0}
+        assert state.roles(13) == {0}
+        assert not state.is_active(14)  # label 9 not in template
+
+    def test_full_adjacency_initially_active(self):
+        # Alg. 4 initializes epsilon(v) to the raw adjacency: edges to
+        # non-candidate neighbors stay until LCC eliminates them.
+        state = SearchState.initial(background(), template())
+        assert state.edge_is_active(10, 11)
+        assert state.edge_is_active(13, 14)
+
+    def test_counts(self):
+        state = SearchState.initial(background(), template())
+        assert state.num_active_vertices == 4
+        # num_active_edges only counts candidate-candidate edges.
+        assert state.num_active_edges == 4
+
+
+class TestMutation:
+    def test_deactivate_vertex_removes_edges(self):
+        state = SearchState.initial(background(), template())
+        state.deactivate_vertex(12)
+        assert not state.is_active(12)
+        assert not state.edge_is_active(11, 12)
+        assert 12 not in state.active_neighbors(10)
+
+    def test_deactivate_edge_is_symmetric(self):
+        state = SearchState.initial(background(), template())
+        state.deactivate_edge(10, 11)
+        assert 11 not in state.active_neighbors(10)
+        assert 10 not in state.active_neighbors(11)
+
+    def test_remove_role_keeps_vertex_with_other_roles(self):
+        state = SearchState.initial(background(), template())
+        state.candidates[10] = {0, 1}
+        state.remove_role(10, 0)
+        assert state.roles(10) == {1}
+
+    def test_remove_last_role_deactivates(self):
+        state = SearchState.initial(background(), template())
+        state.remove_role(10, 0)
+        assert not state.is_active(10)
+
+    def test_remove_role_of_inactive_vertex_is_noop(self):
+        state = SearchState.initial(background(), template())
+        state.remove_role(14, 0)
+        assert not state.is_active(14)
+
+
+class TestViews:
+    def test_copy_independent(self):
+        state = SearchState.initial(background(), template())
+        clone = state.copy()
+        clone.deactivate_vertex(10)
+        assert state.is_active(10)
+
+    def test_to_graph(self):
+        state = SearchState.initial(background(), template())
+        g = state.to_graph()
+        assert g.num_vertices == 4
+        assert g.has_edge(10, 11)
+        assert g.label(10) == 1
+
+    def test_active_edge_list_canonical(self):
+        state = SearchState.initial(background(), template())
+        edges = state.active_edge_list()
+        assert all(u < v for u, v in edges)
+        assert len(edges) == state.num_active_edges
+
+    def test_union_with(self):
+        state_a = SearchState.initial(background(), template())
+        state_b = state_a.copy()
+        state_a.deactivate_vertex(10)
+        state_b.deactivate_vertex(13)
+        state_a.union_with(state_b)
+        assert state_a.is_active(10)
+        assert state_a.is_active(13)
+        assert state_a.edge_is_active(10, 11)
+
+    def test_empty(self):
+        state = SearchState.empty(background())
+        assert state.num_active_vertices == 0
+
+
+class TestForPrototypeSearch:
+    def test_roles_reset_by_label(self):
+        state = SearchState.initial(background(), template())
+        state.candidates[10] = set()  # corrupt roles; vertex still "active"
+        state.candidates[10] = {0}
+        protos = generate_prototypes(template(), 1)
+        scoped = state.for_prototype_search(protos.at(0)[0])
+        assert scoped.roles(10) == {0}
+
+    def test_edges_filtered_by_prototype_adjacency(self):
+        protos = generate_prototypes(template(), 1)
+        child = protos.at(1)[0]  # a path: one triangle edge removed
+        state = SearchState.initial(background(), template())
+        scoped = state.for_prototype_search(child)
+        missing = child.removed_edges()[0]
+        lab_a = template().graph.label(missing[0])
+        lab_b = template().graph.label(missing[1])
+        for u, v in scoped.active_edge_list():
+            pair = tuple(sorted((scoped.graph.label(u), scoped.graph.label(v))))
+            assert pair != tuple(sorted((lab_a, lab_b)))
+
+    def test_readmission_restores_background_edges(self):
+        protos = generate_prototypes(template(), 1)
+        root = protos.at(0)[0]
+        state = SearchState.initial(background(), template())
+        # Simulate a union state that lost edge (10, 11).
+        state.deactivate_edge(10, 11)
+        scoped = state.for_prototype_search(root, readmit_label_pairs=[(1, 2)])
+        assert scoped.edge_is_active(10, 11)
+
+    def test_no_readmission_without_pair(self):
+        protos = generate_prototypes(template(), 1)
+        root = protos.at(0)[0]
+        state = SearchState.initial(background(), template())
+        state.deactivate_edge(10, 11)
+        scoped = state.for_prototype_search(root)
+        assert not scoped.edge_is_active(10, 11)
+
+
+class TestNlccCache:
+    def test_miss_then_hit(self):
+        cache = NlccCache()
+        assert not cache.is_satisfied("k", 5)
+        cache.mark_satisfied("k", [5])
+        assert cache.is_satisfied("k", 5)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_separate_keys(self):
+        cache = NlccCache()
+        cache.mark_satisfied("a", [1])
+        assert not cache.is_satisfied("b", 1)
+
+    def test_size(self):
+        cache = NlccCache()
+        cache.mark_satisfied("a", [1, 2])
+        cache.mark_satisfied("b", [3])
+        assert cache.size() == (2, 3)
+        assert cache.known_constraints() == {"a", "b"}

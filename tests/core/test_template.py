@@ -1,0 +1,116 @@
+"""Tests for PatternTemplate and template factories."""
+
+import pytest
+
+from repro.core import PatternTemplate, clique_template, cycle_template, path_template
+from repro.errors import TemplateError
+from repro.graph import from_edges
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(TemplateError):
+            PatternTemplate(Graph())
+
+    def test_disconnected_rejected(self):
+        g = from_edges([(0, 1), (2, 3)])
+        with pytest.raises(TemplateError):
+            PatternTemplate(g)
+
+    def test_mandatory_edge_must_exist(self):
+        g = from_edges([(0, 1), (1, 2)])
+        with pytest.raises(TemplateError):
+            PatternTemplate(g, mandatory_edges=[(0, 2)])
+
+    def test_from_edges_requires_labeled_vertices(self):
+        with pytest.raises(TemplateError):
+            PatternTemplate.from_edges([(0, 1)], labels={0: 1})
+
+    def test_template_copies_graph(self):
+        g = from_edges([(0, 1), (1, 2)])
+        t = PatternTemplate(g)
+        g.remove_edge(0, 1)
+        assert t.graph.has_edge(0, 1)
+
+
+class TestAccessors:
+    def make(self):
+        return PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 5, 1: 5, 2: 7},
+            mandatory_edges=[(0, 1)],
+            name="t",
+        )
+
+    def test_counts(self):
+        t = self.make()
+        assert t.num_vertices == 3
+        assert t.num_edges == 3
+
+    def test_edges_sorted_canonical(self):
+        assert self.make().edges() == [(0, 1), (0, 2), (1, 2)]
+
+    def test_optional_edges_exclude_mandatory(self):
+        t = self.make()
+        assert (0, 1) not in t.optional_edges()
+        assert len(t.optional_edges()) == 2
+
+    def test_mandatory_edges_canonicalized(self):
+        t = PatternTemplate.from_edges(
+            [(0, 1)], labels={0: 0, 1: 0}, mandatory_edges=[(1, 0)]
+        )
+        assert (0, 1) in t.mandatory_edges
+
+    def test_duplicate_labels_detected(self):
+        assert self.make().has_duplicate_labels()
+        distinct = PatternTemplate.from_edges(
+            [(0, 1)], labels={0: 1, 1: 2}
+        )
+        assert not distinct.has_duplicate_labels()
+
+    def test_label_set(self):
+        assert self.make().label_set() == {5, 7}
+
+    def test_max_meaningful_distance(self):
+        assert self.make().max_meaningful_distance() == 1  # 3 edges, 3 vertices
+        tree = PatternTemplate.from_edges([(0, 1), (1, 2)], labels={0: 0, 1: 1, 2: 2})
+        assert tree.max_meaningful_distance() == 0
+
+
+class TestFactories:
+    def test_clique(self):
+        t = clique_template(4)
+        assert t.num_edges == 6
+        assert t.label_set() == {0, 1, 2, 3}
+
+    def test_clique_custom_labels(self):
+        t = clique_template(3, labels=[9, 9, 9])
+        assert t.label_set() == {9}
+
+    def test_clique_too_small(self):
+        with pytest.raises(TemplateError):
+            clique_template(1)
+
+    def test_clique_label_count_mismatch(self):
+        with pytest.raises(TemplateError):
+            clique_template(3, labels=[1, 2])
+
+    def test_path(self):
+        t = path_template([3, 4, 5])
+        assert t.num_edges == 2
+        assert t.label(1) == 4
+
+    def test_path_too_short(self):
+        with pytest.raises(TemplateError):
+            path_template([1])
+
+    def test_cycle(self):
+        t = cycle_template([1, 2, 3, 4])
+        assert t.num_edges == 4
+        assert t.graph.has_edge(3, 0)
+
+    def test_cycle_too_short(self):
+        with pytest.raises(TemplateError):
+            cycle_template([1, 2])

@@ -1,0 +1,134 @@
+"""Tests for wildcard vertex labels (the §3.1 extension)."""
+
+import pytest
+
+from repro.core import (
+    PatternTemplate,
+    PipelineOptions,
+    WILDCARD,
+    has_wildcards,
+    run_wildcard_pipeline,
+    wildcard_vertices,
+)
+from repro.core.wildcards import instantiations
+from repro.errors import TemplateError
+from repro.graph import from_edges
+from repro.graph.generators import planted_graph
+from repro.graph.isomorphism import find_subgraph_isomorphisms
+
+
+def wildcard_template():
+    """Triangle where the apex label is unknown."""
+    return PatternTemplate.from_edges(
+        [(0, 1), (1, 2), (2, 0)],
+        labels={0: 1, 1: 2, 2: WILDCARD},
+        name="wild-triangle",
+    )
+
+
+def background():
+    return planted_graph(
+        40, 90, [(0, 1), (1, 2), (2, 0)], [1, 2, 3], copies=2,
+        num_labels=4, seed=17,
+    )
+
+
+class TestDetection:
+    def test_has_wildcards(self):
+        assert has_wildcards(wildcard_template())
+        plain = PatternTemplate.from_edges([(0, 1)], labels={0: 1, 1: 2})
+        assert not has_wildcards(plain)
+
+    def test_wildcard_vertices(self):
+        assert wildcard_vertices(wildcard_template()) == [2]
+
+
+class TestInstantiations:
+    def test_one_per_graph_label(self):
+        graph = background()
+        labels = graph.label_set()
+        expanded = list(instantiations(wildcard_template(), graph))
+        assert len(expanded) == len(labels)
+        assert {t.label(2) for t in expanded} == labels
+
+    def test_plain_template_passes_through(self):
+        plain = PatternTemplate.from_edges([(0, 1)], labels={0: 1, 1: 2})
+        expanded = list(instantiations(plain, background()))
+        assert len(expanded) == 1
+        assert expanded[0] is plain
+
+    def test_degree_screen(self):
+        # Label 9 exists only on an isolated-ish vertex of degree 1; a
+        # wildcard needing degree 2 cannot take it.
+        graph = from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)],
+            labels={0: 1, 1: 2, 2: 3, 3: 9},
+        )
+        expanded = list(instantiations(wildcard_template(), graph))
+        assert 9 not in {t.label(2) for t in expanded}
+
+    def test_budget_enforced(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2)],
+            labels={0: WILDCARD, 1: WILDCARD, 2: WILDCARD},
+        )
+        with pytest.raises(TemplateError):
+            list(instantiations(template, background(), max_instantiations=2))
+
+    def test_mandatory_edges_inherited(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: WILDCARD},
+            mandatory_edges=[(0, 1)],
+        )
+        for inst in instantiations(template, background()):
+            assert (0, 1) in inst.mandatory_edges
+
+
+class TestWildcardPipeline:
+    def test_precision_and_recall(self):
+        graph = background()
+        template = wildcard_template()
+        result = run_wildcard_pipeline(
+            graph, template, 1, PipelineOptions(num_ranks=2)
+        )
+        # Reference: brute force over every labeled instantiation.
+        expected = {}
+        from repro.core import generate_prototypes
+
+        for inst in instantiations(template, graph):
+            for proto in generate_prototypes(inst, 1):
+                for mapping in find_subgraph_isomorphisms(proto.graph, graph):
+                    for v in mapping.values():
+                        expected.setdefault(v, set()).add((inst.name, proto.id))
+        assert result.match_vectors == expected
+
+    def test_matched_instantiations_reported(self):
+        graph = background()
+        result = run_wildcard_pipeline(
+            graph, wildcard_template(), 0, PipelineOptions(num_ranks=2)
+        )
+        with_matches = result.instantiations_with_matches()
+        assert any("[3]" in name for name in with_matches)  # planted apex label
+
+    def test_counts_aggregate(self):
+        graph = background()
+        result = run_wildcard_pipeline(
+            graph, wildcard_template(), 0,
+            PipelineOptions(num_ranks=2, count_matches=True),
+        )
+        total = result.total_match_mappings()
+        expected = sum(
+            1
+            for inst in instantiations(wildcard_template(), graph)
+            for _ in find_subgraph_isomorphisms(inst.graph, graph)
+        )
+        assert total == expected
+
+    def test_simulated_time_accumulates(self):
+        graph = background()
+        result = run_wildcard_pipeline(
+            graph, wildcard_template(), 0, PipelineOptions(num_ranks=2)
+        )
+        assert result.total_simulated_seconds > 0
+        assert len(result.per_instantiation) >= 2

@@ -1,0 +1,99 @@
+"""Cross-validation of graph algorithms against networkx.
+
+networkx is an independent, widely-trusted implementation; agreeing with
+it on randomized inputs is strong evidence for the substrate the matching
+engine builds on.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    connected_components,
+    is_connected,
+    k_core,
+    shortest_path_lengths,
+)
+from repro.graph.generators import gnm_graph, webgraph
+from repro.graph.isomorphism import count_subgraph_isomorphisms
+from repro.graph.metrics import (
+    average_local_clustering,
+    degree_assortativity,
+    global_clustering_coefficient,
+)
+
+
+def to_networkx(graph):
+    result = nx.Graph()
+    result.add_nodes_from(graph.vertices())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+@pytest.fixture(params=[0, 1, 2], ids=["seed0", "seed1", "seed2"])
+def random_graph(request):
+    return gnm_graph(60, 140, num_labels=1, seed=request.param)
+
+
+class TestStructuralAgreement:
+    def test_connected_components(self, random_graph):
+        ours = sorted(sorted(c) for c in connected_components(random_graph))
+        theirs = sorted(
+            sorted(c) for c in nx.connected_components(to_networkx(random_graph))
+        )
+        assert sorted(map(tuple, ours)) == sorted(map(tuple, theirs))
+        assert is_connected(random_graph) == nx.is_connected(
+            to_networkx(random_graph)
+        )
+
+    def test_shortest_path_lengths(self, random_graph):
+        source = next(random_graph.vertices())
+        ours = shortest_path_lengths(random_graph, source)
+        theirs = nx.single_source_shortest_path_length(
+            to_networkx(random_graph), source
+        )
+        assert ours == dict(theirs)
+
+    def test_k_core(self, random_graph):
+        for k in (2, 3):
+            ours = k_core(random_graph, k)
+            theirs = set(nx.k_core(to_networkx(random_graph), k).nodes())
+            assert ours == theirs
+
+
+class TestMetricAgreement:
+    def test_global_clustering(self, random_graph):
+        assert global_clustering_coefficient(random_graph) == pytest.approx(
+            nx.transitivity(to_networkx(random_graph))
+        )
+
+    def test_average_local_clustering(self, random_graph):
+        assert average_local_clustering(random_graph) == pytest.approx(
+            nx.average_clustering(to_networkx(random_graph))
+        )
+
+    def test_assortativity_on_skewed_graph(self):
+        graph = webgraph(300, seed=7)
+        ours = degree_assortativity(graph)
+        theirs = nx.degree_assortativity_coefficient(to_networkx(graph))
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+
+class TestIsomorphismAgreement:
+    @pytest.mark.parametrize("pattern_edges,name", [
+        ([(0, 1), (1, 2), (2, 0)], "triangle"),
+        ([(0, 1), (1, 2), (2, 3)], "path4"),
+        ([(0, 1), (0, 2), (0, 3)], "star"),
+        ([(0, 1), (1, 2), (2, 3), (3, 0)], "square"),
+    ])
+    def test_subgraph_mapping_counts(self, pattern_edges, name):
+        from repro.graph import from_edges
+
+        target = gnm_graph(25, 60, num_labels=1, seed=9)
+        pattern = from_edges(pattern_edges)
+        ours = count_subgraph_isomorphisms(pattern, target)
+        matcher = nx.algorithms.isomorphism.GraphMatcher(
+            to_networkx(target), to_networkx(pattern)
+        )
+        theirs = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+        assert ours == theirs

@@ -1,0 +1,225 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.graph import coverage, is_connected
+from repro.graph.generators import (
+    gnm_graph,
+    gnp_graph,
+    imdb_graph,
+    planted_graph,
+    reddit_graph,
+    rmat_edges,
+    rmat_graph,
+    scale_free_unlabeled,
+    suite_graph,
+    suite_graphs,
+    webgraph,
+)
+from repro.graph.generators.imdb import GENRE, MOVIE
+from repro.graph.generators.reddit import (
+    AUTHOR,
+    COMMENT_NEGATIVE,
+    POST_POSITIVE,
+    SUBREDDIT,
+)
+from repro.graph.generators.suite import SUITE_SHAPES
+from repro.graph.generators.webgraph import DOMAIN_TO_LABEL, domain_label, plant_pattern
+from repro.graph.labeling import degree_log2_label
+
+
+class TestRmat:
+    def test_edge_count(self):
+        edges = rmat_edges(scale=6, edge_factor=4, seed=1)
+        assert edges.shape == (4 * 64, 2)
+
+    def test_vertex_range(self):
+        edges = rmat_edges(scale=5, edge_factor=4, seed=2)
+        assert edges.min() >= 0
+        assert edges.max() < 32
+
+    def test_deterministic(self):
+        a = rmat_edges(scale=6, seed=7)
+        b = rmat_edges(scale=6, seed=7)
+        assert (a == b).all()
+
+    def test_seed_changes_output(self):
+        a = rmat_edges(scale=6, seed=7)
+        b = rmat_edges(scale=6, seed=8)
+        assert (a != b).any()
+
+    def test_skewed_degree_distribution(self):
+        g = rmat_graph(scale=9, edge_factor=8, seed=3)
+        stats = g.degree_statistics()
+        assert stats.d_max > 4 * stats.d_avg  # power-law-ish skew
+
+    def test_degree_labels_applied(self):
+        g = rmat_graph(scale=7, edge_factor=4, seed=0)
+        for v in list(g.vertices())[:50]:
+            assert g.label(v) == degree_log2_label(g.degree(v))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=0)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(scale=4, a=0.6, b=0.3, c=0.3)
+
+
+class TestWebgraph:
+    def test_size_and_labels(self):
+        g = webgraph(500, num_labels=10, seed=1)
+        assert g.num_vertices <= 500
+        assert max(g.label_set()) < 10
+
+    def test_skewed_labels(self):
+        g = webgraph(2000, num_labels=10, seed=2)
+        counts = g.label_counts()
+        assert counts[0] > counts.get(9, 0)  # label 0 is most frequent
+
+    def test_connected_core(self):
+        g = webgraph(300, seed=3)
+        assert is_connected(g)
+
+    def test_domain_label_mapping(self):
+        assert domain_label("com") == 0
+        assert domain_label("org") == 1
+        assert DOMAIN_TO_LABEL["ac"] == 7
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(KeyError):
+            domain_label("zz")
+
+    def test_plant_pattern_guarantees_match(self):
+        from repro.graph.isomorphism import has_match
+        from repro.graph.graph import Graph
+
+        g = webgraph(200, seed=4)
+        pattern_edges = [(0, 1), (1, 2), (2, 0)]
+        pattern_labels = [3, 5, 8]
+        planted = plant_pattern(g, pattern_edges, pattern_labels, copies=2, seed=0)
+        assert len(planted) == 2
+        pattern = Graph()
+        for i, lab in enumerate(pattern_labels):
+            pattern.add_vertex(i, lab)
+        for u, v in pattern_edges:
+            pattern.add_edge(u, v)
+        assert has_match(pattern, g)
+
+    def test_coverage_helper(self):
+        g = webgraph(500, num_labels=5, seed=5)
+        assert coverage(g, [0, 1, 2, 3, 4]) == pytest.approx(1.0)
+        assert 0.0 < coverage(g, [0]) < 1.0
+
+
+class TestReddit:
+    def test_schema_labels(self):
+        g = reddit_graph(num_authors=50, num_subreddits=5, seed=1)
+        labels = g.label_counts()
+        assert labels[AUTHOR] == 50
+        assert labels[SUBREDDIT] == 5
+        assert any(lab >= POST_POSITIVE for lab in labels)
+
+    def test_bipartite_like_structure(self):
+        g = reddit_graph(num_authors=30, seed=2)
+        # Authors never connect to authors or subreddits.
+        for v in g.vertices():
+            if g.label(v) == AUTHOR:
+                for u in g.neighbors(v):
+                    assert g.label(u) not in (AUTHOR, SUBREDDIT)
+
+    def test_planted_rdt1_matchable(self):
+        from repro.core.patterns import rdt1_template
+        from repro.graph.isomorphism import has_match
+
+        g = reddit_graph(num_authors=40, planted_rdt1=2, seed=3)
+        assert has_match(rdt1_template().graph, g)
+
+    def test_comments_have_parents(self):
+        g = reddit_graph(num_authors=20, seed=4)
+        for v in g.vertices():
+            if g.label(v) == COMMENT_NEGATIVE:
+                # at least an author edge and a parent edge
+                assert g.degree(v) >= 2
+
+
+class TestImdb:
+    def test_bipartite(self):
+        g = imdb_graph(num_movies=50, seed=1)
+        for u, v in g.edges():
+            movie_endpoints = (g.label(u) == MOVIE) + (g.label(v) == MOVIE)
+            assert movie_endpoints == 1
+
+    def test_planted_imdb1_matchable(self):
+        from repro.core.patterns import imdb1_template
+        from repro.graph.isomorphism import has_match
+
+        g = imdb_graph(num_movies=40, planted_imdb1=2, seed=2)
+        assert has_match(imdb1_template().graph, g)
+
+    def test_movies_have_genres(self):
+        g = imdb_graph(num_movies=30, genres_per_movie=2, seed=3)
+        for v in g.vertices():
+            if g.label(v) == MOVIE and g.degree(v) > 0:
+                assert any(g.label(u) == GENRE for u in g.neighbors(v))
+
+
+class TestRandomLabeled:
+    def test_gnm_exact_edges(self):
+        g = gnm_graph(40, 100, num_labels=3, seed=1)
+        assert g.num_edges == 100
+        assert g.num_vertices == 40
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_graph(4, 10)
+
+    def test_gnp_probability_extremes(self):
+        assert gnp_graph(10, 0.0, seed=1).num_edges == 0
+        assert gnp_graph(6, 1.0, seed=1).num_edges == 15
+
+    def test_planted_graph_contains_pattern(self):
+        from repro.graph.isomorphism import has_match
+        from repro.graph.graph import Graph
+
+        edges = [(0, 1), (1, 2), (2, 0)]
+        labels = [0, 1, 2]
+        g = planted_graph(30, 60, edges, labels, copies=2, seed=5)
+        pattern = Graph()
+        for i, lab in enumerate(labels):
+            pattern.add_vertex(i, lab)
+        for u, v in edges:
+            pattern.add_edge(u, v)
+        assert has_match(pattern, g)
+
+
+class TestSuite:
+    def test_all_names_present(self):
+        assert set(SUITE_SHAPES) == {
+            "citeseer",
+            "mico",
+            "patent",
+            "youtube",
+            "livejournal",
+        }
+
+    def test_shapes_scaled(self):
+        g = suite_graph("citeseer")
+        assert g.num_vertices == 330
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            suite_graph("nope")
+
+    def test_unlabeled(self):
+        g = suite_graph("mico")
+        assert g.label_set() == {0}
+
+    def test_iterator_order(self):
+        names = [name for name, _g in suite_graphs()]
+        assert names == list(SUITE_SHAPES)
+
+    def test_scale_free_requires_two_vertices(self):
+        with pytest.raises(ValueError):
+            scale_free_unlabeled(1, 2.0)

@@ -1,0 +1,98 @@
+"""Stateful property testing of Graph mutation invariants.
+
+A hypothesis rule-based machine applies random mutations (add/remove
+vertices and edges, with and without labels) against both the Graph and a
+naive reference model, checking structural invariants after every step.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.graph.graph import Graph, canonical_edge
+
+VERTICES = st.integers(0, 12)
+LABELS = st.integers(0, 4)
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = Graph()
+        self.model_vertices = {}          # vertex -> label
+        self.model_edges = {}             # canonical edge -> label or None
+
+    # ------------------------------------------------------------------
+    @rule(v=VERTICES, label=LABELS)
+    def add_vertex(self, v, label):
+        self.graph.add_vertex(v, label)
+        self.model_vertices[v] = label
+
+    @rule(u=VERTICES, v=VERTICES, label=st.one_of(st.none(), LABELS))
+    def add_edge(self, u, v, label):
+        if u == v or u not in self.model_vertices or v not in self.model_vertices:
+            return
+        existed = canonical_edge(u, v) in self.model_edges
+        self.graph.add_edge(u, v, label)
+        key = canonical_edge(u, v)
+        if not existed:
+            self.model_edges[key] = label
+        elif label is not None:
+            self.model_edges[key] = label
+
+    @rule(u=VERTICES, v=VERTICES)
+    def remove_edge(self, u, v):
+        key = canonical_edge(u, v)
+        if key not in self.model_edges:
+            return
+        self.graph.remove_edge(u, v)
+        del self.model_edges[key]
+
+    @rule(v=VERTICES)
+    def remove_vertex(self, v):
+        if v not in self.model_vertices:
+            return
+        self.graph.remove_vertex(v)
+        del self.model_vertices[v]
+        self.model_edges = {
+            edge: label
+            for edge, label in self.model_edges.items()
+            if v not in edge
+        }
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def vertex_set_matches(self):
+        assert set(self.graph.vertices()) == set(self.model_vertices)
+        for v, label in self.model_vertices.items():
+            assert self.graph.label(v) == label
+
+    @invariant()
+    def edge_set_matches(self):
+        assert set(self.graph.edges()) == set(self.model_edges)
+        assert self.graph.num_edges == len(self.model_edges)
+
+    @invariant()
+    def adjacency_symmetric(self):
+        for v in self.graph.vertices():
+            for u in self.graph.neighbors(v):
+                assert v in self.graph.neighbors(u)
+
+    @invariant()
+    def edge_labels_match(self):
+        for (u, v), label in self.model_edges.items():
+            assert self.graph.edge_label(u, v) == label
+        # no stale labels for removed edges
+        for edge in self.graph.edge_labels():
+            assert edge in self.model_edges
+
+    @invariant()
+    def degree_sum_is_twice_edges(self):
+        total = sum(self.graph.degree(v) for v in self.graph.vertices())
+        assert total == 2 * self.graph.num_edges
+
+
+TestGraphMachine = GraphMachine.TestCase
+TestGraphMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

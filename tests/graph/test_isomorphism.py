@@ -1,0 +1,158 @@
+"""Tests for the VF2-style matcher, canonical forms and automorphisms."""
+
+from repro.graph import (
+    are_isomorphic,
+    automorphism_count,
+    canonical_form,
+    count_subgraph_isomorphisms,
+    find_subgraph_isomorphisms,
+    from_edges,
+    has_match,
+)
+from repro.graph.graph import Graph
+
+
+def labeled(edges, labels):
+    return from_edges(edges, labels={i: l for i, l in enumerate(labels)})
+
+
+class TestSubgraphIsomorphism:
+    def test_triangle_in_k4(self):
+        k4 = labeled(
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], [0, 0, 0, 0]
+        )
+        triangle = labeled([(0, 1), (1, 2), (2, 0)], [0, 0, 0])
+        # 4 triangles x 6 automorphisms = 24 mappings
+        assert count_subgraph_isomorphisms(triangle, k4) == 24
+
+    def test_labels_must_match(self):
+        pattern = labeled([(0, 1)], [1, 2])
+        target = labeled([(0, 1)], [1, 3])
+        assert not has_match(pattern, target)
+
+    def test_mapping_is_edge_preserving(self):
+        pattern = labeled([(0, 1), (1, 2)], [0, 1, 0])
+        target = labeled([(0, 1), (1, 2), (2, 3)], [0, 1, 0, 1])
+        for mapping in find_subgraph_isomorphisms(pattern, target):
+            for u, v in pattern.edges():
+                assert target.has_edge(mapping[u], mapping[v])
+
+    def test_injective(self):
+        pattern = labeled([(0, 1), (1, 2)], [0, 0, 0])
+        target = labeled([(0, 1), (1, 2)], [0, 0, 0])
+        for mapping in find_subgraph_isomorphisms(pattern, target):
+            assert len(set(mapping.values())) == len(mapping)
+
+    def test_non_induced_allows_extra_edges(self):
+        path = labeled([(0, 1), (1, 2)], [0, 0, 0])
+        triangle = labeled([(0, 1), (1, 2), (2, 0)], [0, 0, 0])
+        assert has_match(path, triangle)
+
+    def test_limit(self):
+        pattern = labeled([(0, 1)], [0, 0])
+        target = labeled([(0, 1), (1, 2), (2, 0)], [0, 0, 0])
+        assert len(list(find_subgraph_isomorphisms(pattern, target, limit=2))) == 2
+
+    def test_candidate_filter(self):
+        pattern = labeled([(0, 1)], [0, 0])
+        target = labeled([(0, 1)], [0, 0])
+        filtered = list(
+            find_subgraph_isomorphisms(
+                pattern, target, candidate_filter=lambda pv, tv: pv == tv
+            )
+        )
+        assert filtered == [{0: 0, 1: 1}]
+
+    def test_empty_pattern_matches_once(self):
+        assert list(find_subgraph_isomorphisms(Graph(), labeled([(0, 1)], [0, 0]))) == [
+            {}
+        ]
+
+    def test_single_vertex_pattern(self):
+        pattern = Graph()
+        pattern.add_vertex(0, 7)
+        target = labeled([(0, 1)], [7, 7])
+        assert count_subgraph_isomorphisms(pattern, target) == 2
+
+    def test_disconnected_pattern(self):
+        pattern = Graph()
+        pattern.add_vertex(0, 1)
+        pattern.add_vertex(1, 2)
+        target = labeled([(0, 1)], [1, 2])
+        assert count_subgraph_isomorphisms(pattern, target) == 1
+
+
+class TestAutomorphisms:
+    def test_triangle(self):
+        assert automorphism_count(labeled([(0, 1), (1, 2), (2, 0)], [0, 0, 0])) == 6
+
+    def test_labels_break_symmetry(self):
+        assert automorphism_count(labeled([(0, 1), (1, 2), (2, 0)], [0, 0, 1])) == 2
+
+    def test_path(self):
+        assert automorphism_count(labeled([(0, 1), (1, 2)], [0, 0, 0])) == 2
+
+    def test_empty(self):
+        assert automorphism_count(Graph()) == 1
+
+
+class TestGraphIsomorphism:
+    def test_isomorphic_relabeled(self):
+        a = labeled([(0, 1), (1, 2), (2, 0)], [1, 2, 3])
+        b = from_edges([(5, 7), (7, 9), (9, 5)], labels={5: 2, 7: 3, 9: 1})
+        assert are_isomorphic(a, b)
+
+    def test_different_edge_count(self):
+        a = labeled([(0, 1), (1, 2)], [0, 0, 0])
+        b = labeled([(0, 1), (1, 2), (2, 0)], [0, 0, 0])
+        assert not are_isomorphic(a, b)
+
+    def test_same_degrees_different_structure(self):
+        # C6 vs two triangles: both 3-regular... actually both 2-regular.
+        c6 = labeled([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)], [0] * 6)
+        two_triangles = from_edges(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)], labels={i: 0 for i in range(6)}
+        )
+        assert not are_isomorphic(c6, two_triangles)
+
+    def test_label_distribution_must_match(self):
+        a = labeled([(0, 1)], [0, 0])
+        b = labeled([(0, 1)], [0, 1])
+        assert not are_isomorphic(a, b)
+
+
+class TestCanonicalForm:
+    def test_invariant_under_relabeling(self):
+        a = labeled([(0, 1), (1, 2), (2, 0), (2, 3)], [1, 2, 3, 4])
+        b = from_edges(
+            [(10, 20), (20, 30), (30, 10), (30, 40)],
+            labels={10: 1, 20: 2, 30: 3, 40: 4},
+        )
+        assert canonical_form(a) == canonical_form(b)
+
+    def test_distinguishes_structures(self):
+        path = labeled([(0, 1), (1, 2), (2, 3)], [0, 0, 0, 0])
+        star = labeled([(0, 1), (0, 2), (0, 3)], [0, 0, 0, 0])
+        assert canonical_form(path) != canonical_form(star)
+
+    def test_distinguishes_labels(self):
+        a = labeled([(0, 1)], [0, 0])
+        b = labeled([(0, 1)], [0, 1])
+        assert canonical_form(a) != canonical_form(b)
+
+    def test_empty(self):
+        assert canonical_form(Graph()) == ()
+
+    def test_agrees_with_are_isomorphic(self):
+        import itertools
+
+        graphs = []
+        for edges in itertools.combinations([(0, 1), (1, 2), (2, 0), (2, 3)], 3):
+            g = Graph()
+            for v in range(4):
+                g.add_vertex(v, v % 2)
+            for u, v in edges:
+                g.add_edge(u, v)
+            graphs.append(g)
+        for a, b in itertools.combinations(graphs, 2):
+            assert are_isomorphic(a, b) == (canonical_form(a) == canonical_form(b))

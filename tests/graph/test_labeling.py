@@ -1,0 +1,74 @@
+"""Tests for vertex labeling strategies."""
+
+import pytest
+
+from repro.graph import (
+    apply_degree_labels,
+    coverage,
+    degree_log2_label,
+    from_edges,
+    label_frequency,
+    zipf_labels,
+)
+from repro.graph.labeling import apply_labels
+
+
+class TestDegreeLabels:
+    @pytest.mark.parametrize(
+        "degree,label",
+        [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1000, 10)],
+    )
+    def test_log2_rule(self, degree, label):
+        assert degree_log2_label(degree) == label
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            degree_log2_label(-1)
+
+    def test_apply_degree_labels(self):
+        g = from_edges([(0, 1), (0, 2), (0, 3)])
+        apply_degree_labels(g)
+        assert g.label(0) == 2  # degree 3 -> ceil(log2(4)) = 2
+        assert g.label(1) == 1
+
+
+class TestZipfLabels:
+    def test_length_and_range(self):
+        labels = zipf_labels(500, 8, seed=1)
+        assert len(labels) == 500
+        assert all(0 <= l < 8 for l in labels)
+
+    def test_skew(self):
+        labels = zipf_labels(5000, 10, seed=2)
+        counts = [labels.count(i) for i in range(10)]
+        assert counts[0] > counts[-1]
+
+    def test_zero_labels_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_labels(10, 0)
+
+    def test_deterministic(self):
+        assert zipf_labels(50, 4, seed=3) == zipf_labels(50, 4, seed=3)
+
+
+class TestFrequencyAndCoverage:
+    def test_label_frequency_sums_to_one(self):
+        g = from_edges([(0, 1), (1, 2)], labels={0: 1, 1: 1, 2: 2})
+        freq = label_frequency(g)
+        assert sum(freq.values()) == pytest.approx(1.0)
+        assert list(freq)[0] == 1  # most frequent first
+
+    def test_coverage(self):
+        g = from_edges([(0, 1), (1, 2)], labels={0: 1, 1: 1, 2: 2})
+        assert coverage(g, [1]) == pytest.approx(2 / 3)
+        assert coverage(g, [1, 2]) == pytest.approx(1.0)
+
+    def test_coverage_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        assert coverage(Graph(), [1]) == 0.0
+
+    def test_apply_labels_cycles(self):
+        g = from_edges([(0, 1), (1, 2)])
+        apply_labels(g, [5, 6])
+        assert [g.label(v) for v in sorted(g.vertices())] == [5, 6, 5]

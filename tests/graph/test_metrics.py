@@ -1,0 +1,112 @@
+"""Tests for graph characterization metrics."""
+
+import pytest
+
+from repro.graph import from_edges
+from repro.graph.generators import gnm_graph, webgraph
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    average_local_clustering,
+    degeneracy,
+    degree_assortativity,
+    degree_ccdf,
+    degree_histogram,
+    density,
+    global_clustering_coefficient,
+    power_law_exponent_estimate,
+    summary,
+)
+
+
+def triangle_with_tail():
+    return from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+
+
+class TestDegreeDistribution:
+    def test_histogram(self):
+        assert degree_histogram(triangle_with_tail()) == {1: 1, 2: 2, 3: 1}
+
+    def test_histogram_empty(self):
+        assert degree_histogram(Graph()) == {}
+
+    def test_ccdf_starts_at_one_and_decreases(self):
+        ccdf = degree_ccdf(webgraph(200, seed=1))
+        assert ccdf[0][1] == pytest.approx(1.0)
+        values = [p for _d, p in ccdf]
+        assert values == sorted(values, reverse=True)
+
+    def test_ccdf_empty(self):
+        assert degree_ccdf(Graph()) == []
+
+
+class TestClustering:
+    def test_clique_fully_clustered(self):
+        k4 = from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert global_clustering_coefficient(k4) == pytest.approx(1.0)
+        assert average_local_clustering(k4) == pytest.approx(1.0)
+
+    def test_tree_unclustered(self):
+        star = from_edges([(0, 1), (0, 2), (0, 3)])
+        assert global_clustering_coefficient(star) == 0.0
+        assert average_local_clustering(star) == 0.0
+
+    def test_triangle_with_tail(self):
+        g = triangle_with_tail()
+        # wedges: deg3 vertex has 3, two deg2 vertices have 1 each -> 5;
+        # closed wedges = 3 (one triangle counted at each corner)
+        assert global_clustering_coefficient(g) == pytest.approx(3 / 5)
+
+    def test_empty(self):
+        assert global_clustering_coefficient(Graph()) == 0.0
+        assert average_local_clustering(Graph()) == 0.0
+
+
+class TestAssortativityDensityDegeneracy:
+    def test_star_disassortative(self):
+        star = from_edges([(0, i) for i in range(1, 8)])
+        assert degree_assortativity(star) < 0
+
+    def test_clique_assortativity_degenerate(self):
+        k3 = from_edges([(0, 1), (1, 2), (2, 0)])
+        assert degree_assortativity(k3) == 0.0  # zero degree variance
+
+    def test_density_bounds(self):
+        k3 = from_edges([(0, 1), (1, 2), (2, 0)])
+        assert density(k3) == pytest.approx(1.0)
+        path = from_edges([(0, 1), (1, 2)])
+        assert 0 < density(path) < 1
+        assert density(Graph()) == 0.0
+
+    def test_degeneracy(self):
+        k4 = from_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+        assert degeneracy(k4) == 3
+        tree = from_edges([(0, 1), (1, 2), (2, 3)])
+        assert degeneracy(tree) == 1
+        assert degeneracy(Graph()) == 0
+
+    def test_power_law_estimate_positive_on_scale_free(self):
+        alpha = power_law_exponent_estimate(webgraph(800, seed=2))
+        assert alpha > 1.5
+
+    def test_power_law_degenerate(self):
+        assert power_law_exponent_estimate(from_edges([(0, 1)])) == 0.0
+
+
+class TestSummary:
+    def test_all_keys_present(self):
+        report = summary(gnm_graph(50, 120, seed=3))
+        for key in (
+            "num_vertices", "num_edges", "d_max", "d_avg", "d_stdev",
+            "density", "global_clustering", "avg_local_clustering",
+            "assortativity", "degeneracy", "power_law_alpha",
+        ):
+            assert key in report
+
+    def test_scale_free_vs_uniform_signatures(self):
+        scale_free = summary(webgraph(600, seed=4))
+        uniform = summary(gnm_graph(600, 1800, seed=4))
+        # hubs -> higher degree stdev relative to mean
+        assert (
+            scale_free["d_stdev"] / scale_free["d_avg"]
+            > uniform["d_stdev"] / uniform["d_avg"]
+        )

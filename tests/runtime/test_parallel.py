@@ -1,0 +1,74 @@
+"""Tests for real worker-process prototype search."""
+
+import pytest
+
+from repro.core import PipelineOptions, run_pipeline
+from repro.core.template import PatternTemplate
+from repro.errors import PipelineError
+from repro.graph.generators import planted_graph
+
+EDGES = [(0, 1), (1, 2), (2, 0), (2, 3)]
+LABELS = [1, 2, 3, 4]
+
+
+def workload(seed=51):
+    graph = planted_graph(60, 140, EDGES, LABELS, copies=3, num_labels=5, seed=seed)
+    template = PatternTemplate.from_edges(
+        EDGES, {i: l for i, l in enumerate(LABELS)}, name="pool-t"
+    )
+    return graph, template
+
+
+class TestWorkerProcesses:
+    def test_results_identical_to_sequential(self):
+        graph, template = workload()
+        sequential = run_pipeline(
+            graph, template, 1, PipelineOptions(num_ranks=2, count_matches=True)
+        )
+        pooled = run_pipeline(
+            graph, template, 1,
+            PipelineOptions(num_ranks=2, count_matches=True, worker_processes=3),
+        )
+        assert pooled.match_vectors == sequential.match_vectors
+        for proto in sequential.prototype_set:
+            seq_outcome = sequential.outcome_for(proto.id)
+            par_outcome = pooled.outcome_for(proto.id)
+            assert par_outcome.solution_vertices == seq_outcome.solution_vertices
+            assert par_outcome.solution_edges == seq_outcome.solution_edges
+            assert par_outcome.match_mappings == seq_outcome.match_mappings
+
+    def test_containment_rule_across_pooled_levels(self):
+        graph, template = workload(seed=52)
+        pooled = run_pipeline(
+            graph, template, 1, PipelineOptions(num_ranks=2, worker_processes=2)
+        )
+        for proto in pooled.prototype_set:
+            children = proto.children()
+            if not children:
+                continue
+            union_children = set()
+            for child in children:
+                union_children |= pooled.outcome_for(child.id).solution_vertices
+            assert pooled.outcome_for(proto.id).solution_vertices <= union_children
+
+    def test_simulated_times_populated(self):
+        graph, template = workload(seed=53)
+        pooled = run_pipeline(
+            graph, template, 1, PipelineOptions(num_ranks=2, worker_processes=2)
+        )
+        assert pooled.total_simulated_seconds > 0
+        assert all(
+            lvl.search_seconds >= 0 for lvl in pooled.levels
+        )
+
+    def test_collect_matches_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineOptions(worker_processes=2, collect_matches=True)
+
+    def test_extension_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineOptions(worker_processes=2, enumeration_optimization=True)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineOptions(worker_processes=0)

@@ -1,0 +1,141 @@
+"""Tests for hash/delegate partitioning and the locality model."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import from_edges
+from repro.graph.generators import webgraph
+from repro.runtime import (
+    PartitionedGraph,
+    balanced_assignment,
+    block_assignment,
+    hash_assignment,
+)
+
+
+def star_graph(leaves=8):
+    return from_edges([(0, i) for i in range(1, leaves + 1)])
+
+
+class TestAssignments:
+    def test_hash_assignment_covers_all(self):
+        g = star_graph()
+        assignment = hash_assignment(g.vertices(), 3)
+        assert set(assignment) == set(g.vertices())
+        assert all(0 <= r < 3 for r in assignment.values())
+
+    def test_hash_assignment_spreads(self):
+        assignment = hash_assignment(range(1000), 4)
+        counts = [list(assignment.values()).count(r) for r in range(4)]
+        assert min(counts) > 150  # roughly even
+
+    def test_hash_zero_ranks_rejected(self):
+        with pytest.raises(PartitionError):
+            hash_assignment([0], 0)
+
+    def test_block_assignment(self):
+        assignment = block_assignment(list(range(10)), 2)
+        assert assignment[0] == 0
+        assert assignment[9] == 1
+
+    def test_balanced_assignment_balances_degree(self):
+        g = webgraph(400, seed=1)
+        assignment = balanced_assignment(g, 4)
+        pg = PartitionedGraph(g, 4, assignment=assignment)
+        assert pg.load_imbalance() < 1.2
+
+    def test_balanced_beats_block_on_skewed_graph(self):
+        g = webgraph(400, seed=2)
+        block = PartitionedGraph(g, 4, assignment=block_assignment(sorted(g.vertices()), 4))
+        balanced = PartitionedGraph(g, 4, assignment=balanced_assignment(g, 4))
+        assert balanced.load_imbalance() < block.load_imbalance()
+
+
+class TestPartitionedGraph:
+    def test_default_hash_partitioning(self):
+        pg = PartitionedGraph(star_graph(), 2)
+        assert pg.num_ranks == 2
+        assert all(0 <= pg.rank_of(v) < 2 for v in pg.graph.vertices())
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionedGraph(star_graph(), 0)
+
+    def test_incomplete_assignment_rejected(self):
+        g = star_graph()
+        with pytest.raises(PartitionError):
+            PartitionedGraph(g, 2, assignment={0: 0})
+
+    def test_out_of_range_assignment_rejected(self):
+        g = from_edges([(0, 1)])
+        with pytest.raises(PartitionError):
+            PartitionedGraph(g, 2, assignment={0: 0, 1: 5})
+
+    def test_rank_of_unknown_vertex(self):
+        pg = PartitionedGraph(star_graph(), 2)
+        with pytest.raises(PartitionError):
+            pg.rank_of(10**9)
+
+    def test_remote_classification(self):
+        g = from_edges([(0, 1)])
+        pg = PartitionedGraph(g, 2, assignment={0: 0, 1: 1})
+        assert pg.is_remote(0, 1)
+        assert not pg.is_remote(0, 0)
+
+    def test_vertex_counts(self):
+        g = from_edges([(0, 1), (1, 2)])
+        pg = PartitionedGraph(g, 2, assignment={0: 0, 1: 0, 2: 1})
+        assert pg.rank_vertex_counts() == [2, 1]
+
+    def test_with_assignment(self):
+        g = from_edges([(0, 1)])
+        pg = PartitionedGraph(g, 2, assignment={0: 0, 1: 0})
+        moved = pg.with_assignment({0: 0, 1: 1})
+        assert moved.is_remote(0, 1)
+        assert not pg.is_remote(0, 1)
+
+
+class TestDelegates:
+    def test_hub_becomes_delegate(self):
+        g = star_graph(10)
+        pg = PartitionedGraph(g, 4, delegate_degree_threshold=5)
+        assert 0 in pg.delegates
+        assert 1 not in pg.delegates
+
+    def test_messages_to_delegates_are_local(self):
+        g = star_graph(10)
+        assignment = {v: v % 4 for v in g.vertices()}
+        pg = PartitionedGraph(g, 4, assignment=assignment, delegate_degree_threshold=5)
+        # Hub 0 is on rank 0 but any vertex reaches it locally.
+        assert not pg.is_remote(1, 0)
+        assert not pg.is_remote(2, 0)
+
+    def test_delegate_edges_spread_in_load_model(self):
+        g = star_graph(12)
+        assignment = {v: 0 for v in g.vertices()}
+        with_delegates = PartitionedGraph(
+            g, 4, assignment=assignment, delegate_degree_threshold=5
+        )
+        without = PartitionedGraph(g, 4, assignment=assignment)
+        assert with_delegates.load_imbalance() < without.load_imbalance()
+
+
+class TestLocality:
+    def test_node_mapping(self):
+        pg = PartitionedGraph(star_graph(), 8, ranks_per_node=4)
+        assert pg.num_nodes() == 2
+        assert pg.node_of_rank(3) == 0
+        assert pg.node_of_rank(4) == 1
+
+    def test_crosses_network(self):
+        pg = PartitionedGraph(star_graph(), 8, ranks_per_node=4)
+        assert not pg.crosses_network(0, 3)
+        assert pg.crosses_network(0, 4)
+
+    def test_one_rank_per_node_all_remote_cross_network(self):
+        pg = PartitionedGraph(star_graph(), 4, ranks_per_node=1)
+        assert pg.crosses_network(0, 1)
+
+    def test_bad_ranks_per_node(self):
+        with pytest.raises(PartitionError):
+            PartitionedGraph(star_graph(), 4, ranks_per_node=0)

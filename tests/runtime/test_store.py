@@ -1,0 +1,104 @@
+"""Tests for the delegate-partitioned per-rank graph store."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.graph import from_edges
+from repro.graph.generators import webgraph
+from repro.runtime import PartitionedGraph
+from repro.runtime.store import DistributedGraphStore
+
+
+def star(leaves=9):
+    return from_edges([(0, i) for i in range(1, leaves + 1)])
+
+
+class TestShardContents:
+    def test_owned_vertices_hold_full_adjacency(self):
+        g = from_edges([(0, 1), (1, 2), (2, 0)])
+        pg = PartitionedGraph(g, 2, assignment={0: 0, 1: 1, 2: 0})
+        store = DistributedGraphStore(pg)
+        assert sorted(store.shard(0).adjacency(0)) == [1, 2]
+        assert sorted(store.shard(1).adjacency(1)) == [0, 2]
+        assert not store.shard(1).holds(0)
+
+    def test_every_directed_edge_stored_exactly_once(self):
+        g = webgraph(150, seed=4)
+        pg = PartitionedGraph(g, 3)
+        store = DistributedGraphStore(pg)
+        stored = sorted(store.iter_all_edges())
+        expected = sorted(
+            (u, v) for u in g.vertices() for v in g.neighbors(u)
+        )
+        assert stored == expected
+
+    def test_labels_preserved(self):
+        g = from_edges([(0, 1)], labels={0: 5, 1: 9})
+        pg = PartitionedGraph(g, 1)
+        store = DistributedGraphStore(pg)
+        assert store.shard(0).label(0) == 5
+        assert store.shard(0).label(1) == 9
+
+    def test_unknown_vertex_rejected(self):
+        g = from_edges([(0, 1)])
+        store = DistributedGraphStore(PartitionedGraph(g, 2, assignment={0: 0, 1: 0}))
+        with pytest.raises(PartitionError):
+            store.shard(1).adjacency(0)
+
+    def test_unknown_rank_rejected(self):
+        g = from_edges([(0, 1)])
+        store = DistributedGraphStore(PartitionedGraph(g, 1))
+        with pytest.raises(PartitionError):
+            store.shard(5)
+
+
+class TestDelegates:
+    def test_delegate_copies_on_every_rank(self):
+        g = star(9)
+        pg = PartitionedGraph(
+            g, 3, assignment={v: v % 3 for v in g.vertices()},
+            delegate_degree_threshold=5,
+        )
+        store = DistributedGraphStore(pg)
+        for rank in range(3):
+            assert store.shard(rank).holds(0)
+
+    def test_delegate_edges_striped_completely(self):
+        g = star(9)
+        pg = PartitionedGraph(
+            g, 3, assignment={v: v % 3 for v in g.vertices()},
+            delegate_degree_threshold=5,
+        )
+        store = DistributedGraphStore(pg)
+        striped = []
+        for rank in range(3):
+            striped.extend(int(t) for t in store.shard(rank).adjacency(0))
+        assert sorted(striped) == list(range(1, 10))
+
+    def test_delegates_improve_storage_balance(self):
+        g = star(30)
+        assignment = {v: 0 if v == 0 else v % 4 for v in g.vertices()}
+        plain = DistributedGraphStore(PartitionedGraph(g, 4, assignment=assignment))
+        delegated = DistributedGraphStore(
+            PartitionedGraph(g, 4, assignment=assignment,
+                             delegate_degree_threshold=10)
+        )
+        assert delegated.storage_imbalance() < plain.storage_imbalance()
+
+
+class TestMemoryAccounting:
+    def test_total_memory_scales_with_edges(self):
+        small = DistributedGraphStore(PartitionedGraph(from_edges([(0, 1)]), 1))
+        big = DistributedGraphStore(PartitionedGraph(webgraph(200, seed=5), 1))
+        assert big.total_memory_bytes() > small.total_memory_bytes()
+
+    def test_memory_by_rank_sums_to_total(self):
+        store = DistributedGraphStore(PartitionedGraph(webgraph(150, seed=6), 4))
+        assert sum(store.memory_by_rank()) == store.total_memory_bytes()
+
+    def test_shard_memory_formula(self):
+        g = from_edges([(0, 1), (1, 2)])
+        store = DistributedGraphStore(PartitionedGraph(g, 1))
+        shard = store.shard(0)
+        expected = 8 * (shard.num_vertices + 1) + 8 * shard.num_edge_slots + 2 * shard.num_vertices
+        assert shard.memory_bytes() == expected

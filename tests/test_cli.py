@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, load_template, main
+from repro.graph import io as graph_io
+from repro.graph.generators import planted_graph
+
+
+@pytest.fixture()
+def graph_files(tmp_path):
+    edges = [(0, 1), (1, 2), (2, 0)]
+    labels = [1, 2, 3]
+    graph = planted_graph(30, 60, edges, labels, copies=2, num_labels=4, seed=3)
+    graph_path = tmp_path / "graph.edges"
+    labels_path = tmp_path / "graph.labels"
+    graph_io.write_edge_list(graph, graph_path)
+    graph_io.write_labels(graph, labels_path)
+    template_path = tmp_path / "template.json"
+    template_path.write_text(json.dumps({
+        "edges": [[0, 1], [1, 2], [2, 0]],
+        "labels": {"0": 1, "1": 2, "2": 3},
+        "name": "tri",
+    }))
+    return graph_path, labels_path, template_path
+
+
+class TestTemplateLoading:
+    def test_load_template(self, graph_files):
+        _graph, _labels, template_path = graph_files
+        template = load_template(str(template_path))
+        assert template.name == "tri"
+        assert template.num_edges == 3
+
+    def test_mandatory_edges(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({
+            "edges": [[0, 1], [1, 2]],
+            "labels": {"0": 1, "1": 2, "2": 3},
+            "mandatory_edges": [[0, 1]],
+        }))
+        template = load_template(str(path))
+        assert (0, 1) in template.mandatory_edges
+
+
+class TestSearchCommand:
+    def test_search_prints_and_writes(self, graph_files, tmp_path, capsys):
+        graph_path, labels_path, template_path = graph_files
+        output = tmp_path / "out.json"
+        code = main([
+            "search", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "-k", "1", "--count",
+            "--output", str(output), "--ranks", "2",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "prototypes: 4" in captured
+        assert "match mappings:" in captured
+        document = json.loads(output.read_text())
+        assert document["template"] == "tri"
+        assert document["match_vectors"]
+
+    def test_missing_file(self, graph_files, capsys):
+        _g, _l, template_path = graph_files
+        code = main(["search", "/does/not/exist", str(template_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMotifsCommand:
+    def test_motif_census(self, graph_files, capsys):
+        graph_path, _labels, _template = graph_files
+        code = main(["motifs", str(graph_path), "--size", "3", "--ranks", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "motif" in out
+        assert "induced" in out
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("dataset", ["webgraph", "reddit", "imdb"])
+    def test_generate_round_trips(self, dataset, tmp_path, capsys):
+        output = tmp_path / f"{dataset}.edges"
+        code = main([
+            "generate", dataset, str(output), "--size", "200", "--seed", "1"
+        ])
+        assert code == 0
+        graph = graph_io.read_edge_list(output, str(output) + ".labels")
+        assert graph.num_vertices > 0
+        assert graph.num_edges > 0
+
+
+class TestDatasetsCommand:
+    def test_datasets_table(self, capsys):
+        code = main(["datasets"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WDC-like" in out
+        assert "livejournal" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExploreCommand:
+    def test_explore_reports_stop_level(self, graph_files, capsys):
+        graph_path, labels_path, template_path = graph_files
+        code = main([
+            "explore", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "--ranks", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "first matches at edit-distance k=0" in out
+
+    def test_explore_no_match(self, tmp_path, graph_files, capsys):
+        graph_path, labels_path, template_path = graph_files
+        # A template whose labels do not exist in the graph.
+        impossible = tmp_path / "impossible.json"
+        impossible.write_text(json.dumps({
+            "edges": [[0, 1], [1, 2], [2, 0]],
+            "labels": {"0": 90, "1": 91, "2": 92},
+        }))
+        code = main([
+            "explore", str(graph_path), str(impossible),
+            "--labels", str(labels_path), "--ranks", "2",
+        ])
+        assert code == 0
+        assert "no matches" in capsys.readouterr().out
+
+
+class TestAuditCommand:
+    def test_audit_passes_on_exact_run(self, graph_files, capsys):
+        graph_path, labels_path, template_path = graph_files
+        code = main([
+            "audit", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "-k", "1", "--ranks", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall exact: True" in out

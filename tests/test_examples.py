@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a subprocess (exactly how a user runs it) and
+must exit cleanly and print its key result lines.  Marked ``examples`` so
+they can be deselected for quick iterations (``-m "not examples"``).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+#: script name → a substring its stdout must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Per-prototype solution subgraphs",
+    "reddit_moderation.py": "Flagged authors",
+    "imdb_mining.py": "precise",
+    "exploratory_search.py": "First matches at edit-distance",
+    "ml_bulk_labeling.py": "Feature matrix",
+    "noisy_data.py": "instances recovered",
+    "pipeline_tour.py": "audit exact: True",
+    "wildcard_search.py": "Categories that close",
+    "motif_census.py": "Totals agree with the TLE baseline: True",
+}
+
+
+@pytest.mark.examples
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in completed.stdout
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT)
