@@ -1,0 +1,207 @@
+"""E-K1 — kernel microbenchmark: baseline vs bitmask vs bitmask+delta LCC.
+
+Not a paper figure: this benchmark guards the PR that introduced the
+bitmask role kernels (``core/kernels.py``).  It times the full LCC
+fixpoint (``local_constraint_checking``) on the cached workloads of
+``common.py`` under three configurations
+
+* ``baseline``       — the set-based reference path (``role_kernel=False``),
+* ``kernel``         — bitmask tables, all-vertex rounds (``delta=False``),
+* ``kernel+delta``   — bitmask tables plus the semi-naive worklist,
+
+and writes ``BENCH_KERNELS.json`` at the repo root.  The acceptance bar is
+a >=2x wall-time speedup of ``kernel+delta`` over ``baseline`` on the
+largest cached workload (KERNEL-STRESS) together with a reduced visitor
+count; fixed-point equality across all three variants is asserted on
+every workload, so a speedup can never come from doing less pruning.
+
+Methodology: best-of-``REPEATS`` wall time via ``time.perf_counter``
+around the fixpoint call only (graph/template construction excluded), a
+fresh ``SearchState``/``Engine``/``MessageStats`` per run, all variants on
+the same cached graph objects, single process, no warmup beyond the
+repeats themselves.
+
+Run directly (``python benchmarks/bench_kernels.py``) for the full suite,
+``--smoke`` for the CI-sized subset, or via pytest-benchmark as part of
+the harness session.
+"""
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import format_table, speedup
+from repro.core import SearchState, local_constraint_checking
+from repro.runtime import Engine, MessageStats, PartitionedGraph
+from common import DEFAULT_RANKS, kernel_workloads, print_header
+
+REPEATS = 3
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_KERNELS.json"
+
+VARIANTS = [
+    ("baseline", dict(role_kernel=False, delta=False)),
+    ("kernel", dict(role_kernel=True, delta=False)),
+    ("kernel+delta", dict(role_kernel=True, delta=True)),
+]
+
+
+def _run_once(graph, template, config):
+    """One timed LCC fixpoint run; returns (wall, counters, fixpoint)."""
+    state = SearchState.initial(graph, template)
+    stats = MessageStats(DEFAULT_RANKS)
+    engine = Engine(PartitionedGraph(graph, DEFAULT_RANKS), stats)
+    start = time.perf_counter()
+    iterations = local_constraint_checking(
+        state, template.graph, engine, **config
+    )
+    wall = time.perf_counter() - start
+    counters = {
+        "iterations": iterations,
+        "messages": stats.total_messages,
+        "visits": stats.total_visits,
+    }
+    fixpoint = (
+        {v: frozenset(r) for v, r in state.candidates.items()},
+        frozenset(state.active_edge_list()),
+    )
+    return wall, counters, fixpoint
+
+
+def run_suite(repeats=REPEATS, workloads=None):
+    """Benchmark every workload x variant; returns the JSON payload."""
+    rows = []
+    for name, graph_factory, template_factory in (
+        workloads or kernel_workloads()
+    ):
+        graph = graph_factory()
+        template = template_factory()
+        variants = {}
+        fixpoints = {}
+        for label, config in VARIANTS:
+            best, counters = None, None
+            for _ in range(repeats):
+                wall, run_counters, fixpoint = _run_once(
+                    graph, template, config
+                )
+                if best is None or wall < best:
+                    best, counters = wall, run_counters
+            variants[label] = dict(wall_seconds=best, **counters)
+            fixpoints[label] = fixpoint
+        base = variants["baseline"]
+        rows.append({
+            "name": name,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "template_roles": template.graph.num_vertices,
+            "variants": variants,
+            "speedup_kernel": speedup(
+                base["wall_seconds"], variants["kernel"]["wall_seconds"]
+            ),
+            "speedup_kernel_delta": speedup(
+                base["wall_seconds"], variants["kernel+delta"]["wall_seconds"]
+            ),
+            "visit_reduction_delta": (
+                1 - variants["kernel+delta"]["visits"] / base["visits"]
+                if base["visits"] else 0.0
+            ),
+            "fixpoint_equal": all(
+                fp == fixpoints["baseline"] for fp in fixpoints.values()
+            ),
+        })
+    largest = max(rows, key=lambda row: row["vertices"])
+    for row in rows:
+        row["largest"] = row is largest
+    return {
+        "experiment": "E-K1 kernel LCC fixpoint microbenchmark",
+        "methodology": {
+            "timer": "time.perf_counter around local_constraint_checking only",
+            "repeats": repeats,
+            "aggregation": "best-of (min wall time per variant)",
+            "ranks": DEFAULT_RANKS,
+            "fresh_state_per_run": True,
+            "python": platform.python_version(),
+            "acceptance": (
+                ">=2x kernel+delta speedup and reduced visitor count on the "
+                "largest cached workload; identical fixed points everywhere"
+            ),
+        },
+        "workloads": rows,
+    }
+
+
+def check_acceptance(payload):
+    """Assert the PR's perf bar; returns the largest workload's row."""
+    for row in payload["workloads"]:
+        assert row["fixpoint_equal"], f"{row['name']}: fixed points diverge"
+    largest = next(r for r in payload["workloads"] if r["largest"])
+    delta, base = largest["variants"]["kernel+delta"], largest["variants"]["baseline"]
+    assert largest["speedup_kernel_delta"] >= 2.0, (
+        f"{largest['name']}: kernel+delta speedup "
+        f"{largest['speedup_kernel_delta']:.2f}x < 2x"
+    )
+    assert delta["visits"] < base["visits"], (
+        f"{largest['name']}: delta did not reduce visitor count"
+    )
+    return largest
+
+
+def report(payload):
+    rows = [
+        [
+            row["name"] + (" *" if row["largest"] else ""),
+            f"{row['vertices']}/{row['edges']}",
+            f"{row['variants']['baseline']['wall_seconds']:.3f}s",
+            f"{row['variants']['kernel']['wall_seconds']:.3f}s",
+            f"{row['variants']['kernel+delta']['wall_seconds']:.3f}s",
+            f"{row['speedup_kernel_delta']:.1f}x",
+            f"{row['variants']['baseline']['visits']}",
+            f"{row['variants']['kernel+delta']['visits']}",
+            "yes" if row["fixpoint_equal"] else "NO",
+        ]
+        for row in payload["workloads"]
+    ]
+    print(format_table(
+        ["workload", "V/E", "baseline", "kernel", "k+delta",
+         "speedup", "visits(base)", "visits(delta)", "same fixpoint"],
+        rows,
+    ))
+    print("* largest cached workload (the acceptance target)")
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_fixpoint_speedup(benchmark):
+    print_header(
+        "E-K1 — LCC fixpoint: baseline vs bitmask kernel vs kernel+delta"
+    )
+    payload = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    report(payload)
+    largest = check_acceptance(payload)
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    assert largest["speedup_kernel_delta"] >= 2.0
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    if smoke:
+        # CI-sized: the acceptance workload only, best-of-2, no JSON.
+        workloads = [w for w in kernel_workloads() if w[0] == "KERNEL-STRESS"]
+        payload = run_suite(repeats=2, workloads=workloads)
+        report(payload)
+        check_acceptance(payload)
+        print("smoke OK")
+        return 0
+    payload = run_suite()
+    report(payload)
+    check_acceptance(payload)
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

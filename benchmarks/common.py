@@ -100,6 +100,47 @@ def imdb_background():
     )
 
 
+#: kernel-stress workload size — the *largest* cached workload (E-K1)
+KERNEL_STRESS_VERTICES = 8000
+KERNEL_STRESS_EDGES = 26000
+KERNEL_STRESS_LABELS = 4
+
+
+@lru_cache(maxsize=None)
+def kernel_stress_background():
+    """Low-label-diversity G(n, m) graph: the LCC-fixpoint stress workload.
+
+    Four uniform labels over 8K vertices / 26K edges give every vertex a
+    multi-role candidate set and a long pruning cascade — the regime the
+    bitmask kernels and the semi-naive worklist are built for.
+    """
+    from repro.graph.generators.random_labeled import gnm_graph
+
+    return gnm_graph(
+        KERNEL_STRESS_VERTICES, KERNEL_STRESS_EDGES,
+        num_labels=KERNEL_STRESS_LABELS, seed=7,
+    )
+
+
+@lru_cache(maxsize=None)
+def kernel_stress_template():
+    """8-vertex path with cycling labels: every candidate holds ~2 roles."""
+    from repro.core.template import PatternTemplate
+
+    labels = {v: v % KERNEL_STRESS_LABELS for v in range(8)}
+    edges = [(v, v + 1) for v in range(7)]
+    return PatternTemplate.from_edges(edges, labels, name="stress-path8")
+
+
+def kernel_workloads() -> List[Tuple[str, object, object]]:
+    """(name, graph factory, template factory) rows for the kernel bench."""
+    return [
+        ("RMAT-1", rmat_background, rmat1_for),
+        ("WDC-1", wdc_background, wdc1_template),
+        ("KERNEL-STRESS", kernel_stress_background, kernel_stress_template),
+    ]
+
+
 def default_options(**overrides) -> PipelineOptions:
     """The fully-optimized HGT configuration used across benchmarks."""
     base = dict(num_ranks=DEFAULT_RANKS)

@@ -34,6 +34,7 @@ from .enumeration import (
     extend_from_child_matches,
     state_from_matches,
 )
+from .kernels import RoleKernel, compile_role_kernel, kernel_fixpoint
 from .lcc import local_constraint_checking
 from .motifs import MotifCounts, count_motifs, motif_prototypes, motif_template
 from .naive import naive_options, naive_search
@@ -100,6 +101,7 @@ __all__ = [
     "Prototype",
     "PrototypeSearchOutcome",
     "PrototypeSet",
+    "RoleKernel",
     "SearchState",
     "TemplateBuilder",
     "clique_template",
@@ -124,6 +126,8 @@ __all__ = [
     "has_wildcards",
     "imdb1_template",
     "is_edge_monocyclic",
+    "compile_role_kernel",
+    "kernel_fixpoint",
     "local_constraint_checking",
     "local_constraints",
     "max_candidate_set",

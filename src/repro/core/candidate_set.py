@@ -23,16 +23,33 @@ from typing import Dict, FrozenSet, Set
 
 from ..runtime.engine import Engine
 from ..graph.graph import canonical_edge
+from .kernels import compile_role_kernel, kernel_fixpoint
 from .lcc import _exchange_candidacies, _has_adjacent_pair
 from .state import SearchState
 from .template import PatternTemplate
 
 
 def max_candidate_set(
-    graph, template: PatternTemplate, engine: Engine
+    graph,
+    template: PatternTemplate,
+    engine: Engine,
+    role_kernel: bool = True,
+    delta: bool = True,
 ) -> SearchState:
-    """Compute ``M*`` as a :class:`SearchState` over ``graph``."""
+    """Compute ``M*`` as a :class:`SearchState` over ``graph``.
+
+    ``role_kernel``/``delta`` select the bitmask and semi-naive hot paths
+    (:mod:`~repro.core.kernels`); the fixed point is identical either way.
+    """
     state = SearchState.initial(graph, template)
+    if role_kernel:
+        kernel = compile_role_kernel(template.graph)
+        mandatory = kernel.mandatory_masks(template.mandatory_edges)
+        with engine.stats.phase("max_candidate_set"):
+            kernel_fixpoint(
+                state, kernel, engine, delta=delta, mandatory_masks=mandatory
+            )
+        return state
     mandatory_neighbors = _mandatory_neighbor_map(template)
     template_graph = template.graph
     with engine.stats.phase("max_candidate_set"):

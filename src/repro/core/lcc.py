@@ -15,11 +15,12 @@ checks (:mod:`~repro.core.nlcc`) reduce further.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set
+from typing import AbstractSet, Dict, Optional, Set
 
 from ..graph.graph import Graph
 from ..runtime.engine import Engine
 from ..runtime.visitor import Visitor
+from .kernels import RoleKernel, compile_role_kernel, kernel_fixpoint
 from .state import SearchState
 
 
@@ -28,12 +29,29 @@ def local_constraint_checking(
     proto_graph: Graph,
     engine: Engine,
     max_iterations: Optional[int] = None,
+    role_kernel: bool = True,
+    delta: bool = True,
+    kernel: Optional[RoleKernel] = None,
 ) -> int:
     """Prune ``state`` to the LCC fixed point for ``proto_graph``.
 
     Returns the number of iterations executed.  ``max_iterations`` bounds
     the loop (useful for ablation experiments); ``None`` runs to fixpoint.
+
+    ``role_kernel`` selects the bitmask hot path (:mod:`~repro.core.kernels`),
+    compiling ``proto_graph`` unless a prepared ``kernel`` is supplied;
+    ``delta`` additionally enables the semi-naive worklist mode (only
+    meaningful on the kernel path).  All variants reach the same fixed
+    point in the same number of rounds.
     """
+    if kernel is None and role_kernel:
+        kernel = compile_role_kernel(proto_graph)
+    if kernel is not None:
+        with engine.stats.phase("lcc"):
+            return kernel_fixpoint(
+                state, kernel, engine,
+                max_iterations=max_iterations, delta=delta,
+            )
     iterations = 0
     with engine.stats.phase("lcc"):
         while max_iterations is None or iterations < max_iterations:
@@ -46,12 +64,16 @@ def local_constraint_checking(
 
 def _exchange_candidacies(
     state: SearchState, engine: Engine
-) -> Dict[int, Dict[int, FrozenSet[int]]]:
+) -> Dict[int, Dict[int, AbstractSet[int]]]:
     """One traversal: every active vertex sends its roles to its neighbors.
 
     Returns ``received[v][u] = roles u claimed``, the per-vertex inbox.
+    The live role set is shared as the payload (no per-round ``frozenset``
+    copies): the inbox is fully consumed by the synchronous apply step
+    before any candidate set is rebound, so the alias is never observed
+    after a mutation.
     """
-    received: Dict[int, Dict[int, FrozenSet[int]]] = {}
+    received: Dict[int, Dict[int, AbstractSet[int]]] = {}
 
     def visit(ctx, visitor: Visitor) -> None:
         if visitor.payload is None:
@@ -59,7 +81,7 @@ def _exchange_candidacies(
             roles = state.candidates.get(vertex)
             if not roles:
                 return
-            payload = (vertex, frozenset(roles))
+            payload = (vertex, roles)
             ctx.broadcast(vertex, state.active_edges.get(vertex, ()), payload)
         else:
             sender, roles = visitor.payload
@@ -73,7 +95,7 @@ def _exchange_candidacies(
 def _apply_round(
     state: SearchState,
     proto_graph: Graph,
-    received: Dict[int, Dict[int, FrozenSet[int]]],
+    received: Dict[int, Dict[int, AbstractSet[int]]],
 ) -> bool:
     """Synchronous role/edge refinement; returns True if anything changed."""
     changed = False
@@ -121,7 +143,7 @@ def _role_supported(
     role: int,
     proto_graph: Graph,
     state: SearchState,
-    inbox: Dict[int, FrozenSet[int]],
+    inbox: Dict[int, AbstractSet[int]],
     edge_labeled: bool = False,
 ) -> bool:
     """Every template-neighbor of ``role`` needs an active witness neighbor.

@@ -30,6 +30,7 @@ from ..graph.graph import canonical_edge
 from ..runtime.engine import Engine
 from ..runtime.visitor import Visitor
 from .constraints import FULL_WALK_KIND, NonLocalConstraint
+from .kernels import RoleKernel, candidate_masks
 from .state import NlccCache, SearchState
 
 
@@ -80,6 +81,7 @@ def non_local_constraint_checking(
     engine: Engine,
     cache: Optional[NlccCache] = None,
     recycle: bool = True,
+    kernel: Optional[RoleKernel] = None,
 ) -> NlccResult:
     """Verify ``constraint`` over ``state`` in place; returns the outcome.
 
@@ -87,6 +89,11 @@ def non_local_constraint_checking(
     confirmed vertices/roles/edges (they subsume all weaker checks).
     Recycling never applies to full walks: their completions double as the
     exact match evidence and must be recomputed per prototype.
+
+    With a compiled ``kernel`` (see :mod:`~repro.core.kernels`), the
+    per-hop role membership test becomes a single bitmask check against a
+    role-mask snapshot taken before the traversal (the state is only
+    mutated afterwards, so the snapshot stays valid throughout).
     """
     walk = constraint.walk
     walk_len = len(walk)
@@ -116,11 +123,27 @@ def non_local_constraint_checking(
         same_positions.append(same)
         diff_positions.append(diff)
 
-    def visit(ctx, visitor: Visitor) -> None:
-        if visitor.payload is None:
-            _initiate(ctx, visitor.target)
-        else:
-            _advance(ctx, visitor.target, visitor.payload)
+    # Bitmask fast path: snapshot role masks once; the per-hop role test
+    # is then one AND against the walk position's precompiled bit.
+    vmasks = None
+    if kernel is not None:
+        vmasks = candidate_masks(state, kernel)
+        role_bit = kernel.role_bit
+        source_bit = role_bit[source_role]
+        hop_bits = [role_bit[walk[hop]] for hop in range(walk_len)]
+
+    if kernel is None:
+        def visit(ctx, visitor: Visitor) -> None:
+            if visitor.payload is None:
+                _initiate(ctx, visitor.target)
+            else:
+                _advance(ctx, visitor.target, visitor.payload)
+    else:
+        def visit(ctx, visitor: Visitor) -> None:
+            if visitor.payload is None:
+                _initiate_kernel(ctx, visitor.target)
+            else:
+                _advance_kernel(ctx, visitor.target, visitor.payload)
 
     def _initiate(ctx, vertex: int) -> None:
         roles = candidates.get(vertex)
@@ -152,6 +175,39 @@ def non_local_constraint_checking(
         if hop == walk_len - 1:
             # Closed walk: the identity check above already forced
             # vertex == token[0], the initiator.
+            result.completions += 1
+            result.satisfied.add(extended[0])
+            if is_full_walk:
+                _record_match(extended)
+            return
+        ctx.broadcast(vertex, active_edges.get(vertex, ()), extended)
+
+    def _initiate_kernel(ctx, vertex: int) -> None:
+        if not vmasks.get(vertex, 0) & source_bit:
+            return
+        result.checked.add(vertex)
+        if use_cache and cache.is_satisfied(constraint.key, vertex):
+            result.satisfied.add(vertex)
+            result.recycled.add(vertex)
+            return
+        ctx.broadcast(vertex, active_edges.get(vertex, ()), (vertex,))
+
+    def _advance_kernel(ctx, vertex: int, token: Tuple[int, ...]) -> None:
+        hop = len(token)  # position of `vertex` in the walk
+        if not vmasks.get(vertex, 0) & hop_bits[hop]:
+            return  # drop token
+        if hop_edge_labels is not None:
+            wanted = hop_edge_labels[hop]
+            if wanted is not None and graph_edge_label(token[-1], vertex) != wanted:
+                return
+        for position in same_positions[hop]:
+            if token[position] != vertex:
+                return
+        for position in diff_positions[hop]:
+            if token[position] == vertex:
+                return
+        extended = token + (vertex,)
+        if hop == walk_len - 1:
             result.completions += 1
             result.satisfied.add(extended[0])
             if is_full_walk:

@@ -66,6 +66,11 @@ class PipelineOptions:
     batch_size: int = 64
     #: search-space reduction: compute M* before any search (§3.1)
     use_max_candidate_set: bool = True
+    #: bitmask role kernels for the LCC/NLCC hot paths (results identical)
+    role_kernel: bool = True
+    #: semi-naive (delta/worklist) LCC fixpoint — fewer visitors/messages,
+    #: same fixed point; only effective together with ``role_kernel``
+    delta_lcc: bool = True
     #: search-space reduction: containment rule across levels (Obs. 1)
     use_containment: bool = True
     #: redundant work elimination: recycle NLCC results (Obs. 2)
@@ -195,19 +200,27 @@ def run_pipeline(
     mcs_stats = MessageStats(options.num_ranks)
     mcs_engine = Engine(base_pgraph, mcs_stats, options.batch_size)
     if options.use_max_candidate_set:
-        base_state = max_candidate_set(graph, template, mcs_engine)
+        base_state = max_candidate_set(
+            graph, template, mcs_engine,
+            role_kernel=options.role_kernel, delta=options.delta_lcc,
+        )
     else:
         base_state = SearchState.initial(graph, template)
     all_stats.append(mcs_stats)
-    result.candidate_set_vertices = base_state.num_active_vertices
-    result.candidate_set_edges = base_state.num_active_edges
+    (
+        result.candidate_set_vertices,
+        result.candidate_set_edges,
+    ) = base_state.active_counts()
     result.candidate_set_seconds = cost_model.makespan(mcs_stats)
 
     # ---------------------------------------------- search deployment
     search_ranks = options.reload_ranks or options.num_ranks
     deployment_ranks = max(1, search_ranks // options.parallel_deployments)
     infrastructure = 0.0
-    rebalancing = options.load_balance == "reshuffle" or options.reload_ranks
+    # `reload_ranks` is Optional[int]: normalize to a real bool so falsy
+    # edge cases (reload_ranks=0) disable the reload instead of leaking an
+    # int/None into the flag.
+    rebalancing = options.load_balance == "reshuffle" or bool(options.reload_ranks)
     if rebalancing:
         pruned = base_state.to_graph()
         infrastructure += REBALANCE_COST_PER_EDGE * (
@@ -291,6 +304,8 @@ def run_pipeline(
                         options.collect_matches or options.enumeration_optimization
                     ),
                     verification=options.verification,
+                    role_kernel=options.role_kernel,
+                    delta_lcc=options.delta_lcc,
                 )
                 outcome.simulated_seconds = cost_model.makespan(stats)
                 outcome.messages = stats.total_messages
@@ -364,11 +379,14 @@ def _finish_level(
         level.search_seconds = parallel_makespan(costs, batches)
     else:
         level.search_seconds = sum(costs)
-    level.union_vertices = union.num_active_vertices
-    level.union_edges = union.num_active_edges
+    # One O(E) pass for the union sizes, shared by the report fields and
+    # the rebalancing cost below (num_active_edges itself is O(E)).
+    union_vertices, union_edges = union.active_counts()
+    level.union_vertices = union_vertices
+    level.union_edges = union_edges
     if rebalancing and distance > 0:
         level.infrastructure_seconds = REBALANCE_COST_PER_EDGE * (
-            2 * union.num_active_edges + union.num_active_vertices
+            2 * union_edges + union_vertices
         )
     level.wall_seconds = time.perf_counter() - level_wall
     result.levels.append(level)

@@ -98,7 +98,10 @@ def run_pipeline_with_checkpoints(
     )
     engine = Engine(pgraph, MessageStats(options.num_ranks), options.batch_size)
     if options.use_max_candidate_set:
-        base_state = max_candidate_set(graph, template, engine)
+        base_state = max_candidate_set(
+            graph, template, engine,
+            role_kernel=options.role_kernel, delta=options.delta_lcc,
+        )
     else:
         base_state = SearchState.initial(graph, template)
     manifest["base_state"] = _state_payload(base_state)
@@ -171,8 +174,10 @@ def _sweep(
     label_frequencies = graph.label_counts()
     cache = NlccCache() if options.work_recycling else None
     result = PipelineResult(template.name, protos.max_distance, protos)
-    result.candidate_set_vertices = base_state.num_active_vertices
-    result.candidate_set_edges = base_state.num_active_edges
+    (
+        result.candidate_set_vertices,
+        result.candidate_set_edges,
+    ) = base_state.active_counts()
 
     # Restore previously completed work into the result object.
     for vertex, ids in manifest["match_vectors"].items():
@@ -234,6 +239,8 @@ def _sweep(
                 count_matches=options.count_matches,
                 collect_matches=options.collect_matches,
                 verification=options.verification,
+                role_kernel=options.role_kernel,
+                delta_lcc=options.delta_lcc,
             )
             outcome.simulated_seconds = options.cost_model.makespan(stats)
             level.outcomes.append(outcome)
@@ -244,8 +251,7 @@ def _sweep(
                 "vertices": sorted(outcome.solution_vertices),
                 "edges": sorted(outcome.solution_edges),
             }
-        level.union_vertices = union.num_active_vertices
-        level.union_edges = union.num_active_edges
+        level.union_vertices, level.union_edges = union.active_counts()
         level.search_seconds = sum(o.simulated_seconds for o in level.outcomes)
         result.levels.append(level)
         prev_union = union

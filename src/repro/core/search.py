@@ -25,6 +25,7 @@ from .enumeration import (
     enumerate_matches,
     state_from_matches,
 )
+from .kernels import compile_role_kernel
 from .lcc import local_constraint_checking
 from .nlcc import non_local_constraint_checking
 from .prototypes import Prototype
@@ -42,6 +43,8 @@ def search_prototype(
     count_matches: bool = False,
     collect_matches: bool = False,
     verification: str = "auto",
+    role_kernel: bool = True,
+    delta_lcc: bool = True,
 ) -> PrototypeSearchOutcome:
     """Reduce ``state`` to the prototype's solution subgraph, in place.
 
@@ -53,11 +56,19 @@ def search_prototype(
     * ``"enumeration"`` — always verify by enumeration;
     * ``"constraints"`` — never enumerate; the outcome's ``exact`` flag
       reports whether the constraint set alone guarantees exactness.
+
+    ``role_kernel`` compiles the prototype once into bitmask tables shared
+    by every LCC re-run and NLCC traversal of this search; ``delta_lcc``
+    enables the semi-naive LCC worklist.  Both preserve results exactly.
     """
     outcome = PrototypeSearchOutcome(prototype)
     started = time.perf_counter()
 
-    outcome.lcc_iterations = local_constraint_checking(state, prototype.graph, engine)
+    kernel = compile_role_kernel(prototype.graph) if role_kernel else None
+    outcome.lcc_iterations = local_constraint_checking(
+        state, prototype.graph, engine,
+        role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
+    )
 
     full_walk_ran = False
     full_walk_completions = 0
@@ -66,7 +77,8 @@ def search_prototype(
         if not state.num_active_vertices:
             break
         result = non_local_constraint_checking(
-            state, constraint, engine, cache=cache, recycle=recycle
+            state, constraint, engine, cache=cache, recycle=recycle,
+            kernel=kernel,
         )
         outcome.nlcc_constraints_checked += 1
         outcome.nlcc_roles_eliminated += result.eliminated_roles
@@ -77,7 +89,8 @@ def search_prototype(
             full_walk_matches = result.completed_mappings
         elif result.changed:
             outcome.lcc_iterations += local_constraint_checking(
-                state, prototype.graph, engine
+                state, prototype.graph, engine,
+                role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
             )
 
     constraints_exact = full_walk_ran or constraint_set.exact_without_full_walk

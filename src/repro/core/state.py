@@ -88,13 +88,22 @@ class SearchState:
 
     @property
     def num_active_edges(self) -> int:
-        """Edges whose *both* endpoints are still active candidates."""
-        count = 0
+        """Edges whose *both* endpoints are still active candidates.
+
+        O(E) per call — callers needing both sizes (or reusing the edge
+        count) should call :meth:`active_counts` once instead.
+        """
+        return self.active_counts()[1]
+
+    def active_counts(self) -> Tuple[int, int]:
+        """``(num_active_vertices, num_active_edges)`` in one O(E) pass."""
+        candidates = self.candidates
+        edges = 0
         for v, nbrs in self.active_edges.items():
             for u in nbrs:
-                if u > v and u in self.candidates:
-                    count += 1
-        return count
+                if u > v and u in candidates:
+                    edges += 1
+        return len(candidates), edges
 
     def roles(self, vertex: int) -> Set[int]:
         return self.candidates.get(vertex, set())

@@ -69,11 +69,16 @@ def exploratory_search(
     )
     mcs_stats = MessageStats(options.num_ranks)
     mcs_engine = Engine(pgraph, mcs_stats, options.batch_size)
-    base_state = max_candidate_set(graph, template, mcs_engine)
+    base_state = max_candidate_set(
+        graph, template, mcs_engine,
+        role_kernel=options.role_kernel, delta=options.delta_lcc,
+    )
 
     result = PipelineResult(template.name, max_k, protos)
-    result.candidate_set_vertices = base_state.num_active_vertices
-    result.candidate_set_edges = base_state.num_active_edges
+    (
+        result.candidate_set_vertices,
+        result.candidate_set_edges,
+    ) = base_state.active_counts()
     result.candidate_set_seconds = cost_model.makespan(mcs_stats)
     all_stats: List[MessageStats] = [mcs_stats]
 
@@ -102,6 +107,8 @@ def exploratory_search(
                 count_matches=options.count_matches,
                 collect_matches=options.collect_matches,
                 verification=options.verification,
+                role_kernel=options.role_kernel,
+                delta_lcc=options.delta_lcc,
             )
             outcome.simulated_seconds = cost_model.makespan(stats)
             outcome.messages = stats.total_messages

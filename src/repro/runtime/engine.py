@@ -58,20 +58,27 @@ class Context:
         """Push one visitor per target — the hot path of Algs. 4 and 5.
 
         Equivalent to ``push(Visitor(t, payload, source))`` per target but
-        with the per-push bookkeeping inlined.
+        with the per-push bookkeeping inlined; ``payload`` is shared by
+        every visitor of the broadcast (never copied per target), and the
+        delegate test is hoisted out of the loop for the common
+        no-delegates configuration.
         """
         engine = self._engine
         assignment = engine._assignment
-        delegates = engine._delegates
         queues = engine._queues
-        matrix_row = engine._msg_matrix[self._current_rank]
         current = self._current_rank
-        for target in targets:
-            dst_rank = assignment[target]
-            if delegates and target in delegates:
-                dst_rank = current
-            matrix_row[dst_rank] += 1
-            queues[dst_rank].append(Visitor(target, payload, source))
+        matrix_row = engine._msg_matrix[current]
+        delegates = engine._delegates
+        if delegates:
+            for target in targets:
+                dst_rank = current if target in delegates else assignment[target]
+                matrix_row[dst_rank] += 1
+                queues[dst_rank].append(Visitor(target, payload, source))
+        else:
+            for target in targets:
+                dst_rank = assignment[target]
+                matrix_row[dst_rank] += 1
+                queues[dst_rank].append(Visitor(target, payload, source))
 
 
 class Engine:
@@ -110,9 +117,12 @@ class Engine:
         self._rank_node = [pgraph.node_of_rank(r) for r in range(pgraph.num_ranks)]
         # Per-traversal accounting accumulators, folded into `stats` at
         # quiescence (phases only change between traversals, so deferred
-        # accounting is exact).
+        # accounting is exact).  The buffers are zeroed in place between
+        # traversals (`_zero_row` is the copy source) instead of being
+        # reallocated — LCC runs one traversal per round.
         self._msg_matrix = [[0] * pgraph.num_ranks for _ in range(pgraph.num_ranks)]
         self._visit_counts = [0] * pgraph.num_ranks
+        self._zero_row = [0] * pgraph.num_ranks
         self._detector = SafraDetector(pgraph.num_ranks)
 
     # ------------------------------------------------------------------
@@ -161,9 +171,10 @@ class Engine:
             self.stats.bulk_record(
                 self._msg_matrix, self._visit_counts, self._rank_node
             )
-            num_ranks = self.pgraph.num_ranks
-            self._msg_matrix = [[0] * num_ranks for _ in range(num_ranks)]
-            self._visit_counts = [0] * num_ranks
+            zero_row = self._zero_row
+            for row in self._msg_matrix:
+                row[:] = zero_row
+            self._visit_counts[:] = zero_row
             self.stats.barrier()
         finally:
             self._running = False
@@ -187,8 +198,9 @@ class Engine:
                 context._current_rank = rank
                 chunk = min(batch, len(queue))
                 visit_counts[rank] += chunk
+                pop = queue.popleft
                 for _ in range(chunk):
-                    visit(context, queue.popleft())
+                    visit(context, pop())
             detector.sweep_completed()
 
     def pending(self) -> int:

@@ -89,6 +89,8 @@ def _search_task(payload: Tuple) -> Dict:
         recycle=options.work_recycling,
         count_matches=options.count_matches,
         verification=options.verification,
+        role_kernel=options.role_kernel,
+        delta_lcc=options.delta_lcc,
     )
     return {
         "proto_id": proto_id,

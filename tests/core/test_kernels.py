@@ -1,0 +1,281 @@
+"""Equivalence tests for the bitmask role kernels (core/kernels.py).
+
+The kernel and delta paths are pure performance work: every test here pins
+them to the baseline set-based implementations — identical fixed points,
+identical iteration counts, and (for the non-delta kernel) identical
+message counts.
+"""
+
+import pytest
+
+from repro.core import (
+    PatternTemplate,
+    PipelineOptions,
+    SearchState,
+    compile_role_kernel,
+    generate_prototypes,
+    local_constraint_checking,
+    max_candidate_set,
+    run_pipeline,
+)
+from repro.graph.graph import Graph
+from repro.graph.generators import planted_graph
+from repro.runtime import Engine, MessageStats, PartitionedGraph
+
+
+def engine_for(graph, ranks=3):
+    return Engine(PartitionedGraph(graph, ranks), MessageStats(ranks))
+
+
+#: template shapes with label collisions so vertices hold several roles
+def template_pool():
+    return [
+        PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)],
+            labels={0: 1, 1: 2, 2: 3, 3: 4},
+            name="tri+tail",
+        ),
+        PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3)],
+            labels={0: 1, 1: 2, 2: 1, 3: 2},
+            name="alt-path",  # repeated labels: candidates hold 2 roles
+        ),
+        PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={0: 1, 1: 1, 2: 2, 3: 2},
+            name="square",
+        ),
+        PatternTemplate.from_edges(
+            [(0, 1), (0, 2), (0, 3), (1, 2)],
+            labels={0: 1, 1: 2, 2: 2, 3: 3},
+            name="fan",
+        ),
+    ]
+
+
+def random_case(seed):
+    template = template_pool()[seed % 4]
+    labels = [template.label(v) for v in sorted(template.graph.vertices())]
+    graph = planted_graph(
+        40, 110, template.edges(), labels, copies=2, num_labels=4, seed=seed
+    )
+    return graph, template
+
+
+def lcc_snapshot(graph, template, role_kernel, delta):
+    proto = generate_prototypes(template, 0).at(0)[0]
+    state = SearchState.initial(graph, template)
+    engine = engine_for(graph)
+    iterations = local_constraint_checking(
+        state, proto.graph, engine, role_kernel=role_kernel, delta=delta
+    )
+    return (
+        dict(state.candidates),
+        sorted(state.active_edge_list()),
+        iterations,
+        engine.stats,
+    )
+
+
+class TestRoleKernelTables:
+    def template(self):
+        return template_pool()[0]
+
+    def test_role_bits_are_a_bijection(self):
+        kernel = compile_role_kernel(self.template().graph)
+        bits = set(kernel.role_bit.values())
+        assert len(bits) == len(kernel.roles)
+        assert all(bit & (bit - 1) == 0 for bit in bits)  # powers of two
+        for role, bit in kernel.role_bit.items():
+            assert kernel.bit_role[bit] == role
+
+    def test_mask_roundtrip(self):
+        kernel = compile_role_kernel(self.template().graph)
+        for subset in ({0}, {1, 3}, {0, 1, 2, 3}, set()):
+            assert kernel.roles_of(kernel.mask_of(subset)) == subset
+        assert kernel.mask_of(kernel.roles) == kernel.full_mask
+
+    def test_neighbor_masks_mirror_template_adjacency(self):
+        template = self.template()
+        kernel = compile_role_kernel(template.graph)
+        for role in kernel.roles:
+            mask = kernel.neighbor_masks[kernel.role_bit[role]]
+            assert kernel.roles_of(mask) == set(template.graph.neighbors(role))
+
+    def test_label_role_masks(self):
+        template = template_pool()[1]  # labels 1,2,1,2
+        kernel = compile_role_kernel(template.graph)
+        assert kernel.roles_of(kernel.label_role_masks[1]) == {0, 2}
+        assert kernel.roles_of(kernel.label_role_masks[2]) == {1, 3}
+
+    def test_mandatory_masks(self):
+        template = self.template()
+        kernel = compile_role_kernel(template.graph)
+        masks = kernel.mandatory_masks([(2, 3)])
+        assert kernel.roles_of(masks[kernel.role_bit[2]]) == {3}
+        assert kernel.roles_of(masks[kernel.role_bit[3]]) == {2}
+        assert masks[kernel.role_bit[0]] == 0
+
+    def test_edge_labeled_tables_split_by_label(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+        )
+        kernel = compile_role_kernel(template.graph)
+        assert kernel.edge_labeled
+        bit0 = kernel.role_bit[0]
+        assert kernel.roles_of(kernel.any_neighbor_masks[bit0]) == {2}
+        assert kernel.roles_of(kernel.labeled_neighbor_masks[bit0][7]) == {1}
+
+
+class TestLccEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fixed_point_identical(self, seed):
+        graph, template = random_case(seed)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        kern = lcc_snapshot(graph, template, role_kernel=True, delta=False)
+        dlta = lcc_snapshot(graph, template, role_kernel=True, delta=True)
+        # Same candidates, same active edges, same number of rounds.
+        assert kern[:3] == base[:3]
+        assert dlta[:3] == base[:3]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_message_counts(self, seed):
+        graph, template = random_case(seed)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        kern = lcc_snapshot(graph, template, role_kernel=True, delta=False)
+        dlta = lcc_snapshot(graph, template, role_kernel=True, delta=True)
+        # The non-delta kernel replays the baseline broadcast schedule.
+        assert kern[3].total_messages == base[3].total_messages
+        # Delta only ever *skips* re-broadcasts.
+        assert dlta[3].total_messages <= base[3].total_messages
+
+    def test_isolated_candidate_eliminated_in_round_one(self):
+        # A right-labeled vertex with no active edges receives no witnesses;
+        # the delta path must still evaluate (and kill) it in round 1.
+        template = template_pool()[0]
+        graph = Graph()
+        for v, lab in [(0, 1), (1, 2), (2, 3), (3, 4), (9, 3)]:
+            graph.add_vertex(v, lab)
+        for u, v in [(0, 1), (1, 2), (2, 0), (2, 3)]:
+            graph.add_edge(u, v)
+        for delta in (False, True):
+            state = SearchState.initial(graph, template)
+            local_constraint_checking(
+                state, template.graph, engine_for(graph),
+                role_kernel=True, delta=delta,
+            )
+            assert not state.is_active(9)
+            assert state.is_active(2)
+
+
+class TestEdgeLabeledEquivalence:
+    def background(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        graph = Graph()
+        n = 24
+        for v in range(n):
+            graph.add_vertex(v, int(rng.integers(3)) + 1)
+        added = 0
+        while added < 60:
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u != v and not graph.has_edge(u, v):
+                label = None if rng.random() < 0.5 else int(rng.integers(2)) + 6
+                graph.add_edge(u, v, label)
+                added += 1
+        return graph
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_labeled_fixed_point_identical(self, seed):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+            name="el",
+        )
+        graph = self.background(seed)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        kern = lcc_snapshot(graph, template, role_kernel=True, delta=False)
+        dlta = lcc_snapshot(graph, template, role_kernel=True, delta=True)
+        assert kern[:3] == base[:3]
+        assert dlta[:3] == base[:3]
+        assert kern[3].total_messages == base[3].total_messages
+
+
+class TestMaxCandidateSetEquivalence:
+    def mcs_snapshot(self, graph, template, role_kernel, delta):
+        engine = engine_for(graph)
+        state = max_candidate_set(
+            graph, template, engine, role_kernel=role_kernel, delta=delta
+        )
+        return (
+            dict(state.candidates),
+            sorted(state.active_edge_list()),
+            engine.stats,
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mstar_identical(self, seed):
+        graph, template = random_case(seed)
+        base = self.mcs_snapshot(graph, template, role_kernel=False, delta=False)
+        kern = self.mcs_snapshot(graph, template, role_kernel=True, delta=False)
+        dlta = self.mcs_snapshot(graph, template, role_kernel=True, delta=True)
+        assert kern[:2] == base[:2]
+        assert dlta[:2] == base[:2]
+        assert kern[2].total_messages == base[2].total_messages
+        assert dlta[2].total_messages <= base[2].total_messages
+
+    def test_mandatory_edges_identical(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)],
+            labels={0: 1, 1: 2, 2: 3, 3: 4},
+            mandatory_edges=[(2, 3)],
+        )
+        labels = [1, 2, 3, 4]
+        graph = planted_graph(
+            40, 110, template.edges(), labels, copies=2, num_labels=4, seed=3
+        )
+        base = self.mcs_snapshot(graph, template, role_kernel=False, delta=False)
+        for delta in (False, True):
+            other = self.mcs_snapshot(graph, template, role_kernel=True, delta=delta)
+            assert other[:2] == base[:2]
+
+
+class TestPipelineEquivalence:
+    """End-to-end: kernel and delta knobs never change any result field."""
+
+    VARIANTS = [
+        dict(role_kernel=False, delta_lcc=False),
+        dict(role_kernel=True, delta_lcc=False),
+        dict(role_kernel=True, delta_lcc=True),
+    ]
+
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_full_pipeline_identical(self, k, seed):
+        template = template_pool()[0]  # triangle -> NLCC cycle constraints
+        labels = [template.label(v) for v in sorted(template.graph.vertices())]
+        graph = planted_graph(
+            50, 130, template.edges(), labels, copies=3, num_labels=4, seed=seed
+        )
+        results = [
+            run_pipeline(
+                graph, template, k,
+                PipelineOptions(num_ranks=3, count_matches=True, **variant),
+            )
+            for variant in self.VARIANTS
+        ]
+        base = results[0]
+        for result in results[1:]:
+            assert result.match_vectors == base.match_vectors
+            for proto in base.prototype_set:
+                ours = result.outcome_for(proto.id)
+                ref = base.outcome_for(proto.id)
+                assert ours.solution_vertices == ref.solution_vertices
+                assert ours.solution_edges == ref.solution_edges
+                assert ours.match_mappings == ref.match_mappings
+                assert ours.lcc_iterations == ref.lcc_iterations
+                assert ours.exact == ref.exact

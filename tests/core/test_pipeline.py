@@ -113,6 +113,21 @@ class TestOptionEquivalence:
         result = run_pipeline(g, t, 2, options)
         assert result.match_vectors == reference
 
+    def test_reload_ranks_zero_disables_reload(self):
+        """reload_ranks=0 is falsy: no rebalance cost, same deployment."""
+        g, t = graph(), template()
+        result = run_pipeline(
+            g, t, 1, PipelineOptions(num_ranks=3, reload_ranks=0)
+        )
+        reference = run_pipeline(g, t, 1, PipelineOptions(num_ranks=3))
+        assert result.match_vectors == reference.match_vectors
+        # The reload must be fully off: no rebalancing infrastructure time
+        # is charged (the old truthiness leak made this flag an int/None).
+        assert result.total_infrastructure_seconds == 0.0
+        assert (
+            result.total_simulated_seconds == reference.total_simulated_seconds
+        )
+
     def test_naive_equivalent(self):
         g, t = graph(), template()
         assert (
