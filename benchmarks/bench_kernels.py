@@ -1,19 +1,23 @@
-"""E-K1 — kernel microbenchmark: baseline vs bitmask vs bitmask+delta LCC.
+"""E-K1 — kernel microbenchmark: baseline vs bitmask vs delta vs array LCC.
 
-Not a paper figure: this benchmark guards the PR that introduced the
-bitmask role kernels (``core/kernels.py``).  It times the full LCC
-fixpoint (``local_constraint_checking``) on the cached workloads of
-``common.py`` under three configurations
+Not a paper figure: this benchmark guards the PRs that introduced the
+bitmask role kernels (``core/kernels.py``) and the array-backed CSR state
+(``core/arraystate.py``).  It times the full LCC fixpoint
+(``local_constraint_checking``) on the cached workloads of ``common.py``
+under four configurations
 
 * ``baseline``       — the set-based reference path (``role_kernel=False``),
 * ``kernel``         — bitmask tables, all-vertex rounds (``delta=False``),
 * ``kernel+delta``   — bitmask tables plus the semi-naive worklist,
+* ``array``          — kernel+delta on the vectorized CSR array state,
 
-and writes ``BENCH_KERNELS.json`` at the repo root.  The acceptance bar is
-a >=2x wall-time speedup of ``kernel+delta`` over ``baseline`` on the
-largest cached workload (KERNEL-STRESS) together with a reduced visitor
-count; fixed-point equality across all three variants is asserted on
-every workload, so a speedup can never come from doing less pruning.
+and writes ``BENCH_KERNELS.json`` at the repo root.  The acceptance bars
+are a >=2x wall-time speedup of ``kernel+delta`` over ``baseline`` and a
+further >=2x speedup of ``array`` over ``kernel+delta``, both on
+KERNEL-STRESS; fixed-point equality across all four variants is asserted
+on every workload, so a speedup can never come from doing less pruning.
+The ``array`` timing includes the dict->CSR->dict conversions at the
+boundaries, exactly as the pipeline pays them.
 
 Methodology: best-of-``REPEATS`` wall time via ``time.perf_counter``
 around the fixpoint call only (graph/template construction excluded), a
@@ -46,7 +50,11 @@ VARIANTS = [
     ("baseline", dict(role_kernel=False, delta=False)),
     ("kernel", dict(role_kernel=True, delta=False)),
     ("kernel+delta", dict(role_kernel=True, delta=True)),
+    ("array", dict(role_kernel=True, delta=True, array_state=True)),
 ]
+
+#: the workload both acceptance bars are pinned to
+ACCEPTANCE_WORKLOAD = "KERNEL-STRESS"
 
 
 def _run_once(graph, template, config):
@@ -104,6 +112,13 @@ def run_suite(repeats=REPEATS, workloads=None):
             "speedup_kernel_delta": speedup(
                 base["wall_seconds"], variants["kernel+delta"]["wall_seconds"]
             ),
+            "speedup_array": speedup(
+                base["wall_seconds"], variants["array"]["wall_seconds"]
+            ),
+            "speedup_array_vs_delta": speedup(
+                variants["kernel+delta"]["wall_seconds"],
+                variants["array"]["wall_seconds"],
+            ),
             "visit_reduction_delta": (
                 1 - variants["kernel+delta"]["visits"] / base["visits"]
                 if base["visits"] else 0.0
@@ -125,8 +140,10 @@ def run_suite(repeats=REPEATS, workloads=None):
             "fresh_state_per_run": True,
             "python": platform.python_version(),
             "acceptance": (
-                ">=2x kernel+delta speedup and reduced visitor count on the "
-                "largest cached workload; identical fixed points everywhere"
+                ">=2x kernel+delta speedup over baseline, a further >=2x "
+                "array speedup over kernel+delta, and a reduced visitor "
+                "count, all on KERNEL-STRESS; identical fixed points "
+                "everywhere"
             ),
         },
         "workloads": rows,
@@ -134,63 +151,75 @@ def run_suite(repeats=REPEATS, workloads=None):
 
 
 def check_acceptance(payload):
-    """Assert the PR's perf bar; returns the largest workload's row."""
+    """Assert the perf bars; returns the acceptance workload's row."""
     for row in payload["workloads"]:
         assert row["fixpoint_equal"], f"{row['name']}: fixed points diverge"
-    largest = next(r for r in payload["workloads"] if r["largest"])
-    delta, base = largest["variants"]["kernel+delta"], largest["variants"]["baseline"]
-    assert largest["speedup_kernel_delta"] >= 2.0, (
-        f"{largest['name']}: kernel+delta speedup "
-        f"{largest['speedup_kernel_delta']:.2f}x < 2x"
+    target = next(
+        r for r in payload["workloads"] if r["name"] == ACCEPTANCE_WORKLOAD
+    )
+    delta, base = target["variants"]["kernel+delta"], target["variants"]["baseline"]
+    assert target["speedup_kernel_delta"] >= 2.0, (
+        f"{target['name']}: kernel+delta speedup "
+        f"{target['speedup_kernel_delta']:.2f}x < 2x"
+    )
+    assert target["speedup_array_vs_delta"] >= 2.0, (
+        f"{target['name']}: array speedup over kernel+delta "
+        f"{target['speedup_array_vs_delta']:.2f}x < 2x"
     )
     assert delta["visits"] < base["visits"], (
-        f"{largest['name']}: delta did not reduce visitor count"
+        f"{target['name']}: delta did not reduce visitor count"
     )
-    return largest
+    return target
 
 
 def report(payload):
     rows = [
         [
-            row["name"] + (" *" if row["largest"] else ""),
+            row["name"] + (" *" if row["name"] == ACCEPTANCE_WORKLOAD else ""),
             f"{row['vertices']}/{row['edges']}",
             f"{row['variants']['baseline']['wall_seconds']:.3f}s",
             f"{row['variants']['kernel']['wall_seconds']:.3f}s",
             f"{row['variants']['kernel+delta']['wall_seconds']:.3f}s",
+            f"{row['variants']['array']['wall_seconds']:.3f}s",
             f"{row['speedup_kernel_delta']:.1f}x",
-            f"{row['variants']['baseline']['visits']}",
-            f"{row['variants']['kernel+delta']['visits']}",
+            f"{row['speedup_array_vs_delta']:.1f}x",
+            f"{row['speedup_array']:.1f}x",
             "yes" if row["fixpoint_equal"] else "NO",
         ]
         for row in payload["workloads"]
     ]
     print(format_table(
-        ["workload", "V/E", "baseline", "kernel", "k+delta",
-         "speedup", "visits(base)", "visits(delta)", "same fixpoint"],
+        ["workload", "V/E", "baseline", "kernel", "k+delta", "array",
+         "delta/base", "array/delta", "array/base", "same fixpoint"],
         rows,
     ))
-    print("* largest cached workload (the acceptance target)")
+    print("* acceptance workload (both speedup bars)")
 
 
 @pytest.mark.benchmark(group="kernels")
 def test_kernel_fixpoint_speedup(benchmark):
     print_header(
-        "E-K1 — LCC fixpoint: baseline vs bitmask kernel vs kernel+delta"
+        "E-K1 — LCC fixpoint: baseline vs kernel vs kernel+delta vs array"
     )
     payload = benchmark.pedantic(run_suite, rounds=1, iterations=1)
     report(payload)
-    largest = check_acceptance(payload)
+    target = check_acceptance(payload)
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {OUTPUT}")
-    assert largest["speedup_kernel_delta"] >= 2.0
+    assert target["speedup_kernel_delta"] >= 2.0
+
+
+def smoke_suite():
+    """The CI-sized subset: the acceptance workload plus the CSR stress."""
+    names = {ACCEPTANCE_WORKLOAD, "CSR-STRESS"}
+    workloads = [w for w in kernel_workloads() if w[0] in names]
+    return run_suite(repeats=2, workloads=workloads)
 
 
 def main(argv):
     smoke = "--smoke" in argv
     if smoke:
-        # CI-sized: the acceptance workload only, best-of-2, no JSON.
-        workloads = [w for w in kernel_workloads() if w[0] == "KERNEL-STRESS"]
-        payload = run_suite(repeats=2, workloads=workloads)
+        payload = smoke_suite()
         report(payload)
         check_acceptance(payload)
         print("smoke OK")

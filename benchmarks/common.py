@@ -132,12 +132,35 @@ def kernel_stress_template():
     return PatternTemplate.from_edges(edges, labels, name="stress-path8")
 
 
+#: CSR-stress workload size — exercises the vectorized array-state path
+#: at ~5x the KERNEL-STRESS edge count (E-K1, array_state variant)
+CSR_STRESS_VERTICES = 40000
+CSR_STRESS_EDGES = 140000
+
+
+@lru_cache(maxsize=None)
+def csr_stress_background():
+    """A 40K/140K G(n, m) graph in the KERNEL-STRESS regime.
+
+    Same four-label low-diversity shape as KERNEL-STRESS, scaled until the
+    per-round Python overhead of the dict paths dominates — the workload
+    the CSR/bit-vector state is built for.
+    """
+    from repro.graph.generators.random_labeled import gnm_graph
+
+    return gnm_graph(
+        CSR_STRESS_VERTICES, CSR_STRESS_EDGES,
+        num_labels=KERNEL_STRESS_LABELS, seed=11,
+    )
+
+
 def kernel_workloads() -> List[Tuple[str, object, object]]:
     """(name, graph factory, template factory) rows for the kernel bench."""
     return [
         ("RMAT-1", rmat_background, rmat1_for),
         ("WDC-1", wdc_background, wdc1_template),
         ("KERNEL-STRESS", kernel_stress_background, kernel_stress_template),
+        ("CSR-STRESS", csr_stress_background, kernel_stress_template),
     ]
 
 

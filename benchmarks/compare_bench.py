@@ -1,0 +1,108 @@
+"""Regression gate: diff a fresh kernel-bench run against the committed one.
+
+``BENCH_KERNELS.json`` (repo root) records the speedup ratios the kernel
+PRs were accepted with.  This script reruns the CI-sized smoke subset of
+``bench_kernels.py`` and compares the *ratios* — not absolute wall times,
+which vary across machines — against the committed baseline:
+
+* ``speedup_kernel_delta``   (kernel+delta over baseline),
+* ``speedup_array_vs_delta`` (array over kernel+delta),
+* ``visit_reduction_delta``  (delta's visitor-count saving).
+
+A tracked ratio regressing by more than ``--tolerance`` (default 25%)
+relative to its committed value fails the gate; improvements always pass.
+Workloads present in only one of the two payloads are reported but do not
+fail (the committed file may predate a new workload).  Fixed-point
+equality and the absolute >=2x acceptance bars are asserted by the smoke
+run itself before any comparison happens.
+
+Run from the repo root::
+
+    PYTHONPATH=src:benchmarks python benchmarks/compare_bench.py [--tolerance 0.25]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import format_table
+
+from bench_kernels import OUTPUT as COMMITTED, check_acceptance, smoke_suite
+
+#: row-level ratio fields the gate tracks (higher is better for all)
+TRACKED = ["speedup_kernel_delta", "speedup_array_vs_delta",
+           "visit_reduction_delta"]
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def compare(committed: dict, fresh: dict, tolerance: float):
+    """Diff tracked ratios per workload; returns (table_rows, failures)."""
+    committed_rows = {r["name"]: r for r in committed["workloads"]}
+    fresh_rows = {r["name"]: r for r in fresh["workloads"]}
+    rows, failures = [], []
+    for name, fresh_row in fresh_rows.items():
+        base_row = committed_rows.get(name)
+        if base_row is None:
+            rows.append([name, "-", "-", "-", "new workload (not committed)"])
+            continue
+        for field in TRACKED:
+            was = base_row.get(field)
+            now = fresh_row.get(field)
+            if was is None or now is None:
+                rows.append([name, field, str(was), str(now),
+                             "field missing (not compared)"])
+                continue
+            floor = was * (1.0 - tolerance)
+            ok = now >= floor
+            rows.append([
+                name, field, f"{was:.2f}", f"{now:.2f}",
+                "ok" if ok else f"REGRESSED below {floor:.2f}",
+            ])
+            if not ok:
+                failures.append(
+                    f"{name}.{field}: {now:.2f} < {floor:.2f} "
+                    f"(committed {was:.2f}, tolerance {tolerance:.0%})"
+                )
+    for name in committed_rows:
+        if name not in fresh_rows:
+            rows.append([name, "-", "-", "-", "missing from fresh run"])
+    return rows, failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed relative drop per tracked ratio (default: 0.25)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=COMMITTED,
+        help="committed benchmark JSON to compare against",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"no committed baseline at {args.baseline}; nothing to gate")
+        return 1
+    committed = json.loads(args.baseline.read_text())
+
+    fresh = smoke_suite()
+    check_acceptance(fresh)
+
+    rows, failures = compare(committed, fresh, args.tolerance)
+    print(format_table(
+        ["workload", "ratio", "committed", "fresh", "verdict"], rows
+    ))
+    if failures:
+        print("\nregression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nregression gate OK (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,5 +1,13 @@
 """Core algorithms: templates, prototypes, constraint checking, pipeline."""
 
+from .arraystate import (
+    ArraySearchState,
+    GraphCsr,
+    array_kernel_fixpoint,
+    csr_of,
+    run_array_fixpoint,
+    supports_array_fixpoint,
+)
 from .builder import TemplateBuilder
 from .candidate_set import max_candidate_set
 from .constraints import (
@@ -82,6 +90,7 @@ from .wildcards import (
 )
 
 __all__ = [
+    "ArraySearchState",
     "ChildLink",
     "PAPER_PATTERNS",
     "WILDCARD",
@@ -104,6 +113,11 @@ __all__ = [
     "RoleKernel",
     "SearchState",
     "TemplateBuilder",
+    "GraphCsr",
+    "array_kernel_fixpoint",
+    "csr_of",
+    "run_array_fixpoint",
+    "supports_array_fixpoint",
     "clique_template",
     "count_match_mappings",
     "count_motifs",

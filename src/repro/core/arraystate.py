@@ -1,0 +1,835 @@
+"""Array-backed CSR search state and vectorized kernel fixpoints.
+
+The dict-of-sets :class:`~repro.core.state.SearchState` is the canonical
+representation (NLCC token walks, enumeration and the result objects all
+consume it), but the LCC/M* fixed points spend their time in per-vertex
+Python loops.  This module mirrors the paper's actual system shape (§4:
+a static CSR with bit vectors for deactivation) for exactly those hot
+loops:
+
+* :class:`GraphCsr` — an immutable CSR snapshot of a background
+  :class:`~repro.graph.graph.Graph` (``indptr``/``indices`` with every
+  undirected edge stored once per direction, a ``mirror`` permutation
+  mapping each directed edge to its reverse, dense vertex-label codes,
+  per-edge canonical label-pair codes and optional edge-label codes),
+  memoized on the graph and invalidated by any mutation;
+* :class:`ArraySearchState` — per-vertex ``role_mask`` (uint64, same bit
+  layout as :class:`~repro.core.kernels.RoleKernel`), a ``vertex_active``
+  byte array and a per-directed-edge ``edge_alive`` byte array, with
+  vectorized ``initial`` seeding, ``active_counts``, deactivation,
+  ``for_prototype_search`` label-pair filtering and ``union_with``;
+* :func:`array_kernel_fixpoint` — the semi-naive arc-consistency loop of
+  :func:`~repro.core.kernels.kernel_fixpoint` with the per-vertex inbox
+  dicts replaced by boolean worklist arrays and the witness fold replaced
+  by one ``np.bitwise_or.reduceat`` over CSR segments per round.
+
+Exactness contract: every operation reproduces the dict semantics
+*bit-for-bit*, including its quirks — the asymmetric initial edge
+aliveness (edges from candidates toward non-candidate neighbors are alive
+until pruned; the reverse direction never was), candidates holding empty
+role sets (the pooled-level union creates them; they survive every round
+untouched because only vertices with a non-empty mask are evaluated), and
+the full-round edge-dedup rule that skips a pair from the larger-id side
+only when the smaller endpoint is still a *candidate* (not merely mask
+non-empty).  ``tests/core/test_arraystate.py`` pins all of this against
+the dict path on randomized workloads.
+
+Message accounting is batched: instead of one Visitor object per edge
+delivery, each round folds a rank-by-rank ``np.bincount`` matrix and
+per-rank visit counts through :meth:`Engine.record_batched_round`, giving
+the same per-round message/visit totals as the delta dict path (the Safra
+termination-detection traffic is approximated at the minimal two circuits
+per round, so control-message counts — and therefore simulated makespans —
+may differ slightly from the object path; fixed points never do).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .kernels import RoleKernel
+from .state import SearchState, _label_pair
+
+_U64 = np.uint64
+_ZERO = np.uint64(0)
+
+#: role masks are one machine word, as in the bit-vector tables of §4
+MAX_ARRAY_ROLES = 64
+
+
+# ----------------------------------------------------------------------
+# CSR snapshot
+# ----------------------------------------------------------------------
+class GraphCsr:
+    """Immutable CSR view of a background graph (memoized, see :func:`csr_of`).
+
+    Directed storage: each undirected edge appears once per direction;
+    edge ``e`` runs ``src[e] -> indices[e]`` (dense vertex indices), and
+    ``mirror[e]`` is the position of the reverse edge.  All arrays are
+    frozen — per-search mutable state lives in :class:`ArraySearchState`.
+    """
+
+    __slots__ = (
+        "graph",
+        "order",
+        "index_of",
+        "indptr",
+        "indices",
+        "src",
+        "mirror",
+        "degrees",
+        "zero_degree",
+        "label_codes",
+        "label_ids",
+        "num_labels",
+        "vid_gt",
+        "pair_code",
+        "edge_label_codes",
+        "edge_label_ids",
+        "num_vertices",
+        "num_directed_edges",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        n = graph.num_vertices
+        m = 2 * graph.num_edges
+        self.num_vertices = n
+        self.num_directed_edges = m
+        order = np.fromiter(graph.vertices(), dtype=np.int64, count=n)
+        self.order = order
+        index_of = {int(v): i for i, v in enumerate(order)}
+        self.index_of = index_of
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices = np.empty(m, dtype=np.int64)
+        has_edge_labels = graph.has_edge_labels
+        edge_label_ids: Dict[int, int] = {}
+        ecodes = np.zeros(m, dtype=np.int64) if has_edge_labels else None
+        edge_label = graph.edge_label
+        pos = 0
+        for i, v in enumerate(order.tolist()):
+            for w in graph.neighbors(v):
+                indices[pos] = index_of[w]
+                if has_edge_labels:
+                    lab = edge_label(v, w)
+                    if lab is None:
+                        code = 0
+                    else:
+                        code = edge_label_ids.get(lab)
+                        if code is None:
+                            # 0 is reserved for unlabeled edges
+                            code = len(edge_label_ids) + 1
+                            edge_label_ids[lab] = code
+                    ecodes[pos] = code
+                pos += 1
+            indptr[i + 1] = pos
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = np.diff(indptr)
+        self.zero_degree = self.degrees == 0
+        self.src = np.repeat(np.arange(n, dtype=np.int64), self.degrees)
+        self.edge_label_codes = ecodes
+        self.edge_label_ids = edge_label_ids
+
+        # Reverse-edge permutation: sorting edges by (src, dst) and by
+        # (dst, src) yields the same sequence of undirected pairs, so the
+        # k-th entries of the two orders are each other's reverses.
+        forward = np.lexsort((indices, self.src))
+        backward = np.lexsort((self.src, indices))
+        mirror = np.empty(m, dtype=np.int64)
+        mirror[forward] = backward
+        self.mirror = mirror
+
+        label_ids: Dict[int, int] = {}
+        raw_labels = [graph.label(v) for v in order.tolist()]
+        for lab in raw_labels:
+            if lab not in label_ids:
+                label_ids[lab] = len(label_ids)
+        self.label_ids = label_ids
+        self.num_labels = max(len(label_ids), 1)
+        self.label_codes = np.fromiter(
+            (label_ids[lab] for lab in raw_labels), dtype=np.int64, count=n
+        )
+
+        dst_vid = order[indices]
+        src_vid = order[self.src]
+        self.vid_gt = dst_vid > src_vid
+        lo = np.minimum(self.label_codes[self.src], self.label_codes[indices])
+        hi = np.maximum(self.label_codes[self.src], self.label_codes[indices])
+        self.pair_code = lo * np.int64(self.num_labels) + hi
+
+        for name in (
+            "order", "indptr", "indices", "src", "mirror", "degrees",
+            "zero_degree", "label_codes", "vid_gt", "pair_code",
+        ):
+            getattr(self, name).flags.writeable = False
+        if ecodes is not None:
+            ecodes.flags.writeable = False
+
+    def label_pair_code(self, label_a: int, label_b: int) -> Optional[int]:
+        """Dense code of an unordered vertex-label pair, if both occur."""
+        a = self.label_ids.get(label_a)
+        b = self.label_ids.get(label_b)
+        if a is None or b is None:
+            return None
+        lo, hi = (a, b) if a <= b else (b, a)
+        return lo * self.num_labels + hi
+
+
+def csr_of(graph: Graph) -> GraphCsr:
+    """The graph's memoized CSR snapshot (rebuilt after any mutation)."""
+    cache = graph._csr_cache
+    if cache is None:
+        cache = GraphCsr(graph)
+        graph._csr_cache = cache
+    return cache
+
+
+def _role_bits(roles: Sequence[int]) -> Dict[int, int]:
+    if len(roles) > MAX_ARRAY_ROLES:
+        raise ValueError(
+            f"{len(roles)} roles exceed the {MAX_ARRAY_ROLES}-bit mask width"
+        )
+    return {role: 1 << i for i, role in enumerate(roles)}
+
+
+def _segment_or(contrib: np.ndarray, csr: GraphCsr) -> np.ndarray:
+    """Per-vertex OR of a per-edge uint64 array over CSR row segments."""
+    if contrib.shape[0] == 0:
+        return np.zeros(csr.num_vertices, dtype=_U64)
+    # The sentinel keeps reduceat in bounds for empty trailing rows; empty
+    # segments yield a neighbor's garbage value, zeroed via zero_degree.
+    padded = np.concatenate([contrib, np.zeros(1, dtype=_U64)])
+    out = np.bitwise_or.reduceat(padded, csr.indptr[:-1])
+    out[csr.zero_degree] = _ZERO
+    return out
+
+
+# ----------------------------------------------------------------------
+# Array search state
+# ----------------------------------------------------------------------
+class ArraySearchState:
+    """Bit-vector search state over a :class:`GraphCsr`.
+
+    ``role_mask[i]`` packs the candidate roles of vertex ``order[i]`` in
+    :class:`RoleKernel` bit order; ``vertex_active`` tracks candidacy
+    separately because the dict state allows active vertices with *empty*
+    role sets (the pooled-level union creates them); ``edge_alive[e]``
+    tracks the directed edge ``src[e] -> indices[e]`` — aliveness is
+    per-direction because the dict's initial state only activates the
+    candidate-side direction of edges toward non-candidate neighbors.
+    """
+
+    __slots__ = (
+        "graph", "csr", "roles", "role_bit",
+        "role_mask", "vertex_active", "edge_alive",
+    )
+
+    def __init__(
+        self,
+        graph: Graph,
+        csr: GraphCsr,
+        roles: Sequence[int],
+        role_mask: np.ndarray,
+        vertex_active: np.ndarray,
+        edge_alive: np.ndarray,
+    ) -> None:
+        self.graph = graph
+        self.csr = csr
+        self.roles = list(roles)
+        self.role_bit = _role_bits(self.roles)
+        self.role_mask = role_mask
+        self.vertex_active = vertex_active
+        self.edge_alive = edge_alive
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, graph: Graph, template) -> "ArraySearchState":
+        """Vectorized label seeding, matching ``SearchState.initial``.
+
+        Every vertex whose label a template role carries becomes a
+        candidate for all roles of that label; each candidate's *full*
+        adjacency row starts alive (including edges to non-candidates —
+        their reverse directions start dead, as in the dict state).
+        """
+        csr = csr_of(graph)
+        roles = sorted(template.vertices())
+        role_bit = _role_bits(roles)
+        by_label: Dict[int, int] = {}
+        for role in roles:
+            lab = template.label(role)
+            by_label[lab] = by_label.get(lab, 0) | role_bit[role]
+        mask_by_code = np.zeros(csr.num_labels, dtype=_U64)
+        for lab, mask in by_label.items():
+            code = csr.label_ids.get(lab)
+            if code is not None:
+                mask_by_code[code] = mask
+        role_mask = mask_by_code[csr.label_codes]
+        vertex_active = role_mask != _ZERO
+        edge_alive = vertex_active[csr.src].copy()
+        return cls(graph, csr, roles, role_mask, vertex_active, edge_alive)
+
+    @classmethod
+    def from_search_state(
+        cls, state: SearchState, roles: Optional[Sequence[int]] = None
+    ) -> "ArraySearchState":
+        """Lossless import of a dict :class:`SearchState`.
+
+        ``roles`` fixes the bit layout (pass ``kernel.roles`` so masks
+        line up with the kernel tables); by default the roles present in
+        the state are used.
+        """
+        csr = csr_of(state.graph)
+        if roles is None:
+            seen: Set[int] = set()
+            for role_set in state.candidates.values():
+                seen |= role_set
+            roles = sorted(seen)
+        role_bit = _role_bits(roles)
+        n = csr.num_vertices
+        role_mask = np.zeros(n, dtype=_U64)
+        vertex_active = np.zeros(n, dtype=bool)
+        index_of = csr.index_of
+        for v, role_set in state.candidates.items():
+            i = index_of[v]
+            vertex_active[i] = True
+            mask = 0
+            for role in role_set:
+                mask |= role_bit[role]
+            role_mask[i] = mask
+        edge_alive = np.zeros(csr.num_directed_edges, dtype=bool)
+        indptr = csr.indptr
+        indices = csr.indices
+        for v, nbrs in state.active_edges.items():
+            if not nbrs:
+                continue
+            i = index_of[v]
+            s, e = int(indptr[i]), int(indptr[i + 1])
+            if len(nbrs) == e - s:
+                edge_alive[s:e] = True
+            else:
+                targets = np.fromiter(
+                    (index_of[u] for u in nbrs), dtype=np.int64, count=len(nbrs)
+                )
+                edge_alive[s:e] = np.isin(indices[s:e], targets)
+        return cls(state.graph, csr, roles, role_mask, vertex_active, edge_alive)
+
+    # ------------------------------------------------------------------
+    def _build_dicts(self) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
+        csr = self.csr
+        indptr = csr.indptr
+        indices = csr.indices
+        order_list = csr.order.tolist()
+        mask_list = self.role_mask.tolist()
+        alive = self.edge_alive
+        roles = self.roles
+        decode_cache: Dict[int, Tuple[int, ...]] = {}
+        candidates: Dict[int, Set[int]] = {}
+        active_edges: Dict[int, Set[int]] = {}
+        for i in np.nonzero(self.vertex_active)[0].tolist():
+            mask = mask_list[i]
+            decoded = decode_cache.get(mask)
+            if decoded is None:
+                decoded = tuple(
+                    roles[b] for b in range(mask.bit_length()) if (mask >> b) & 1
+                )
+                decode_cache[mask] = decoded
+            candidates[order_list[i]] = set(decoded)
+            s, e = int(indptr[i]), int(indptr[i + 1])
+            row_alive = alive[s:e]
+            if row_alive.all():
+                nbrs = indices[s:e]
+            else:
+                nbrs = indices[s:e][row_alive]
+            active_edges[order_list[i]] = {order_list[t] for t in nbrs.tolist()}
+        return candidates, active_edges
+
+    def to_search_state(self) -> SearchState:
+        """Lossless export to a fresh dict :class:`SearchState`."""
+        candidates, active_edges = self._build_dicts()
+        return SearchState(self.graph, candidates, active_edges)
+
+    def write_back(self, state: SearchState) -> None:
+        """Overwrite ``state`` in place with this array state's content."""
+        candidates, active_edges = self._build_dicts()
+        state.candidates = candidates
+        state.active_edges = active_edges
+
+    def copy(self) -> "ArraySearchState":
+        return ArraySearchState(
+            self.graph, self.csr, self.roles,
+            self.role_mask.copy(), self.vertex_active.copy(),
+            self.edge_alive.copy(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_active_vertices(self) -> int:
+        return int(np.count_nonzero(self.vertex_active))
+
+    def is_active(self, vertex: int) -> bool:
+        return bool(self.vertex_active[self.csr.index_of[vertex]])
+
+    def active_counts(self) -> Tuple[int, int]:
+        """``(num_active_vertices, num_active_edges)``, fully vectorized."""
+        csr = self.csr
+        active = self.vertex_active
+        sel = (
+            self.edge_alive
+            & csr.vid_gt
+            & active[csr.src]
+            & active[csr.indices]
+        )
+        return int(np.count_nonzero(active)), int(np.count_nonzero(sel))
+
+    def active_edge_list(self) -> List[Tuple[int, int]]:
+        """Canonical ``(min, max)`` edges with both endpoints active."""
+        csr = self.csr
+        active = self.vertex_active
+        sel = (
+            self.edge_alive
+            & csr.vid_gt
+            & active[csr.src]
+            & active[csr.indices]
+        )
+        idx = np.nonzero(sel)[0]
+        us = csr.order[csr.src[idx]].tolist()
+        vs = csr.order[csr.indices[idx]].tolist()
+        return list(zip(us, vs))
+
+    # ------------------------------------------------------------------
+    def deactivate_vertex(self, vertex: int) -> None:
+        """Deactivate ``vertex``; kills its alive edges in both directions."""
+        csr = self.csr
+        i = csr.index_of[vertex]
+        self.vertex_active[i] = False
+        self.role_mask[i] = _ZERO
+        s, e = int(csr.indptr[i]), int(csr.indptr[i + 1])
+        row_alive = s + np.nonzero(self.edge_alive[s:e])[0]
+        self.edge_alive[csr.mirror[row_alive]] = False
+        self.edge_alive[s:e] = False
+
+    def deactivate_edge(self, u: int, v: int) -> None:
+        csr = self.csr
+        iu = csr.index_of.get(u)
+        iv = csr.index_of.get(v)
+        if iu is None or iv is None:
+            return
+        s, e = int(csr.indptr[iu]), int(csr.indptr[iu + 1])
+        hits = np.nonzero(csr.indices[s:e] == iv)[0]
+        if hits.shape[0]:
+            pos = s + int(hits[0])
+            self.edge_alive[pos] = False
+            self.edge_alive[csr.mirror[pos]] = False
+
+    def remove_role(self, vertex: int, role: int) -> None:
+        """Drop one candidate role; deactivates the vertex when none left."""
+        i = self.csr.index_of[vertex]
+        if not self.vertex_active[i]:
+            return
+        bit = self.role_bit.get(role)
+        if bit is not None:
+            self.role_mask[i] = self.role_mask[i] & ~_U64(bit)
+        if self.role_mask[i] == _ZERO:
+            self.deactivate_vertex(vertex)
+
+    # ------------------------------------------------------------------
+    def for_prototype_search(
+        self, prototype, readmit_label_pairs: Iterable[Tuple[int, int]] = ()
+    ) -> "ArraySearchState":
+        """Vectorized form of ``SearchState.for_prototype_search``.
+
+        Roles reset by label over the active vertices; an edge survives
+        where its endpoints' label pair is prototype-adjacent (tested via
+        the precomputed ``pair_code`` array), and background edges whose
+        pair is in ``readmit_label_pairs`` *and* prototype-adjacent are
+        re-admitted between active vertices (the ``E(l(q_i), l(q_j))``
+        term of Obs. 1).
+        """
+        csr = self.csr
+        proto_graph = prototype.graph
+        roles = sorted(proto_graph.vertices())
+        role_bit = _role_bits(roles)
+        by_label: Dict[int, int] = {}
+        for role in roles:
+            lab = proto_graph.label(role)
+            by_label[lab] = by_label.get(lab, 0) | role_bit[role]
+        mask_by_code = np.zeros(csr.num_labels, dtype=_U64)
+        for lab, mask in by_label.items():
+            code = csr.label_ids.get(lab)
+            if code is not None:
+                mask_by_code[code] = mask
+        new_mask = np.where(
+            self.vertex_active, mask_by_code[csr.label_codes], _ZERO
+        )
+        new_active = new_mask != _ZERO
+
+        adjacent_codes = set()
+        for u, v in proto_graph.edges():
+            code = csr.label_pair_code(proto_graph.label(u), proto_graph.label(v))
+            if code is not None:
+                adjacent_codes.add(code)
+        readmit_codes = set()
+        for pair in readmit_label_pairs:
+            code = csr.label_pair_code(*_label_pair(*pair))
+            if code is not None and code in adjacent_codes:
+                readmit_codes.add(code)
+
+        endpoints_ok = new_active[csr.src] & new_active[csr.indices]
+        sel = np.zeros(csr.num_directed_edges, dtype=bool)
+        if adjacent_codes:
+            pair_ok = np.isin(
+                csr.pair_code, np.fromiter(adjacent_codes, dtype=np.int64)
+            )
+            sel = self.edge_alive & csr.vid_gt & endpoints_ok & pair_ok
+            if readmit_codes:
+                readmit_ok = np.isin(
+                    csr.pair_code, np.fromiter(readmit_codes, dtype=np.int64)
+                )
+                sel |= csr.vid_gt & endpoints_ok & readmit_ok
+        new_alive = np.zeros(csr.num_directed_edges, dtype=bool)
+        idx = np.nonzero(sel)[0]
+        new_alive[idx] = True
+        new_alive[csr.mirror[idx]] = True
+        return ArraySearchState(
+            self.graph, csr, roles, new_mask, new_active, new_alive
+        )
+
+    def union_with(self, other: "ArraySearchState") -> None:
+        """In-place union via ``np.bitwise_or`` (level accumulation)."""
+        if other.csr is not self.csr:
+            raise ValueError("union_with requires states over the same graph")
+        if other.roles != self.roles:
+            merged = sorted(set(self.roles) | set(other.roles))
+            to_bit = _role_bits(merged)
+            if merged != self.roles:
+                self.role_mask = _translate_masks(
+                    self.role_mask, self.roles, to_bit
+                )
+                self.roles = merged
+                self.role_bit = to_bit
+            other_mask = _translate_masks(other.role_mask, other.roles, to_bit)
+        else:
+            other_mask = other.role_mask
+        self.role_mask = np.bitwise_or(self.role_mask, other_mask)
+        self.vertex_active |= other.vertex_active
+        self.edge_alive |= other.edge_alive
+
+    def __repr__(self) -> str:
+        vertices, edges = self.active_counts()
+        return (
+            f"ArraySearchState(active_vertices={vertices}, "
+            f"active_edges={edges})"
+        )
+
+
+def _translate_masks(
+    mask_arr: np.ndarray, from_roles: Sequence[int], to_bit: Dict[int, int]
+) -> np.ndarray:
+    """Re-encode a mask array from one role/bit layout into another."""
+    out = np.zeros_like(mask_arr)
+    for i, role in enumerate(from_roles):
+        bit_from = _U64(1 << i)
+        bit_to = _U64(to_bit[role])
+        out |= np.where((mask_arr & bit_from) != _ZERO, bit_to, _ZERO)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batched per-round accounting
+# ----------------------------------------------------------------------
+class _RoundAccounting:
+    """Folds one vectorized round's traffic into the engine stats.
+
+    Precomputes per-vertex rank ownership and the per-edge destination
+    rank (delegate targets are handled on the sender's rank, as in
+    ``Context.broadcast``); each round then costs two ``np.bincount``
+    calls instead of one Visitor object per message.
+    """
+
+    __slots__ = ("engine", "num_ranks", "rank_of", "src_rank", "dst_rank")
+
+    def __init__(self, engine, csr: GraphCsr) -> None:
+        self.engine = engine
+        pgraph = engine.pgraph
+        assignment = pgraph.assignment
+        self.num_ranks = pgraph.num_ranks
+        self.rank_of = np.fromiter(
+            (assignment[v] for v in csr.order.tolist()),
+            dtype=np.int64,
+            count=csr.num_vertices,
+        )
+        self.src_rank = self.rank_of[csr.src]
+        dst_rank = self.rank_of[csr.indices]
+        delegates = pgraph.delegates
+        if delegates:
+            is_delegate = np.fromiter(
+                (v in delegates for v in csr.order.tolist()),
+                dtype=bool,
+                count=csr.num_vertices,
+            )
+            dst_rank = np.where(is_delegate[csr.indices], self.src_rank, dst_rank)
+        self.dst_rank = dst_rank
+
+    def record_round(self, seed_idx: np.ndarray, edge_idx: np.ndarray) -> None:
+        """Account one broadcast round: seeds visited, one message/edge."""
+        ranks = self.num_ranks
+        visits = np.bincount(self.rank_of[seed_idx], minlength=ranks)
+        src_r = self.src_rank[edge_idx]
+        dst_r = self.dst_rank[edge_idx]
+        visits += np.bincount(dst_r, minlength=ranks)
+        matrix = np.bincount(
+            src_r * ranks + dst_r, minlength=ranks * ranks
+        ).reshape(ranks, ranks)
+        self.engine.record_batched_round(matrix.tolist(), visits.tolist())
+
+
+# ----------------------------------------------------------------------
+# Vectorized fixpoint
+# ----------------------------------------------------------------------
+def supports_array_fixpoint(kernel: RoleKernel) -> bool:
+    """True if the kernel's role set fits the uint64 mask width."""
+    return len(kernel.roles) <= MAX_ARRAY_ROLES
+
+
+def array_kernel_fixpoint(
+    astate: ArraySearchState,
+    kernel: RoleKernel,
+    engine,
+    max_iterations: Optional[int] = None,
+    delta: bool = True,
+    mandatory_masks: Optional[Dict[int, int]] = None,
+) -> int:
+    """Vectorized :func:`~repro.core.kernels.kernel_fixpoint` over ``astate``.
+
+    Same fixed point, same number of rounds and same per-round message
+    and visit counts as the dict kernel path.  The persistent per-vertex
+    inbox dicts of the delta mode are replaced by an invariant: after
+    round 1, the inbox entry of ``v`` from ``u`` always equals ``u``'s
+    current mask whenever the directed edge ``u -> v`` is alive (changed
+    vertices re-broadcast; drops remove edges and entries together), so
+    the witness fold can be recomputed live each round as one masked
+    gather plus ``np.bitwise_or.reduceat`` over CSR rows.
+    """
+    csr = astate.csr
+    if astate.roles != kernel.roles:
+        raise ValueError("array state and kernel must share one role layout")
+    n = csr.num_vertices
+    indptr = csr.indptr
+    indices = csr.indices
+    src = csr.src
+    mirror = csr.mirror
+    mask = astate.role_mask
+    active = astate.vertex_active
+    alive = astate.edge_alive
+
+    nbits = len(kernel.roles)
+    bits = [(b, _U64(1 << b)) for b in range(nbits)]
+    nm = np.fromiter(
+        (kernel.neighbor_masks[1 << b] for b in range(nbits)),
+        dtype=_U64, count=nbits,
+    ) if nbits else np.zeros(0, dtype=_U64)
+    mcs_mode = mandatory_masks is not None
+    if mcs_mode:
+        mand = np.fromiter(
+            (mandatory_masks[1 << b] for b in range(nbits)),
+            dtype=_U64, count=nbits,
+        ) if nbits else np.zeros(0, dtype=_U64)
+    edge_labeled = kernel.edge_labeled and not mcs_mode
+    if edge_labeled:
+        ecode = csr.edge_label_codes
+        if ecode is None:
+            ecode = np.zeros(csr.num_directed_edges, dtype=np.int64)
+        any_nm = np.fromiter(
+            (kernel.any_neighbor_masks[1 << b] for b in range(nbits)),
+            dtype=_U64, count=nbits,
+        )
+        #: per-bit list of (edge-label code or None, required-mask scalar)
+        labeled_req: List[List[Tuple[Optional[int], np.uint64]]] = []
+        wanted_codes: Set[int] = set()
+        for b in range(nbits):
+            reqs = []
+            for wanted, required in kernel.labeled_neighbor_masks[1 << b].items():
+                code = csr.edge_label_ids.get(wanted)
+                if code is not None:
+                    wanted_codes.add(code)
+                reqs.append((code, _U64(required)))
+            labeled_req.append(reqs)
+        #: per-bit acceptable-neighbor mask by graph edge-label code
+        lab_nm = np.zeros((nbits, len(csr.edge_label_ids) + 1), dtype=_U64)
+        for b in range(nbits):
+            for wanted, required in kernel.labeled_neighbor_masks[1 << b].items():
+                code = csr.edge_label_ids.get(wanted)
+                if code is not None:
+                    lab_nm[b, code] = _U64(required)
+
+    accounting = _RoundAccounting(engine, csr)
+
+    iterations = 0
+    broadcasters: Optional[np.ndarray] = None  # None = full round
+    pending = np.zeros(n, dtype=bool)
+    received = np.zeros(n, dtype=bool)
+    while max_iterations is None or iterations < max_iterations:
+        iterations += 1
+
+        # ------------------------------------------------- broadcast
+        nonzero = mask != _ZERO
+        if broadcasters is None:
+            seeds = active
+            sending = nonzero
+        else:
+            seeds = broadcasters
+            sending = broadcasters
+        sent = alive & sending[src]
+        sent_idx = np.nonzero(sent)[0]
+        accounting.record_round(np.nonzero(seeds)[0], sent_idx)
+        received.fill(False)
+        delivered = indices[sent_idx]
+        received[delivered[active[delivered]]] = True
+
+        # ------------------------------------------------- witness fold
+        contrib = np.where(alive[mirror], mask[indices], _ZERO)
+        witnessed = _segment_or(contrib, csr)
+        if edge_labeled:
+            witnessed_label = {
+                code: _segment_or(
+                    np.where(ecode == code, contrib, _ZERO), csr
+                )
+                for code in wanted_codes
+            }
+
+        # ---------------------------------------------- role refinement
+        if broadcasters is None:
+            evaluate = nonzero
+        else:
+            evaluate = (received | pending) & nonzero
+        pending = np.zeros(n, dtype=bool)
+        idx = np.nonzero(evaluate)[0]
+        m_eval = mask[idx]
+        w_eval = witnessed[idx]
+        surviving = np.zeros(idx.shape[0], dtype=_U64)
+        for b, bit in bits:
+            has = (m_eval & bit) != _ZERO
+            if not has.any():
+                continue
+            if mcs_mode:
+                required = nm[b]
+                if required == _ZERO:
+                    ok = True  # isolated role: label match suffices
+                else:
+                    ok = ((mand[b] & ~w_eval) == _ZERO) & (
+                        (required & w_eval) != _ZERO
+                    )
+            elif edge_labeled:
+                ok = (any_nm[b] & ~w_eval) == _ZERO
+                for code, required in labeled_req[b]:
+                    if code is None:
+                        # the wanted edge label never occurs in the graph
+                        ok = ok & (required == _ZERO)
+                    else:
+                        wl = witnessed_label[code][idx]
+                        ok = ok & ((wl & required) == required)
+            else:
+                required = nm[b]
+                ok = (w_eval & required) == required
+            surviving |= np.where(has & ok, bit, _ZERO)
+        changed_eval = surviving != m_eval
+        mask[idx] = surviving
+        changed_vertices = np.zeros(n, dtype=bool)
+        changed_vertices[idx[changed_eval]] = True
+        elim_idx = idx[changed_eval & (surviving == _ZERO)]
+
+        if elim_idx.shape[0]:
+            active[elim_idx] = False
+            elim_bool = np.zeros(n, dtype=bool)
+            elim_bool[elim_idx] = True
+            out_idx = np.nonzero(elim_bool[src] & alive)[0]
+            # neighbors losing an inbox witness re-evaluate next round
+            pending[indices[out_idx]] = True
+            alive[mirror[out_idx]] = False
+            alive[out_idx] = False
+
+        # ---------------------------------------------- edge elimination
+        changed = bool(changed_vertices.any())
+        nonzero = mask != _ZERO
+        if broadcasters is None:
+            scope = nonzero
+            cand = alive & scope[src]
+            # pair handled from the smaller-id side when both are candidates
+            cand &= csr.vid_gt | ~active[indices]
+        else:
+            scope = changed_vertices & nonzero
+            cand = alive & scope[src]
+        cand_idx = np.nonzero(cand)[0]
+        if cand_idx.shape[0]:
+            ms = mask[src[cand_idx]]
+            md = mask[indices[cand_idx]]
+            viable = np.zeros(cand_idx.shape[0], dtype=bool)
+            if edge_labeled:
+                codes = ecode[cand_idx]
+            for b, bit in bits:
+                has = (ms & bit) != _ZERO
+                if not has.any():
+                    continue
+                if edge_labeled:
+                    acceptable = any_nm[b] | lab_nm[b][codes]
+                else:
+                    acceptable = nm[b]
+                viable |= has & ((acceptable & md) != _ZERO)
+            drop_idx = cand_idx[~viable]
+            if drop_idx.shape[0]:
+                changed = True
+                dst_t = indices[drop_idx]
+                pending[dst_t[active[dst_t]]] = True
+                rev = mirror[drop_idx]
+                src_t = src[drop_idx]
+                pending[src_t[alive[rev]]] = True
+                alive[drop_idx] = False
+                alive[rev] = False
+
+        if not changed:
+            break
+        if delta:
+            broadcasters = changed_vertices & nonzero
+        else:
+            broadcasters = None
+    return iterations
+
+
+def run_array_fixpoint(
+    state: SearchState,
+    kernel: RoleKernel,
+    engine,
+    max_iterations: Optional[int] = None,
+    delta: bool = True,
+    mandatory_masks: Optional[Dict[int, int]] = None,
+) -> int:
+    """Round-trip a dict state through the vectorized fixpoint.
+
+    Imports ``state`` into an :class:`ArraySearchState` (kernel bit
+    layout), runs :func:`array_kernel_fixpoint`, and writes the result
+    back in place.  Returns the iteration count.
+    """
+    astate = ArraySearchState.from_search_state(state, roles=kernel.roles)
+    iterations = array_kernel_fixpoint(
+        astate, kernel, engine,
+        max_iterations=max_iterations, delta=delta,
+        mandatory_masks=mandatory_masks,
+    )
+    astate.write_back(state)
+    return iterations
+
+
+__all__ = [
+    "ArraySearchState",
+    "GraphCsr",
+    "MAX_ARRAY_ROLES",
+    "array_kernel_fixpoint",
+    "csr_of",
+    "run_array_fixpoint",
+    "supports_array_fixpoint",
+]

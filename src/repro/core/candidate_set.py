@@ -23,6 +23,11 @@ from typing import Dict, FrozenSet, Set
 
 from ..runtime.engine import Engine
 from ..graph.graph import canonical_edge
+from .arraystate import (
+    ArraySearchState,
+    array_kernel_fixpoint,
+    supports_array_fixpoint,
+)
 from .kernels import compile_role_kernel, kernel_fixpoint
 from .lcc import _exchange_candidacies, _has_adjacent_pair
 from .state import SearchState
@@ -35,21 +40,33 @@ def max_candidate_set(
     engine: Engine,
     role_kernel: bool = True,
     delta: bool = True,
+    array_state: bool = False,
 ) -> SearchState:
     """Compute ``M*`` as a :class:`SearchState` over ``graph``.
 
-    ``role_kernel``/``delta`` select the bitmask and semi-naive hot paths
-    (:mod:`~repro.core.kernels`); the fixed point is identical either way.
+    ``role_kernel``/``delta``/``array_state`` select the bitmask,
+    semi-naive and vectorized-CSR hot paths; the fixed point is identical
+    either way.  The array path seeds the initial labeling directly in
+    array form and converts to the dict state only at the boundary.
     """
-    state = SearchState.initial(graph, template)
     if role_kernel:
         kernel = compile_role_kernel(template.graph)
         mandatory = kernel.mandatory_masks(template.mandatory_edges)
+        if array_state and supports_array_fixpoint(kernel):
+            with engine.stats.phase("max_candidate_set"):
+                astate = ArraySearchState.initial(graph, template)
+                array_kernel_fixpoint(
+                    astate, kernel, engine,
+                    delta=delta, mandatory_masks=mandatory,
+                )
+            return astate.to_search_state()
+        state = SearchState.initial(graph, template)
         with engine.stats.phase("max_candidate_set"):
             kernel_fixpoint(
                 state, kernel, engine, delta=delta, mandatory_masks=mandatory
             )
         return state
+    state = SearchState.initial(graph, template)
     mandatory_neighbors = _mandatory_neighbor_map(template)
     template_graph = template.graph
     with engine.stats.phase("max_candidate_set"):

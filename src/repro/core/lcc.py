@@ -20,6 +20,7 @@ from typing import AbstractSet, Dict, Optional, Set
 from ..graph.graph import Graph
 from ..runtime.engine import Engine
 from ..runtime.visitor import Visitor
+from .arraystate import run_array_fixpoint, supports_array_fixpoint
 from .kernels import RoleKernel, compile_role_kernel, kernel_fixpoint
 from .state import SearchState
 
@@ -32,6 +33,7 @@ def local_constraint_checking(
     role_kernel: bool = True,
     delta: bool = True,
     kernel: Optional[RoleKernel] = None,
+    array_state: bool = False,
 ) -> int:
     """Prune ``state`` to the LCC fixed point for ``proto_graph``.
 
@@ -40,13 +42,21 @@ def local_constraint_checking(
 
     ``role_kernel`` selects the bitmask hot path (:mod:`~repro.core.kernels`),
     compiling ``proto_graph`` unless a prepared ``kernel`` is supplied;
-    ``delta`` additionally enables the semi-naive worklist mode (only
-    meaningful on the kernel path).  All variants reach the same fixed
-    point in the same number of rounds.
+    ``delta`` additionally enables the semi-naive worklist mode, and
+    ``array_state`` the vectorized CSR fixpoint
+    (:mod:`~repro.core.arraystate` — falls back to the dict kernel when
+    the role set exceeds the mask width).  All variants reach the same
+    fixed point in the same number of rounds.
     """
     if kernel is None and role_kernel:
         kernel = compile_role_kernel(proto_graph)
     if kernel is not None:
+        if array_state and supports_array_fixpoint(kernel):
+            with engine.stats.phase("lcc"):
+                return run_array_fixpoint(
+                    state, kernel, engine,
+                    max_iterations=max_iterations, delta=delta,
+                )
         with engine.stats.phase("lcc"):
             return kernel_fixpoint(
                 state, kernel, engine,

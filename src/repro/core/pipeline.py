@@ -71,6 +71,10 @@ class PipelineOptions:
     #: semi-naive (delta/worklist) LCC fixpoint — fewer visitors/messages,
     #: same fixed point; only effective together with ``role_kernel``
     delta_lcc: bool = True
+    #: vectorized CSR/bit-vector fixpoint state (core/arraystate) for the
+    #: LCC and M* hot loops — same fixed points, batched visitor payloads;
+    #: only effective together with ``role_kernel``
+    array_state: bool = True
     #: search-space reduction: containment rule across levels (Obs. 1)
     use_containment: bool = True
     #: redundant work elimination: recycle NLCC results (Obs. 2)
@@ -203,6 +207,7 @@ def run_pipeline(
         base_state = max_candidate_set(
             graph, template, mcs_engine,
             role_kernel=options.role_kernel, delta=options.delta_lcc,
+            array_state=options.array_state,
         )
     else:
         base_state = SearchState.initial(graph, template)
@@ -306,6 +311,7 @@ def run_pipeline(
                     verification=options.verification,
                     role_kernel=options.role_kernel,
                     delta_lcc=options.delta_lcc,
+                    array_state=options.array_state,
                 )
                 outcome.simulated_seconds = cost_model.makespan(stats)
                 outcome.messages = stats.total_messages
@@ -345,6 +351,14 @@ def run_pipeline(
     )
     result.total_wall_seconds = time.perf_counter() - wall_start
     result.message_summary = merge_message_stats(all_stats)
+    if cache is not None:
+        constraints, entries = cache.size()
+        result.nlcc_cache_stats = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "constraints": constraints,
+            "entries": entries,
+        }
     return result
 
 
@@ -384,6 +398,8 @@ def _finish_level(
     union_vertices, union_edges = union.active_counts()
     level.union_vertices = union_vertices
     level.union_edges = union_edges
+    level.post_lcc_vertices = sum(o.post_lcc_vertices for o in level.outcomes)
+    level.post_lcc_edges = sum(o.post_lcc_edges for o in level.outcomes)
     if rebalancing and distance > 0:
         level.infrastructure_seconds = REBALANCE_COST_PER_EDGE * (
             2 * union_edges + union_vertices
@@ -417,6 +433,8 @@ def _pooled_level(
         outcome.match_mappings = payload["match_mappings"]
         outcome.distinct_matches = payload["distinct_matches"]
         outcome.lcc_iterations = payload["lcc_iterations"]
+        outcome.post_lcc_vertices = payload.get("post_lcc_vertices", 0)
+        outcome.post_lcc_edges = payload.get("post_lcc_edges", 0)
         outcome.nlcc_constraints_checked = payload["nlcc_constraints_checked"]
         outcome.nlcc_roles_eliminated = payload["nlcc_roles_eliminated"]
         outcome.nlcc_recycled = payload["nlcc_recycled"]

@@ -101,6 +101,7 @@ def run_pipeline_with_checkpoints(
         base_state = max_candidate_set(
             graph, template, engine,
             role_kernel=options.role_kernel, delta=options.delta_lcc,
+            array_state=options.array_state,
         )
     else:
         base_state = SearchState.initial(graph, template)
@@ -241,6 +242,7 @@ def _sweep(
                 verification=options.verification,
                 role_kernel=options.role_kernel,
                 delta_lcc=options.delta_lcc,
+                array_state=options.array_state,
             )
             outcome.simulated_seconds = options.cost_model.makespan(stats)
             level.outcomes.append(outcome)

@@ -25,6 +25,10 @@ class PrototypeSearchOutcome:
         #: enumerated match mappings, if collected
         self.matches: Optional[List[Dict[int, int]]] = None
         self.lcc_iterations = 0
+        #: active (vertices, edges) right after the initial LCC fixpoint —
+        #: attributes how much pruning LCC did before the NLCC walks ran
+        self.post_lcc_vertices = 0
+        self.post_lcc_edges = 0
         self.nlcc_constraints_checked = 0
         self.nlcc_roles_eliminated = 0
         self.nlcc_recycled = 0
@@ -55,6 +59,10 @@ class LevelReport:
         #: union-of-solution-subgraph sizes after this level (|V*_k| row)
         self.union_vertices = 0
         self.union_edges = 0
+        #: summed post-LCC active counts over this level's prototype
+        #: searches (attribution of LCC vs NLCC pruning work)
+        self.post_lcc_vertices = 0
+        self.post_lcc_edges = 0
         #: simulated seconds spent searching this level (after scheduling)
         self.search_seconds = 0.0
         #: simulated seconds of infrastructure management for this level
@@ -98,6 +106,9 @@ class PipelineResult:
         self.total_infrastructure_seconds = 0.0
         #: aggregated message accounting across all engines of the run
         self.message_summary: Dict[str, object] = {}
+        #: NLCC work-recycling cache counters (empty when recycling is off):
+        #: hits/misses plus the cache's constraint and vertex-entry sizes
+        self.nlcc_cache_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def outcomes(self) -> List[PrototypeSearchOutcome]:

@@ -45,6 +45,7 @@ def search_prototype(
     verification: str = "auto",
     role_kernel: bool = True,
     delta_lcc: bool = True,
+    array_state: bool = False,
 ) -> PrototypeSearchOutcome:
     """Reduce ``state`` to the prototype's solution subgraph, in place.
 
@@ -59,7 +60,8 @@ def search_prototype(
 
     ``role_kernel`` compiles the prototype once into bitmask tables shared
     by every LCC re-run and NLCC traversal of this search; ``delta_lcc``
-    enables the semi-naive LCC worklist.  Both preserve results exactly.
+    enables the semi-naive LCC worklist and ``array_state`` the vectorized
+    CSR fixpoint.  All preserve results exactly.
     """
     outcome = PrototypeSearchOutcome(prototype)
     started = time.perf_counter()
@@ -68,7 +70,12 @@ def search_prototype(
     outcome.lcc_iterations = local_constraint_checking(
         state, prototype.graph, engine,
         role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
+        array_state=array_state,
     )
+    (
+        outcome.post_lcc_vertices,
+        outcome.post_lcc_edges,
+    ) = state.active_counts()
 
     full_walk_ran = False
     full_walk_completions = 0
@@ -91,6 +98,7 @@ def search_prototype(
             outcome.lcc_iterations += local_constraint_checking(
                 state, prototype.graph, engine,
                 role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
+                array_state=array_state,
             )
 
     constraints_exact = full_walk_ran or constraint_set.exact_without_full_walk

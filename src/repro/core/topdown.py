@@ -72,6 +72,7 @@ def exploratory_search(
     base_state = max_candidate_set(
         graph, template, mcs_engine,
         role_kernel=options.role_kernel, delta=options.delta_lcc,
+        array_state=options.array_state,
     )
 
     result = PipelineResult(template.name, max_k, protos)
@@ -109,6 +110,7 @@ def exploratory_search(
                 verification=options.verification,
                 role_kernel=options.role_kernel,
                 delta_lcc=options.delta_lcc,
+                array_state=options.array_state,
             )
             outcome.simulated_seconds = cost_model.makespan(stats)
             outcome.messages = stats.total_messages
@@ -121,6 +123,10 @@ def exploratory_search(
         level.union_vertices = len(
             {v for o in level.outcomes for v in o.solution_vertices}
         )
+        level.post_lcc_vertices = sum(
+            o.post_lcc_vertices for o in level.outcomes
+        )
+        level.post_lcc_edges = sum(o.post_lcc_edges for o in level.outcomes)
         level.wall_seconds = time.perf_counter() - level_wall
         result.levels.append(level)
         if stop_condition(level):
@@ -131,6 +137,14 @@ def exploratory_search(
     )
     result.total_wall_seconds = time.perf_counter() - wall_start
     result.message_summary = merge_message_stats(all_stats)
+    if cache is not None:
+        constraints, entries = cache.size()
+        result.nlcc_cache_stats = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "constraints": constraints,
+            "entries": entries,
+        }
     return result
 
 

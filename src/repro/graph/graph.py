@@ -42,7 +42,7 @@ class Graph:
         paper's setting).  Passing ``True`` raises :class:`GraphError`.
     """
 
-    __slots__ = ("_adj", "_labels", "_num_edges", "_edge_labels")
+    __slots__ = ("_adj", "_labels", "_num_edges", "_edge_labels", "_csr_cache")
 
     def __init__(self, directed: bool = False) -> None:
         if directed:
@@ -53,6 +53,9 @@ class Graph:
         #: optional edge labels (canonical edge -> label); empty when the
         #: graph is plain vertex-labeled, keeping every hot path unchanged
         self._edge_labels: Dict[Edge, int] = {}
+        #: memoized frozen CSR view (see core/arraystate.GraphCsr); any
+        #: mutation invalidates it so stale adjacency can never be reused
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -62,6 +65,7 @@ class Graph:
         if vertex not in self._adj:
             self._adj[vertex] = set()
         self._labels[vertex] = label
+        self._csr_cache = None
 
     def add_edge(self, u: int, v: int, label: Optional[int] = None) -> bool:
         """Add the undirected edge ``(u, v)``, optionally edge-labeled.
@@ -85,6 +89,7 @@ class Graph:
         self._num_edges += 1
         if label is not None:
             self._edge_labels[canonical_edge(u, v)] = label
+        self._csr_cache = None
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -96,6 +101,7 @@ class Graph:
             raise GraphError(f"edge ({u}, {v}) not in graph") from exc
         self._num_edges -= 1
         self._edge_labels.pop(canonical_edge(u, v), None)
+        self._csr_cache = None
 
     def remove_vertex(self, vertex: int) -> None:
         """Remove ``vertex`` and all incident edges; raises if absent."""
@@ -107,6 +113,7 @@ class Graph:
             self._edge_labels.pop(canonical_edge(vertex, other), None)
         self._num_edges -= len(neighbors)
         del self._labels[vertex]
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -267,6 +274,16 @@ class Graph:
                 pos += 1
             offsets[i + 1] = pos
         return offsets, targets, labels, id_map
+
+    def __getstate__(self):
+        # The CSR cache holds numpy arrays plus a back-reference to the
+        # graph; rebuild it lazily on the other side instead of shipping it
+        # (worker processes pickle the background graph once per pool).
+        return (self._adj, self._labels, self._num_edges, self._edge_labels)
+
+    def __setstate__(self, state) -> None:
+        self._adj, self._labels, self._num_edges, self._edge_labels = state
+        self._csr_cache = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):

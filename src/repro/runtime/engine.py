@@ -203,6 +203,30 @@ class Engine:
                     visit(context, pop())
             detector.sweep_completed()
 
+    def record_batched_round(
+        self,
+        msg_matrix: List[List[int]],
+        visit_counts: List[int],
+        circuits: int = 2,
+    ) -> None:
+        """Account one batched (array-executed) broadcast round.
+
+        The vectorized kernels (:mod:`repro.core.arraystate`) execute a
+        whole round as structured arrays instead of per-message Visitor
+        objects; they report the same rank-by-rank message matrix and
+        per-rank visit counts the object path would have produced, plus
+        the minimal clean termination-detection exchange (``circuits``
+        Safra circuits — two when no reactivation wave occurs).  Closes a
+        barrier interval exactly like :meth:`do_traversal`.
+        """
+        if self._running:
+            raise EngineError("engine is not reentrant")
+        self.stats.record_quiescence(
+            self.pgraph.num_ranks * circuits, circuits
+        )
+        self.stats.bulk_record(msg_matrix, visit_counts, self._rank_node)
+        self.stats.barrier()
+
     def pending(self) -> int:
         """Total queued visitors (0 at quiescence)."""
         return sum(len(queue) for queue in self._queues)

@@ -91,6 +91,7 @@ def _search_task(payload: Tuple) -> Dict:
         verification=options.verification,
         role_kernel=options.role_kernel,
         delta_lcc=options.delta_lcc,
+        array_state=options.array_state,
     )
     return {
         "proto_id": proto_id,
@@ -99,6 +100,8 @@ def _search_task(payload: Tuple) -> Dict:
         "match_mappings": outcome.match_mappings,
         "distinct_matches": outcome.distinct_matches,
         "lcc_iterations": outcome.lcc_iterations,
+        "post_lcc_vertices": outcome.post_lcc_vertices,
+        "post_lcc_edges": outcome.post_lcc_edges,
         "nlcc_constraints_checked": outcome.nlcc_constraints_checked,
         "nlcc_roles_eliminated": outcome.nlcc_roles_eliminated,
         "nlcc_recycled": outcome.nlcc_recycled,

@@ -1,0 +1,481 @@
+"""Equivalence tests for the array-backed CSR state (core/arraystate.py).
+
+The array state and vectorized fixpoints are pure performance work: every
+test here pins them to the dict-of-sets baseline — identical fixed points,
+identical iteration counts, identical message/visit totals, and lossless
+round-trip conversion — on the same randomized workloads as
+``test_kernels.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArraySearchState,
+    PatternTemplate,
+    PipelineOptions,
+    SearchState,
+    compile_role_kernel,
+    csr_of,
+    generate_prototypes,
+    local_constraint_checking,
+    max_candidate_set,
+    run_pipeline,
+    supports_array_fixpoint,
+)
+from repro.core.arraystate import MAX_ARRAY_ROLES, GraphCsr
+from repro.graph.graph import Graph
+from repro.graph.generators import planted_graph
+from repro.runtime import Engine, MessageStats, PartitionedGraph
+
+from test_kernels import engine_for, random_case, template_pool
+
+
+def dict_snapshot(state):
+    return (
+        {v: frozenset(r) for v, r in state.candidates.items()},
+        sorted(state.active_edge_list()),
+    )
+
+
+def array_snapshot(astate):
+    exported = astate.to_search_state()
+    return dict_snapshot(exported)
+
+
+def lcc_snapshot(graph, template, **config):
+    proto = generate_prototypes(template, 0).at(0)[0]
+    state = SearchState.initial(graph, template)
+    engine = engine_for(graph)
+    iterations = local_constraint_checking(
+        state, proto.graph, engine, **config
+    )
+    return dict_snapshot(state), iterations, engine.stats
+
+
+class TestGraphCsr:
+    def graph(self, seed=0):
+        graph, _template = random_case(seed)
+        return graph
+
+    def test_rows_mirror_adjacency(self):
+        graph = self.graph()
+        csr = GraphCsr(graph)
+        for i, v in enumerate(csr.order.tolist()):
+            s, e = int(csr.indptr[i]), int(csr.indptr[i + 1])
+            row = {csr.order[t] for t in csr.indices[s:e].tolist()}
+            assert row == set(graph.neighbors(v))
+
+    def test_mirror_is_an_involution_onto_reverse_edges(self):
+        csr = GraphCsr(self.graph())
+        e = np.arange(csr.num_directed_edges)
+        assert (csr.mirror[csr.mirror] == e).all()
+        assert (csr.src[csr.mirror] == csr.indices).all()
+        assert (csr.indices[csr.mirror] == csr.src).all()
+
+    def test_pair_code_is_canonical(self):
+        csr = GraphCsr(self.graph())
+        assert (csr.pair_code == csr.pair_code[csr.mirror]).all()
+        lab = csr.label_codes
+        lo = np.minimum(lab[csr.src], lab[csr.indices])
+        hi = np.maximum(lab[csr.src], lab[csr.indices])
+        assert (csr.pair_code == lo * csr.num_labels + hi).all()
+
+    def test_label_pair_code_unknown_label(self):
+        csr = GraphCsr(self.graph())
+        assert csr.label_pair_code(1, 999) is None
+
+    def test_memoized_and_invalidated_on_mutation(self):
+        graph = self.graph()
+        csr = csr_of(graph)
+        assert csr_of(graph) is csr
+        vertices = list(graph.vertices())
+        graph.add_vertex(max(vertices) + 1, 1)
+        rebuilt = csr_of(graph)
+        assert rebuilt is not csr
+        assert rebuilt.num_vertices == csr.num_vertices + 1
+
+    def test_arrays_are_frozen(self):
+        csr = GraphCsr(self.graph())
+        with pytest.raises(ValueError):
+            csr.indices[0] = 0
+
+
+class TestRoundTripConversion:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_initial_state_round_trips(self, seed):
+        graph, template = random_case(seed)
+        state = SearchState.initial(graph, template)
+        astate = ArraySearchState.from_search_state(state)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_initial_matches_dict_initial(self, seed):
+        graph, template = random_case(seed)
+        state = SearchState.initial(graph, template)
+        astate = ArraySearchState.initial(graph, template)
+        assert array_snapshot(astate) == dict_snapshot(state)
+        assert astate.active_counts() == (
+            state.num_active_vertices, state.num_active_edges,
+        )
+
+    def test_partially_pruned_state_round_trips(self):
+        graph, template = random_case(1)
+        state = SearchState.initial(graph, template)
+        victims = sorted(state.candidates)[:3]
+        state.deactivate_vertex(victims[0])
+        nbrs = state.active_neighbors(victims[1])
+        if nbrs:
+            state.deactivate_edge(victims[1], next(iter(nbrs)))
+        astate = ArraySearchState.from_search_state(state)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    def test_empty_role_set_candidate_survives(self):
+        # The pooled-level union can leave candidates with empty role
+        # sets; the conversion must keep them active in both directions.
+        graph, template = random_case(0)
+        state = SearchState.initial(graph, template)
+        some = next(iter(state.candidates))
+        state.candidates[some] = set()
+        astate = ArraySearchState.from_search_state(state)
+        assert astate.is_active(some)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    def test_write_back_overwrites_in_place(self):
+        graph, template = random_case(2)
+        state = SearchState.initial(graph, template)
+        astate = ArraySearchState.from_search_state(state)
+        astate.deactivate_vertex(next(iter(state.candidates)))
+        astate.write_back(state)
+        assert dict_snapshot(state) == array_snapshot(astate)
+
+
+class TestMutationParity:
+    def pair(self, seed=0):
+        graph, template = random_case(seed)
+        state = SearchState.initial(graph, template)
+        return state, ArraySearchState.from_search_state(state)
+
+    def test_deactivate_vertex(self):
+        state, astate = self.pair()
+        victim = sorted(state.candidates)[1]
+        state.deactivate_vertex(victim)
+        astate.deactivate_vertex(victim)
+        assert not astate.is_active(victim)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    def test_deactivate_edge(self):
+        state, astate = self.pair()
+        u = next(v for v in sorted(state.candidates)
+                 if state.active_neighbors(v))
+        w = next(iter(state.active_neighbors(u)))
+        state.deactivate_edge(u, w)
+        astate.deactivate_edge(u, w)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    def test_remove_role_keeps_vertex_with_other_roles(self):
+        state, astate = self.pair(1)  # alt-path: candidates hold 2 roles
+        vertex = next(v for v, r in sorted(state.candidates.items())
+                      if len(r) >= 2)
+        role = min(state.candidates[vertex])
+        state.remove_role(vertex, role)
+        astate.remove_role(vertex, role)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    def test_remove_last_role_deactivates(self):
+        state, astate = self.pair()
+        vertex = next(v for v, r in sorted(state.candidates.items())
+                      if len(r) == 1)
+        role = next(iter(state.candidates[vertex]))
+        state.remove_role(vertex, role)
+        astate.remove_role(vertex, role)
+        assert not astate.is_active(vertex)
+        assert array_snapshot(astate) == dict_snapshot(state)
+
+    def test_copy_independent(self):
+        _state, astate = self.pair()
+        clone = astate.copy()
+        victim = int(astate.csr.order[np.nonzero(astate.vertex_active)[0][0]])
+        clone.deactivate_vertex(victim)
+        assert astate.is_active(victim)
+
+
+class TestLccEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fixed_point_identical(self, seed):
+        graph, template = random_case(seed)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        arr = lcc_snapshot(
+            graph, template, role_kernel=True, delta=True, array_state=True
+        )
+        assert arr[:2] == base[:2]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_full_round_mode_identical(self, seed):
+        graph, template = random_case(seed)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        arr = lcc_snapshot(
+            graph, template, role_kernel=True, delta=False, array_state=True
+        )
+        assert arr[:2] == base[:2]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_message_and_visit_parity_with_delta_kernel(self, seed):
+        # The batched accounting must reproduce the dict delta path's
+        # totals exactly (control/termination traffic is not compared).
+        graph, template = random_case(seed)
+        dlta = lcc_snapshot(graph, template, role_kernel=True, delta=True)
+        arr = lcc_snapshot(
+            graph, template, role_kernel=True, delta=True, array_state=True
+        )
+        assert arr[2].total_messages == dlta[2].total_messages
+        assert arr[2].total_visits == dlta[2].total_visits
+
+    def test_max_iterations_bound_respected(self):
+        graph, template = random_case(0)
+        base = lcc_snapshot(
+            graph, template, role_kernel=False, delta=False, max_iterations=1
+        )
+        arr = lcc_snapshot(
+            graph, template, role_kernel=True, delta=True,
+            array_state=True, max_iterations=1,
+        )
+        assert arr[:2] == base[:2]
+        assert arr[1] == 1
+
+    def test_isolated_candidate_eliminated_in_round_one(self):
+        template = template_pool()[0]
+        graph = Graph()
+        for v, lab in [(0, 1), (1, 2), (2, 3), (3, 4), (9, 3)]:
+            graph.add_vertex(v, lab)
+        for u, v in [(0, 1), (1, 2), (2, 0), (2, 3)]:
+            graph.add_edge(u, v)
+        for delta in (False, True):
+            state = SearchState.initial(graph, template)
+            local_constraint_checking(
+                state, template.graph, engine_for(graph),
+                role_kernel=True, delta=delta, array_state=True,
+            )
+            assert not state.is_active(9)
+            assert state.is_active(2)
+
+    def test_oversized_role_set_falls_back_to_dict_kernel(self):
+        path = [(v, v + 1) for v in range(MAX_ARRAY_ROLES)]
+        labels = {v: 1 for v in range(MAX_ARRAY_ROLES + 1)}
+        template = PatternTemplate.from_edges(path, labels, name="wide")
+        kernel = compile_role_kernel(template.graph)
+        assert not supports_array_fixpoint(kernel)
+        graph = Graph()
+        for v in range(6):
+            graph.add_vertex(v, 1)
+        for v in range(5):
+            graph.add_edge(v, v + 1)
+        base_state = SearchState.initial(graph, template)
+        arr_state = SearchState.initial(graph, template)
+        base_iters = local_constraint_checking(
+            base_state, template.graph, engine_for(graph),
+            role_kernel=True, delta=True,
+        )
+        arr_iters = local_constraint_checking(
+            arr_state, template.graph, engine_for(graph),
+            role_kernel=True, delta=True, array_state=True,
+        )
+        assert dict_snapshot(arr_state) == dict_snapshot(base_state)
+        assert arr_iters == base_iters
+
+
+class TestEdgeLabeledEquivalence:
+    def background(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = Graph()
+        n = 24
+        for v in range(n):
+            graph.add_vertex(v, int(rng.integers(3)) + 1)
+        added = 0
+        while added < 60:
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u != v and not graph.has_edge(u, v):
+                label = None if rng.random() < 0.5 else int(rng.integers(2)) + 6
+                graph.add_edge(u, v, label)
+                added += 1
+        return graph
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_labeled_fixed_point_identical(self, seed):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+            name="el",
+        )
+        graph = self.background(seed)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        arr = lcc_snapshot(
+            graph, template, role_kernel=True, delta=True, array_state=True
+        )
+        assert arr[:2] == base[:2]
+
+    def test_wanted_label_absent_from_graph(self):
+        # The template wants edge label 42, which no graph edge carries:
+        # roles requiring it must die on both paths.
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 42},
+            name="ghost-label",
+        )
+        graph = self.background(0)
+        base = lcc_snapshot(graph, template, role_kernel=False, delta=False)
+        arr = lcc_snapshot(
+            graph, template, role_kernel=True, delta=True, array_state=True
+        )
+        assert arr[:2] == base[:2]
+
+
+class TestMaxCandidateSetEquivalence:
+    def mcs(self, graph, template, **config):
+        engine = engine_for(graph)
+        state = max_candidate_set(graph, template, engine, **config)
+        return dict_snapshot(state), engine.stats
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mstar_identical(self, seed):
+        graph, template = random_case(seed)
+        base = self.mcs(graph, template, role_kernel=False, delta=False)
+        dlta = self.mcs(graph, template, role_kernel=True, delta=True)
+        arr = self.mcs(
+            graph, template, role_kernel=True, delta=True, array_state=True
+        )
+        assert arr[0] == base[0]
+        assert arr[1].total_messages == dlta[1].total_messages
+        assert arr[1].total_visits == dlta[1].total_visits
+
+    def test_mandatory_edges_identical(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3)],
+            labels={0: 1, 1: 2, 2: 3, 3: 4},
+            mandatory_edges=[(2, 3)],
+        )
+        labels = [1, 2, 3, 4]
+        graph = planted_graph(
+            40, 110, template.edges(), labels, copies=2, num_labels=4, seed=3
+        )
+        base = self.mcs(graph, template, role_kernel=False, delta=False)
+        arr = self.mcs(
+            graph, template, role_kernel=True, delta=True, array_state=True
+        )
+        assert arr[0] == base[0]
+
+
+class TestScopingParity:
+    """for_prototype_search and union_with against the dict versions."""
+
+    def base_states(self, seed=0, k=1):
+        graph, template = random_case(seed)
+        engine = engine_for(graph)
+        state = max_candidate_set(graph, template, engine)
+        protos = generate_prototypes(template, k)
+        return state, ArraySearchState.from_search_state(state), protos
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_for_prototype_search_identical(self, seed):
+        state, astate, protos = self.base_states(seed)
+        for distance in (0, 1):
+            for proto in protos.at(distance):
+                scoped = state.for_prototype_search(proto)
+                ascoped = astate.for_prototype_search(proto)
+                assert array_snapshot(ascoped) == dict_snapshot(scoped)
+
+    def test_readmission_identical(self):
+        state, astate, protos = self.base_states(0)
+        proto = protos.at(0)[0]
+        pairs = [
+            tuple(sorted((state.graph.label(u), state.graph.label(v))))
+            for u, v in list(state.active_edge_list())[:4]
+        ]
+        # Drop those edges from both states, then readmit by label pair.
+        for u, v in list(state.active_edge_list())[:4]:
+            state.deactivate_edge(u, v)
+            astate.deactivate_edge(u, v)
+        scoped = state.for_prototype_search(proto, readmit_label_pairs=pairs)
+        ascoped = astate.for_prototype_search(proto, readmit_label_pairs=pairs)
+        assert array_snapshot(ascoped) == dict_snapshot(scoped)
+
+    def test_union_with_identical(self):
+        state, astate, protos = self.base_states(0)  # tri+tail has children
+        children = protos.at(1)[:2]
+        assert len(children) == 2
+        dict_a = state.for_prototype_search(children[0])
+        dict_b = state.for_prototype_search(children[1])
+        arr_a = astate.for_prototype_search(children[0])
+        arr_b = astate.for_prototype_search(children[1])
+        dict_a.union_with(dict_b)
+        arr_a.union_with(arr_b)
+        assert array_snapshot(arr_a) == dict_snapshot(dict_a)
+
+
+class TestPipelineEquivalence:
+    """End-to-end: the array_state knob never changes any result field."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_full_pipeline_identical(self, k, seed):
+        template = template_pool()[0]
+        labels = [template.label(v) for v in sorted(template.graph.vertices())]
+        graph = planted_graph(
+            50, 130, template.edges(), labels, copies=3, num_labels=4, seed=seed
+        )
+        results = [
+            run_pipeline(
+                graph, template, k,
+                PipelineOptions(
+                    num_ranks=3, count_matches=True, array_state=array_state
+                ),
+            )
+            for array_state in (False, True)
+        ]
+        base, arr = results
+        assert arr.match_vectors == base.match_vectors
+        assert arr.candidate_set_vertices == base.candidate_set_vertices
+        assert arr.candidate_set_edges == base.candidate_set_edges
+        for proto in base.prototype_set:
+            ours = arr.outcome_for(proto.id)
+            ref = base.outcome_for(proto.id)
+            assert ours.solution_vertices == ref.solution_vertices
+            assert ours.solution_edges == ref.solution_edges
+            assert ours.match_mappings == ref.match_mappings
+            assert ours.lcc_iterations == ref.lcc_iterations
+            assert ours.post_lcc_vertices == ref.post_lcc_vertices
+            assert ours.post_lcc_edges == ref.post_lcc_edges
+            assert ours.exact == ref.exact
+
+
+class TestResultStats:
+    def test_pipeline_surfaces_cache_and_post_lcc_stats(self):
+        template = template_pool()[0]
+        labels = [template.label(v) for v in sorted(template.graph.vertices())]
+        graph = planted_graph(
+            50, 130, template.edges(), labels, copies=3, num_labels=4, seed=11
+        )
+        result = run_pipeline(
+            graph, template, 2, PipelineOptions(num_ranks=3)
+        )
+        assert set(result.nlcc_cache_stats) == {
+            "hits", "misses", "constraints", "entries"
+        }
+        assert result.nlcc_cache_stats["misses"] > 0
+        assert any(
+            level.post_lcc_vertices > 0 for level in result.levels
+        )
+
+    def test_cache_stats_empty_without_recycling(self):
+        template = template_pool()[0]
+        labels = [template.label(v) for v in sorted(template.graph.vertices())]
+        graph = planted_graph(
+            50, 130, template.edges(), labels, copies=3, num_labels=4, seed=11
+        )
+        result = run_pipeline(
+            graph, template, 1,
+            PipelineOptions(num_ranks=3, work_recycling=False),
+        )
+        assert result.nlcc_cache_stats == {}

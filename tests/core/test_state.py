@@ -143,6 +143,73 @@ class TestForPrototypeSearch:
         assert not scoped.edge_is_active(10, 11)
 
 
+class TestReadmitLabelPairs:
+    """Obs. 1 readmission edge cases, on the dict and array states alike."""
+
+    def path_template(self):
+        # 1 - 2 - 3 path: the label pair (1, 3) is NOT adjacent.
+        return PatternTemplate.from_edges(
+            [(0, 1), (1, 2)], labels={0: 1, 1: 2, 2: 3}, name="path"
+        )
+
+    def path_background(self):
+        # Triangle 10-11-12 plus the chord-less pair: the (10, 12)
+        # background edge carries the non-adjacent label pair (1, 3).
+        return from_edges(
+            [(10, 11), (11, 12), (10, 12)],
+            labels={10: 1, 11: 2, 12: 3},
+        )
+
+    def scoped_pair(self, state, proto, pairs):
+        """The dict scoping and its array twin, as comparable snapshots."""
+        from repro.core import ArraySearchState
+
+        astate = ArraySearchState.from_search_state(state)
+        scoped = state.for_prototype_search(proto, readmit_label_pairs=pairs)
+        ascoped = astate.for_prototype_search(proto, readmit_label_pairs=pairs)
+        exported = ascoped.to_search_state()
+        assert exported.candidates == scoped.candidates
+        assert sorted(exported.active_edge_list()) == sorted(
+            scoped.active_edge_list()
+        )
+        return scoped
+
+    def test_readmit_pair_must_be_prototype_adjacent(self):
+        # (1, 3) is a background edge's pair but not a path-adjacent one:
+        # asking for its readmission must be a no-op.
+        proto = generate_prototypes(self.path_template(), 0).at(0)[0]
+        state = SearchState.initial(self.path_background(), self.path_template())
+        state.deactivate_edge(10, 12)
+        scoped = self.scoped_pair(state, proto, [(1, 3)])
+        assert not scoped.edge_is_active(10, 12)
+
+    def test_readmit_pair_is_unordered(self):
+        proto = generate_prototypes(template(), 1).at(0)[0]
+        state = SearchState.initial(background(), template())
+        state.deactivate_edge(10, 11)  # labels (1, 2)
+        scoped = self.scoped_pair(state, proto, [(2, 1)])
+        assert scoped.edge_is_active(10, 11)
+
+    def test_no_readmission_to_inactive_vertices(self):
+        proto = generate_prototypes(template(), 1).at(0)[0]
+        state = SearchState.initial(background(), template())
+        state.deactivate_vertex(13)  # label 1; edge (12, 13) has pair (1, 3)
+        scoped = self.scoped_pair(state, proto, [(1, 3)])
+        assert not scoped.edge_is_active(12, 13)
+        assert not scoped.is_active(13)
+
+    def test_readmission_is_idempotent_for_live_edges(self):
+        # Readmitting a pair whose edges are already active changes nothing.
+        proto = generate_prototypes(template(), 1).at(0)[0]
+        state = SearchState.initial(background(), template())
+        plain = state.for_prototype_search(proto)
+        readmitted = self.scoped_pair(state, proto, [(1, 2), (2, 3), (1, 3)])
+        assert readmitted.candidates == plain.candidates
+        assert sorted(readmitted.active_edge_list()) == sorted(
+            plain.active_edge_list()
+        )
+
+
 class TestNlccCache:
     def test_miss_then_hit(self):
         cache = NlccCache()
