@@ -1,20 +1,23 @@
-"""Regression gate: diff a fresh kernel-bench run against the committed one.
+"""Regression gate: diff a fresh kernel-bench run against tracked history.
 
-``BENCH_KERNELS.json`` (repo root) records the speedup ratios the kernel
-PRs were accepted with.  This script reruns the CI-sized smoke subset of
-``bench_kernels.py`` and compares the *ratios* — not absolute wall times,
-which vary across machines — against the committed baseline:
+``BENCH_HISTORY.jsonl`` (repo root) is an append-only log of the tracked
+speedup ratios, one JSON entry per gate run, keyed by git commit.  This
+script reruns the CI-sized smoke subset of ``bench_kernels.py``, compares
+the *ratios* — not absolute wall times, which vary across machines —
+against the most recent history entry (falling back to the committed
+``BENCH_KERNELS.json`` when the history is empty), and appends the fresh
+ratios to the history on a passing run:
 
 * ``speedup_kernel_delta``   (kernel+delta over baseline),
 * ``speedup_array_vs_delta`` (array over kernel+delta),
 * ``visit_reduction_delta``  (delta's visitor-count saving).
 
 A tracked ratio regressing by more than ``--tolerance`` (default 25%)
-relative to its committed value fails the gate; improvements always pass.
+relative to its baseline value fails the gate; improvements always pass.
 Workloads present in only one of the two payloads are reported but do not
-fail (the committed file may predate a new workload).  Fixed-point
-equality and the absolute >=2x acceptance bars are asserted by the smoke
-run itself before any comparison happens.
+fail (the baseline may predate a new workload).  Fixed-point equality and
+the absolute >=2x acceptance bars are asserted by the smoke run itself
+before any comparison happens.
 
 Run from the repo root::
 
@@ -23,7 +26,9 @@ Run from the repo root::
 
 import argparse
 import json
+import subprocess
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis import format_table
@@ -34,12 +39,55 @@ from bench_kernels import OUTPUT as COMMITTED, check_acceptance, smoke_suite
 TRACKED = ["speedup_kernel_delta", "speedup_array_vs_delta",
            "visit_reduction_delta"]
 
+#: append-only ratio log, one JSON entry per passing gate run
+HISTORY = Path(__file__).resolve().parents[1] / "BENCH_HISTORY.jsonl"
+
 DEFAULT_TOLERANCE = 0.25
 
 
-def compare(committed: dict, fresh: dict, tolerance: float):
+def _git_commit() -> str:
+    """Short HEAD hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+            cwd=Path(__file__).resolve().parents[1],
+        ).stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def history_entry(payload: dict, commit: str = None) -> dict:
+    """Trim a bench payload to the commit-keyed tracked-ratio record."""
+    return {
+        "commit": commit if commit is not None else _git_commit(),
+        "recorded_unix": time.time(),
+        "workloads": [
+            {"name": row["name"], **{f: row.get(f) for f in TRACKED}}
+            for row in payload["workloads"]
+        ],
+    }
+
+
+def load_history(path: Path) -> list:
+    """All history entries, oldest first; [] when the file is absent."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        if line.strip():
+            entries.append(json.loads(line))
+    return entries
+
+
+def append_history(path: Path, entry: dict) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry) + "\n")
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float):
     """Diff tracked ratios per workload; returns (table_rows, failures)."""
-    committed_rows = {r["name"]: r for r in committed["workloads"]}
+    committed_rows = {r["name"]: r for r in baseline["workloads"]}
     fresh_rows = {r["name"]: r for r in fresh["workloads"]}
     rows, failures = [], []
     for name, fresh_row in fresh_rows.items():
@@ -79,21 +127,38 @@ def main(argv):
     )
     parser.add_argument(
         "--baseline", type=Path, default=COMMITTED,
-        help="committed benchmark JSON to compare against",
+        help="committed benchmark JSON fallback when the history is empty",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=HISTORY,
+        help="tracked ratio history (JSONL, appended to on a passing run)",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="compare only; do not append this run to the history",
     )
     args = parser.parse_args(argv)
 
-    if not args.baseline.exists():
-        print(f"no committed baseline at {args.baseline}; nothing to gate")
+    history = load_history(args.history)
+    if history:
+        last = history[-1]
+        baseline = {"workloads": last["workloads"]}
+        baseline_label = f"history entry {last.get('commit', '?')}"
+    elif args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        baseline_label = str(args.baseline)
+    else:
+        print(f"no history at {args.history} and no committed baseline at "
+              f"{args.baseline}; nothing to gate")
         return 1
-    committed = json.loads(args.baseline.read_text())
 
     fresh = smoke_suite()
     check_acceptance(fresh)
 
-    rows, failures = compare(committed, fresh, args.tolerance)
+    rows, failures = compare(baseline, fresh, args.tolerance)
+    print(f"baseline: {baseline_label}")
     print(format_table(
-        ["workload", "ratio", "committed", "fresh", "verdict"], rows
+        ["workload", "ratio", "baseline", "fresh", "verdict"], rows
     ))
     if failures:
         print("\nregression gate FAILED:")
@@ -101,6 +166,11 @@ def main(argv):
             print(f"  {failure}")
         return 1
     print(f"\nregression gate OK (tolerance {args.tolerance:.0%})")
+    if not args.no_append:
+        entry = history_entry(fresh)
+        append_history(args.history, entry)
+        print(f"ratios appended to {args.history} "
+              f"(commit {entry['commit']}, {len(history) + 1} entries)")
     return 0
 
 

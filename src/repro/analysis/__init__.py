@@ -18,6 +18,14 @@ from .report import (
     series,
     speedup,
 )
+from .tracereport import (
+    constraint_breakdown,
+    level_breakdown,
+    load_trace,
+    phase_breakdown,
+    render_report,
+    span_tree_lines,
+)
 
 __all__ = [
     "AuditReport",
@@ -25,6 +33,7 @@ __all__ = [
     "audit_match_vectors",
     "audit_result",
     "bar_chart",
+    "constraint_breakdown",
     "dataset_row",
     "datasets_table",
     "dynamic_state_bytes",
@@ -32,9 +41,14 @@ __all__ = [
     "format_count",
     "format_seconds",
     "format_table",
+    "level_breakdown",
+    "load_trace",
     "memory_breakdown",
+    "phase_breakdown",
     "relative_breakdown",
+    "render_report",
     "series",
+    "span_tree_lines",
     "speedup",
     "standard_datasets",
     "static_state_bytes",

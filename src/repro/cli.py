@@ -4,9 +4,13 @@ Gives downstream users file-based access to the pipeline without writing
 Python:
 
 * ``search``      — approximate matching on an edge-list graph with a JSON
-  template, emitting per-vertex match vectors;
+  template, emitting per-vertex match vectors; ``--json`` dumps the full
+  run statistics, ``--trace PATH`` records a span trace;
 * ``explore``     — top-down exploratory search: relax the template until
   the first matches appear (§5.5's WDC-4 scenario);
+* ``trace``       — render the per-phase / per-constraint / per-level
+  breakdown of a trace written by ``search --trace`` or
+  ``explore --trace``;
 * ``audit``       — run a search and verify its 100% precision/recall
   against brute force (small graphs);
 * ``motifs``      — 3/4/5-vertex motif census of an edge-list graph;
@@ -43,6 +47,22 @@ from .core import (
 )
 from .errors import ReproError
 from .graph import io as graph_io
+from .runtime.trace import NULL_TRACER, Tracer
+
+
+def _make_tracer(args: argparse.Namespace):
+    """An enabled tracer when ``--trace`` was given, NULL_TRACER otherwise."""
+    return Tracer() if getattr(args, "trace", None) else NULL_TRACER
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Export by extension: ``.jsonl`` → flat records, else Chrome JSON."""
+    if path.endswith(".jsonl"):
+        tracer.write_jsonl(path)
+    else:
+        tracer.write_chrome_trace(path)
+    # stderr so `--json` stdout stays machine-parseable
+    print(f"trace written to {path}", file=sys.stderr)
 
 
 def load_template(path: str) -> PatternTemplate:
@@ -71,8 +91,17 @@ def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
 def command_search(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph, args.labels)
     template = load_template(args.template)
-    options = PipelineOptions(num_ranks=args.ranks, count_matches=args.count)
+    tracer = _make_tracer(args)
+    options = PipelineOptions(
+        num_ranks=args.ranks, count_matches=args.count, tracer=tracer,
+    )
     result = run_pipeline(graph, template, args.k, options)
+    if args.trace:
+        _write_trace(tracer, args.trace)
+
+    if args.json:
+        print(json.dumps(result.stats_document(), indent=1))
+        return 0
 
     print(f"prototypes: {len(result.prototype_set)} "
           f"{result.prototype_set.level_counts()}")
@@ -80,6 +109,15 @@ def command_search(args: argparse.Namespace) -> int:
           f"labels: {result.total_labels_generated()}")
     if args.count:
         print(f"match mappings: {result.total_match_mappings()}")
+    for level in result.levels:
+        print(f"  k={level.distance}: {level.num_prototypes} prototypes, "
+              f"post-LCC {level.post_lcc_vertices}v/{level.post_lcc_edges}e, "
+              f"union {level.union_vertices}v/{level.union_edges}e")
+    if result.nlcc_cache_stats:
+        cache = result.nlcc_cache_stats
+        print(f"nlcc cache: {cache['hits']} hits, {cache['misses']} misses, "
+              f"{cache['entries']} entries over {cache['constraints']} "
+              f"constraints")
     print(f"simulated time: {format_seconds(result.total_simulated_seconds)}")
 
     if args.output:
@@ -103,10 +141,13 @@ def command_search(args: argparse.Namespace) -> int:
 def command_explore(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph, args.labels)
     template = load_template(args.template)
+    tracer = _make_tracer(args)
     result = exploratory_search(
         graph, template, max_k=args.max_k,
-        options=PipelineOptions(num_ranks=args.ranks),
+        options=PipelineOptions(num_ranks=args.ranks, tracer=tracer),
     )
+    if args.trace:
+        _write_trace(tracer, args.trace)
     stop = stopping_distance(result)
     rows = [
         [level.distance, level.num_prototypes, level.union_vertices]
@@ -118,6 +159,19 @@ def command_explore(args: argparse.Namespace) -> int:
         print(f"no matches within k<={searched}")
     else:
         print(f"first matches at edit-distance k={stop}")
+    return 0
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    from .analysis.tracereport import load_trace, render_report
+
+    try:
+        records = load_trace(args.trace_file)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot parse trace {args.trace_file}: {error}",
+              file=sys.stderr)
+        return 2
+    print(render_report(records, tree_depth=args.depth))
     return 0
 
 
@@ -199,6 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("-k", type=int, default=1, help="edit distance")
     search.add_argument("--count", action="store_true", help="count matches")
     search.add_argument("--output", help="write match vectors as JSON")
+    search.add_argument(
+        "--json", action="store_true",
+        help="print the full run statistics as JSON instead of tables",
+    )
+    search.add_argument(
+        "--trace",
+        help="record a span trace (.jsonl = flat records, else Chrome "
+             "trace-event JSON for Perfetto)",
+    )
     search.set_defaults(func=command_search)
 
     explore = commands.add_parser(
@@ -208,7 +271,20 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("template", help="template JSON file")
     explore.add_argument("--max-k", type=int, default=None,
                          help="relaxation bound (default: until disconnect)")
+    explore.add_argument(
+        "--trace",
+        help="record a span trace (.jsonl = flat records, else Chrome "
+             "trace-event JSON for Perfetto)",
+    )
     explore.set_defaults(func=command_explore)
+
+    trace = commands.add_parser(
+        "trace", help="render the breakdown report of an exported trace"
+    )
+    trace.add_argument("trace_file", help="trace written by --trace")
+    trace.add_argument("--depth", type=int, default=3,
+                       help="span-tree display depth (default 3)")
+    trace.set_defaults(func=command_trace)
 
     audit = commands.add_parser(
         "audit", help="verify precision/recall against brute force"

@@ -45,6 +45,7 @@ may differ slightly from the object path; fixed points never do).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -575,8 +576,17 @@ class _RoundAccounting:
             dst_rank = np.where(is_delegate[csr.indices], self.src_rank, dst_rank)
         self.dst_rank = dst_rank
 
-    def record_round(self, seed_idx: np.ndarray, edge_idx: np.ndarray) -> None:
-        """Account one broadcast round: seeds visited, one message/edge."""
+    def record_round(
+        self,
+        seed_idx: np.ndarray,
+        edge_idx: np.ndarray,
+        round_started: Optional[float] = None,
+    ) -> None:
+        """Account one broadcast round: seeds visited, one message/edge.
+
+        ``round_started`` (set only while tracing) stamps the per-round
+        trace span recorded by :meth:`Engine.record_batched_round`.
+        """
         ranks = self.num_ranks
         visits = np.bincount(self.rank_of[seed_idx], minlength=ranks)
         src_r = self.src_rank[edge_idx]
@@ -585,7 +595,11 @@ class _RoundAccounting:
         matrix = np.bincount(
             src_r * ranks + dst_r, minlength=ranks * ranks
         ).reshape(ranks, ranks)
-        self.engine.record_batched_round(matrix.tolist(), visits.tolist())
+        self.engine.record_batched_round(
+            matrix.tolist(), visits.tolist(),
+            round_started=round_started,
+            worklist=int(seed_idx.shape[0]),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -668,6 +682,7 @@ def array_kernel_fixpoint(
                     lab_nm[b, code] = _U64(required)
 
     accounting = _RoundAccounting(engine, csr)
+    tracing = engine.tracer.enabled
 
     iterations = 0
     broadcasters: Optional[np.ndarray] = None  # None = full round
@@ -675,6 +690,7 @@ def array_kernel_fixpoint(
     received = np.zeros(n, dtype=bool)
     while max_iterations is None or iterations < max_iterations:
         iterations += 1
+        round_started = time.perf_counter() if tracing else None
 
         # ------------------------------------------------- broadcast
         nonzero = mask != _ZERO
@@ -686,7 +702,10 @@ def array_kernel_fixpoint(
             sending = broadcasters
         sent = alive & sending[src]
         sent_idx = np.nonzero(sent)[0]
-        accounting.record_round(np.nonzero(seeds)[0], sent_idx)
+        # `active` mutates below; snapshot the seed set for the round's
+        # accounting (folded in at the end of the iteration so the trace
+        # span covers the whole round, not just the broadcast).
+        seed_idx = np.nonzero(seeds)[0]
         received.fill(False)
         delivered = indices[sent_idx]
         received[delivered[active[delivered]]] = True
@@ -791,6 +810,7 @@ def array_kernel_fixpoint(
                 alive[drop_idx] = False
                 alive[rev] = False
 
+        accounting.record_round(seed_idx, sent_idx, round_started)
         if not changed:
             break
         if delta:

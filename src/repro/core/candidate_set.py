@@ -49,33 +49,61 @@ def max_candidate_set(
     either way.  The array path seeds the initial labeling directly in
     array form and converts to the dict state only at the boundary.
     """
+    tracer = engine.tracer
+    stats = engine.stats
+    if tracer.enabled:
+        before_messages = stats.total_messages
+        before_remote = stats.total_remote_messages
+    with stats.phase("max_candidate_set"), tracer.span(
+        "max_candidate_set"
+    ) as span:
+        state = _compute_max_candidate_set(
+            graph, template, engine, role_kernel, delta, array_state
+        )
+    if tracer.enabled:
+        vertices, edges = state.active_counts()
+        span.add(
+            vertices=vertices,
+            edges=edges,
+            messages=stats.total_messages - before_messages,
+            remote_messages=stats.total_remote_messages - before_remote,
+        )
+    return state
+
+
+def _compute_max_candidate_set(
+    graph,
+    template: PatternTemplate,
+    engine: Engine,
+    role_kernel: bool,
+    delta: bool,
+    array_state: bool,
+) -> SearchState:
+    """Fixpoint body of :func:`max_candidate_set` (caller owns phase/span)."""
     if role_kernel:
         kernel = compile_role_kernel(template.graph)
         mandatory = kernel.mandatory_masks(template.mandatory_edges)
         if array_state and supports_array_fixpoint(kernel):
-            with engine.stats.phase("max_candidate_set"):
-                astate = ArraySearchState.initial(graph, template)
-                array_kernel_fixpoint(
-                    astate, kernel, engine,
-                    delta=delta, mandatory_masks=mandatory,
-                )
+            astate = ArraySearchState.initial(graph, template)
+            array_kernel_fixpoint(
+                astate, kernel, engine,
+                delta=delta, mandatory_masks=mandatory,
+            )
             return astate.to_search_state()
         state = SearchState.initial(graph, template)
-        with engine.stats.phase("max_candidate_set"):
-            kernel_fixpoint(
-                state, kernel, engine, delta=delta, mandatory_masks=mandatory
-            )
+        kernel_fixpoint(
+            state, kernel, engine, delta=delta, mandatory_masks=mandatory
+        )
         return state
     state = SearchState.initial(graph, template)
     mandatory_neighbors = _mandatory_neighbor_map(template)
     template_graph = template.graph
-    with engine.stats.phase("max_candidate_set"):
-        changed = True
-        while changed:
-            received = _exchange_candidacies(state, engine)
-            changed = _apply_round(
-                state, template_graph, mandatory_neighbors, received
-            )
+    changed = True
+    while changed:
+        received = _exchange_candidacies(state, engine)
+        changed = _apply_round(
+            state, template_graph, mandatory_neighbors, received
+        )
     return state
 
 

@@ -47,28 +47,62 @@ def local_constraint_checking(
     (:mod:`~repro.core.arraystate` — falls back to the dict kernel when
     the role set exceeds the mask width).  All variants reach the same
     fixed point in the same number of rounds.
+
+    When the engine carries an enabled tracer, the whole fixpoint runs
+    inside an ``lcc`` span counting iterations, pruned vertices/edges and
+    message traffic (each round contributes its own child span).
     """
     if kernel is None and role_kernel:
         kernel = compile_role_kernel(proto_graph)
+    tracer = engine.tracer
+    stats = engine.stats
+    if tracer.enabled:
+        before_vertices, before_edges = state.active_counts()
+        before_messages = stats.total_messages
+        before_remote = stats.total_remote_messages
+    with stats.phase("lcc"), tracer.span("lcc") as span:
+        iterations = _run_fixpoint(
+            state, proto_graph, engine, max_iterations, kernel, delta,
+            array_state,
+        )
+    if tracer.enabled:
+        after_vertices, after_edges = state.active_counts()
+        span.add(
+            iterations=iterations,
+            vertices_pruned=before_vertices - after_vertices,
+            edges_pruned=before_edges - after_edges,
+            messages=stats.total_messages - before_messages,
+            remote_messages=stats.total_remote_messages - before_remote,
+        )
+    return iterations
+
+
+def _run_fixpoint(
+    state: SearchState,
+    proto_graph: Graph,
+    engine: Engine,
+    max_iterations: Optional[int],
+    kernel: Optional[RoleKernel],
+    delta: bool,
+    array_state: bool,
+) -> int:
+    """Dispatch to the array / kernel / set-based fixpoint variant."""
     if kernel is not None:
         if array_state and supports_array_fixpoint(kernel):
-            with engine.stats.phase("lcc"):
-                return run_array_fixpoint(
-                    state, kernel, engine,
-                    max_iterations=max_iterations, delta=delta,
-                )
-        with engine.stats.phase("lcc"):
-            return kernel_fixpoint(
+            return run_array_fixpoint(
                 state, kernel, engine,
                 max_iterations=max_iterations, delta=delta,
             )
+        return kernel_fixpoint(
+            state, kernel, engine,
+            max_iterations=max_iterations, delta=delta,
+        )
     iterations = 0
-    with engine.stats.phase("lcc"):
-        while max_iterations is None or iterations < max_iterations:
-            iterations += 1
-            received = _exchange_candidacies(state, engine)
-            if not _apply_round(state, proto_graph, received):
-                break
+    while max_iterations is None or iterations < max_iterations:
+        iterations += 1
+        received = _exchange_candidacies(state, engine)
+        if not _apply_round(state, proto_graph, received):
+            break
     return iterations
 
 

@@ -226,18 +226,43 @@ def non_local_constraint_checking(
             )
         result.completed_mappings.append(mapping)
 
-    with engine.stats.phase("nlcc"):
+    tracer = engine.tracer
+    stats = engine.stats
+    if tracer.enabled:
+        before_messages = stats.total_messages
+        before_remote = stats.total_remote_messages
+    with stats.phase("nlcc"), tracer.span(
+        "nlcc",
+        kind=constraint.kind,
+        source=source_role,
+        walk_length=walk_len,
+    ) as span:
         seeds = (Visitor(v) for v in list(state.candidates))
         engine.do_traversal(seeds, visit)
 
-    if is_full_walk:
-        _reduce_to_confirmed(state, result)
-    else:
-        for vertex in result.checked - result.satisfied:
-            state.remove_role(vertex, source_role)
-            result.eliminated_roles += 1
-        if cache is not None and not is_full_walk:
-            cache.mark_satisfied(constraint.key, result.satisfied - result.recycled)
+        # Post-processing pushes no messages but belongs to the constraint's
+        # attribution window, so it stays inside the span and stats phase.
+        if is_full_walk:
+            _reduce_to_confirmed(state, result)
+        else:
+            for vertex in result.checked - result.satisfied:
+                state.remove_role(vertex, source_role)
+                result.eliminated_roles += 1
+            if cache is not None:
+                cache.mark_satisfied(
+                    constraint.key, result.satisfied - result.recycled
+                )
+    if tracer.enabled:
+        span.add(
+            checked=len(result.checked),
+            satisfied=len(result.satisfied),
+            cache_hits=len(result.recycled),
+            tokens_launched=len(result.checked) - len(result.recycled),
+            completions=result.completions,
+            eliminated_roles=result.eliminated_roles,
+            messages=stats.total_messages - before_messages,
+            remote_messages=stats.total_remote_messages - before_remote,
+        )
     return result
 
 

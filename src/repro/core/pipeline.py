@@ -22,6 +22,7 @@ from ..graph.graph import Graph
 from ..runtime.engine import Engine
 from ..runtime.messages import CostModel, MessageStats
 from ..runtime.partition import PartitionedGraph, balanced_assignment, hash_assignment
+from ..runtime.trace import NULL_TRACER
 from .constraints import generate_constraints
 from .enumeration import (
     distinct_match_count,
@@ -110,6 +111,10 @@ class PipelineOptions:
     #: parallel (1 = in-process).  Orthogonal to `parallel_deployments`,
     #: which models replica deployments in the simulated cost.
     worker_processes: int = 1
+    #: span tracer (:class:`repro.runtime.trace.Tracer`) threaded into
+    #: every engine of the run; the default NULL_TRACER records nothing
+    #: and costs one attribute check per guarded site.
+    tracer: object = NULL_TRACER
 
     def __post_init__(self) -> None:
         if self.parallel_deployments <= 0:
@@ -158,8 +163,27 @@ def run_pipeline(
     Returns a :class:`~repro.core.results.PipelineResult` with per-vertex
     match vectors, per-prototype exact solution subgraphs, per-level
     timing/size breakdowns and aggregated message statistics.
+
+    When ``options.tracer`` is an enabled tracer, the whole run is
+    recorded as one ``pipeline`` span containing per-level, per-prototype
+    and per-phase child spans (see :mod:`repro.runtime.trace`).
     """
     options = options or PipelineOptions()
+    with options.tracer.span(
+        "pipeline", template=template.name, k=k, mode="bottom-up"
+    ):
+        return _run_bottom_up(graph, template, k, options, prototype_set)
+
+
+def _run_bottom_up(
+    graph: Graph,
+    template: PatternTemplate,
+    k: int,
+    options: PipelineOptions,
+    prototype_set: Optional[PrototypeSet],
+) -> PipelineResult:
+    """Alg. 1 body; the caller owns the enclosing ``pipeline`` span."""
+    tracer = options.tracer
     wall_start = time.perf_counter()
     protos = prototype_set or generate_prototypes(
         template, k, max_prototypes=options.max_prototypes
@@ -202,7 +226,7 @@ def run_pipeline(
         ranks_per_node=options.ranks_per_node,
     )
     mcs_stats = MessageStats(options.num_ranks)
-    mcs_engine = Engine(base_pgraph, mcs_stats, options.batch_size)
+    mcs_engine = Engine(base_pgraph, mcs_stats, options.batch_size, tracer=tracer)
     if options.use_max_candidate_set:
         base_state = max_candidate_set(
             graph, template, mcs_engine,
@@ -267,75 +291,78 @@ def run_pipeline(
         )
 
     for distance in range(deepest, -1, -1):
-        level_wall = time.perf_counter()
-        level = LevelReport(distance)
-        level_states: List[SearchState] = []
-        next_stored: Dict[int, List[Dict[int, int]]] = {}
+        with tracer.span("level", distance=distance) as level_span:
+            level_wall = time.perf_counter()
+            level = LevelReport(distance)
+            level_states: List[SearchState] = []
+            next_stored: Dict[int, List[Dict[int, int]]] = {}
 
-        if pool is not None and len(protos.at(distance)) > 1:
-            union_prev = _pooled_level(
-                pool, protos, distance, deepest, base_state, union_prev,
-                options, level, result,
-            )
-            _finish_level(
-                level, result, options, label_frequencies, union_prev,
-                rebalancing, distance, level_wall,
-            )
-            stored_matches = {}
-            continue
+            if pool is not None and len(protos.at(distance)) > 1:
+                union_prev = _pooled_level(
+                    pool, protos, distance, deepest, base_state, union_prev,
+                    options, level, result,
+                )
+                _finish_level(
+                    level, result, options, label_frequencies, union_prev,
+                    rebalancing, distance, level_wall, span=level_span,
+                )
+                stored_matches = {}
+                continue
 
-        for proto in protos.at(distance):
-            extended = None
-            if options.enumeration_optimization and distance < deepest:
-                extended = _try_extension(proto, stored_matches, graph)
-            if extended is not None:
-                outcome, proto_state = extended
-                next_stored[proto.id] = outcome.matches
-            else:
-                proto_state = _starting_state(
-                    proto, distance, deepest, base_state, union_prev, options
-                )
-                stats = MessageStats(deployment_ranks)
-                engine = Engine(search_pgraph, stats, options.batch_size)
-                outcome = search_prototype(
-                    proto_state,
-                    proto,
-                    constraint_sets[proto.id],
-                    engine,
-                    cache=cache,
-                    recycle=options.work_recycling,
-                    count_matches=options.count_matches,
-                    collect_matches=(
-                        options.collect_matches or options.enumeration_optimization
-                    ),
-                    verification=options.verification,
-                    role_kernel=options.role_kernel,
-                    delta_lcc=options.delta_lcc,
-                    array_state=options.array_state,
-                )
-                outcome.simulated_seconds = cost_model.makespan(stats)
-                outcome.messages = stats.total_messages
-                outcome.remote_messages = stats.total_remote_messages
-                all_stats.append(stats)
-                if outcome.matches is not None and options.enumeration_optimization:
+            for proto in protos.at(distance):
+                extended = None
+                if options.enumeration_optimization and distance < deepest:
+                    extended = _try_extension(proto, stored_matches, graph)
+                if extended is not None:
+                    outcome, proto_state = extended
                     next_stored[proto.id] = outcome.matches
-            if not options.collect_matches:
-                outcome.matches = None
-            level.outcomes.append(outcome)
-            level_states.append(proto_state)
-            for vertex in outcome.solution_vertices:
-                result.match_vectors.setdefault(vertex, set()).add(proto.id)
+                else:
+                    proto_state = _starting_state(
+                        proto, distance, deepest, base_state, union_prev, options
+                    )
+                    stats = MessageStats(deployment_ranks)
+                    engine = Engine(
+                        search_pgraph, stats, options.batch_size, tracer=tracer
+                    )
+                    outcome = search_prototype(
+                        proto_state,
+                        proto,
+                        constraint_sets[proto.id],
+                        engine,
+                        cache=cache,
+                        recycle=options.work_recycling,
+                        count_matches=options.count_matches,
+                        collect_matches=(
+                            options.collect_matches or options.enumeration_optimization
+                        ),
+                        verification=options.verification,
+                        role_kernel=options.role_kernel,
+                        delta_lcc=options.delta_lcc,
+                        array_state=options.array_state,
+                    )
+                    outcome.simulated_seconds = cost_model.makespan(stats)
+                    outcome.messages = stats.total_messages
+                    outcome.remote_messages = stats.total_remote_messages
+                    all_stats.append(stats)
+                    if outcome.matches is not None and options.enumeration_optimization:
+                        next_stored[proto.id] = outcome.matches
+                if not options.collect_matches:
+                    outcome.matches = None
+                level.outcomes.append(outcome)
+                level_states.append(proto_state)
+                for vertex in outcome.solution_vertices:
+                    result.match_vectors.setdefault(vertex, set()).add(proto.id)
 
-        # Union of this level's solution subgraphs = next level's scope.
-        union = SearchState.empty(graph)
-        for state in level_states:
-            union.union_with(state)
-        union_prev = union
-        _finish_level(
-            level, result, options, label_frequencies, union,
-            rebalancing, distance, level_wall,
-        )
-        stored_matches = next_stored
+            # Union of this level's solution subgraphs = next level's scope.
+            union = SearchState.empty(graph)
+            for state in level_states:
+                union.union_with(state)
+            union_prev = union
+            _finish_level(
+                level, result, options, label_frequencies, union,
+                rebalancing, distance, level_wall, span=level_span,
+            )
+            stored_matches = next_stored
 
     if pool is not None:
         pool.close()
@@ -373,9 +400,13 @@ def _initial_assignment(graph: Graph, num_ranks: int, options: PipelineOptions):
 
 def _finish_level(
     level, result, options, label_frequencies, union,
-    rebalancing, distance, level_wall,
+    rebalancing, distance, level_wall, span=None,
 ) -> None:
-    """Shared level epilogue: scheduling time, union sizes, bookkeeping."""
+    """Shared level epilogue: scheduling time, union sizes, bookkeeping.
+
+    ``span`` is the level's trace span (or a null span); the computed
+    union/post-LCC sizes double as its counters.
+    """
     costs = [o.simulated_seconds for o in level.outcomes]
     if options.parallel_deployments > 1 and len(costs) > 1:
         if options.prototype_cost_source == "measured":
@@ -400,6 +431,14 @@ def _finish_level(
     level.union_edges = union_edges
     level.post_lcc_vertices = sum(o.post_lcc_vertices for o in level.outcomes)
     level.post_lcc_edges = sum(o.post_lcc_edges for o in level.outcomes)
+    if span is not None:
+        span.add(
+            prototypes=len(level.outcomes),
+            union_vertices=union_vertices,
+            union_edges=union_edges,
+            post_lcc_vertices=level.post_lcc_vertices,
+            post_lcc_edges=level.post_lcc_edges,
+        )
     if rebalancing and distance > 0:
         level.infrastructure_seconds = REBALANCE_COST_PER_EDGE * (
             2 * union_edges + union_vertices
@@ -423,8 +462,16 @@ def _pooled_level(
         candidates, edges = state_to_payload(scoped)
         tasks.append((proto.id, candidates, edges))
     union = SearchState.empty(base_state.graph)
+    tracer = options.tracer
     for payload in pool.search_level(tasks):
         proto = protos.by_id(payload["proto_id"])
+        if payload.get("trace_spans"):
+            # Graft the worker's span tree under the open level span,
+            # labeled with the worker pid (perf_counter is CLOCK_MONOTONIC,
+            # shared across forked workers, so timestamps line up).
+            tracer.attach(
+                payload["trace_spans"], worker=payload.get("trace_worker")
+            )
         outcome = PrototypeSearchOutcome(proto)
         outcome.solution_vertices = set(payload["solution_vertices"])
         outcome.solution_edges = {

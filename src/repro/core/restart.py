@@ -90,30 +90,35 @@ def run_pipeline_with_checkpoints(
         "outcomes": {},
     }
 
-    # Base candidate set (checkpointed as the pre-sweep state).
-    pgraph = PartitionedGraph(
-        graph, options.num_ranks,
-        delegate_degree_threshold=options.delegate_degree_threshold,
-        ranks_per_node=options.ranks_per_node,
-    )
-    engine = Engine(pgraph, MessageStats(options.num_ranks), options.batch_size)
-    if options.use_max_candidate_set:
-        base_state = max_candidate_set(
-            graph, template, engine,
-            role_kernel=options.role_kernel, delta=options.delta_lcc,
-            array_state=options.array_state,
+    with options.tracer.span(
+        "pipeline", template=template.name, k=deepest, mode="checkpointed"
+    ):
+        # Base candidate set (checkpointed as the pre-sweep state).
+        pgraph = PartitionedGraph(
+            graph, options.num_ranks,
+            delegate_degree_threshold=options.delegate_degree_threshold,
+            ranks_per_node=options.ranks_per_node,
         )
-    else:
-        base_state = SearchState.initial(graph, template)
-    manifest["base_state"] = _state_payload(base_state)
-    _write_manifest(directory, manifest)
+        engine = Engine(
+            pgraph, MessageStats(options.num_ranks), options.batch_size,
+            tracer=options.tracer,
+        )
+        if options.use_max_candidate_set:
+            base_state = max_candidate_set(
+                graph, template, engine,
+                role_kernel=options.role_kernel, delta=options.delta_lcc,
+                array_state=options.array_state,
+            )
+        else:
+            base_state = SearchState.initial(graph, template)
+        manifest["base_state"] = _state_payload(base_state)
+        _write_manifest(directory, manifest)
 
-    result = _sweep(
-        graph, template, protos, base_state, options,
-        manifest, directory, start_level=deepest,
-        fail_after_level=fail_after_level,
-    )
-    return result
+        return _sweep(
+            graph, template, protos, base_state, options,
+            manifest, directory, start_level=deepest,
+            fail_after_level=fail_after_level,
+        )
 
 
 def resume_pipeline(
@@ -146,11 +151,14 @@ def resume_pipeline(
         start_level = deepest
         prev_union = None
     base_state = _restore_state(graph, manifest["base_state"])
-    return _sweep(
-        graph, template, protos, base_state, options,
-        manifest, directory, start_level=start_level,
-        prev_union=prev_union,
-    )
+    with options.tracer.span(
+        "pipeline", template=template.name, k=deepest, mode="checkpointed"
+    ):
+        return _sweep(
+            graph, template, protos, base_state, options,
+            manifest, directory, start_level=start_level,
+            prev_union=prev_union,
+        )
 
 
 def _sweep(
@@ -172,6 +180,7 @@ def _sweep(
     from .state import NlccCache
 
     wall_start = time.perf_counter()
+    tracer = options.tracer
     label_frequencies = graph.label_counts()
     cache = NlccCache() if options.work_recycling else None
     result = PipelineResult(template.name, protos.max_distance, protos)
@@ -210,50 +219,56 @@ def _sweep(
             continue
 
         union = SearchState.empty(graph)
-        for proto in protos.at(distance):
-            if (
-                options.use_containment
-                and distance < deepest
-                and prev_union is not None
-                and proto.child_links
-            ):
-                link = proto.child_links[0]
-                a, b = link.removed_edge
-                pair = (template.graph.label(a), template.graph.label(b))
-                state = prev_union.for_prototype_search(
-                    proto, readmit_label_pairs=[pair]
+        with tracer.span("level", distance=distance) as level_span:
+            for proto in protos.at(distance):
+                if (
+                    options.use_containment
+                    and distance < deepest
+                    and prev_union is not None
+                    and proto.child_links
+                ):
+                    link = proto.child_links[0]
+                    a, b = link.removed_edge
+                    pair = (template.graph.label(a), template.graph.label(b))
+                    state = prev_union.for_prototype_search(
+                        proto, readmit_label_pairs=[pair]
+                    )
+                else:
+                    state = base_state.for_prototype_search(proto)
+                constraint_set = generate_constraints(
+                    proto.graph, label_frequencies, options.include_full_walk
                 )
-            else:
-                state = base_state.for_prototype_search(proto)
-            constraint_set = generate_constraints(
-                proto.graph, label_frequencies, options.include_full_walk
+                constraint_set.non_local = order_constraints(
+                    constraint_set.non_local, label_frequencies,
+                    optimize=bool(options.constraint_ordering),
+                )
+                stats = MessageStats(options.num_ranks)
+                engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
+                outcome = search_prototype(
+                    state, proto, constraint_set, engine,
+                    cache=cache, recycle=options.work_recycling,
+                    count_matches=options.count_matches,
+                    collect_matches=options.collect_matches,
+                    verification=options.verification,
+                    role_kernel=options.role_kernel,
+                    delta_lcc=options.delta_lcc,
+                    array_state=options.array_state,
+                )
+                outcome.simulated_seconds = options.cost_model.makespan(stats)
+                level.outcomes.append(outcome)
+                union.union_with(state)
+                for vertex in outcome.solution_vertices:
+                    result.match_vectors.setdefault(vertex, set()).add(proto.id)
+                manifest["outcomes"][str(proto.id)] = {
+                    "vertices": sorted(outcome.solution_vertices),
+                    "edges": sorted(outcome.solution_edges),
+                }
+            level.union_vertices, level.union_edges = union.active_counts()
+            level_span.add(
+                prototypes=len(level.outcomes),
+                union_vertices=level.union_vertices,
+                union_edges=level.union_edges,
             )
-            constraint_set.non_local = order_constraints(
-                constraint_set.non_local, label_frequencies,
-                optimize=bool(options.constraint_ordering),
-            )
-            stats = MessageStats(options.num_ranks)
-            engine = Engine(pgraph, stats, options.batch_size)
-            outcome = search_prototype(
-                state, proto, constraint_set, engine,
-                cache=cache, recycle=options.work_recycling,
-                count_matches=options.count_matches,
-                collect_matches=options.collect_matches,
-                verification=options.verification,
-                role_kernel=options.role_kernel,
-                delta_lcc=options.delta_lcc,
-                array_state=options.array_state,
-            )
-            outcome.simulated_seconds = options.cost_model.makespan(stats)
-            level.outcomes.append(outcome)
-            union.union_with(state)
-            for vertex in outcome.solution_vertices:
-                result.match_vectors.setdefault(vertex, set()).add(proto.id)
-            manifest["outcomes"][str(proto.id)] = {
-                "vertices": sorted(outcome.solution_vertices),
-                "edges": sorted(outcome.solution_edges),
-            }
-        level.union_vertices, level.union_edges = union.active_counts()
         level.search_seconds = sum(o.simulated_seconds for o in level.outcomes)
         result.levels.append(level)
         prev_union = union

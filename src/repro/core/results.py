@@ -165,6 +165,50 @@ class PipelineResult:
                 return level
         raise KeyError(f"no level at distance {distance}")
 
+    def stats_document(self) -> Dict[str, object]:
+        """Machine-readable run summary (the CLI's ``--json`` output).
+
+        Everything is plain JSON-serializable data: totals, candidate-set
+        sizes, per-level breakdowns, NLCC cache counters and the aggregated
+        message summary.  Match vectors are summarized (counts), not
+        dumped — use the dedicated output writers for full vectors.
+        """
+        return {
+            "template": self.template_name,
+            "k": self.k,
+            "prototypes": len(self.prototype_set),
+            "matched_vertices": len(self.match_vectors),
+            "total_labels": self.total_labels_generated(),
+            "match_mappings": self.total_match_mappings(),
+            "distinct_matches": self.total_distinct_matches(),
+            "candidate_set": {
+                "vertices": self.candidate_set_vertices,
+                "edges": self.candidate_set_edges,
+                "seconds": self.candidate_set_seconds,
+            },
+            "levels": [
+                {
+                    "distance": level.distance,
+                    "prototypes": level.num_prototypes,
+                    "union_vertices": level.union_vertices,
+                    "union_edges": level.union_edges,
+                    "post_lcc_vertices": level.post_lcc_vertices,
+                    "post_lcc_edges": level.post_lcc_edges,
+                    "search_seconds": level.search_seconds,
+                    "infrastructure_seconds": level.infrastructure_seconds,
+                    "wall_seconds": level.wall_seconds,
+                }
+                for level in self.levels
+            ],
+            "nlcc_cache": dict(self.nlcc_cache_stats),
+            "messages": dict(self.message_summary),
+            "totals": {
+                "simulated_seconds": self.total_simulated_seconds,
+                "infrastructure_seconds": self.total_infrastructure_seconds,
+                "wall_seconds": self.total_wall_seconds,
+            },
+        }
+
     def __repr__(self) -> str:
         return (
             f"PipelineResult({self.template_name!r}, k={self.k}, "

@@ -65,7 +65,48 @@ def search_prototype(
     """
     outcome = PrototypeSearchOutcome(prototype)
     started = time.perf_counter()
+    tracer = engine.tracer
 
+    with tracer.span(
+        "prototype",
+        proto=prototype.id,
+        label=prototype.name,
+        distance=prototype.distance,
+    ) as span:
+        _search_prototype_body(
+            state, prototype, constraint_set, engine, cache, recycle,
+            count_matches, collect_matches, verification, role_kernel,
+            delta_lcc, array_state, outcome,
+        )
+    if tracer.enabled:
+        span.add(
+            lcc_iterations=outcome.lcc_iterations,
+            nlcc_constraints=outcome.nlcc_constraints_checked,
+            nlcc_eliminated=outcome.nlcc_roles_eliminated,
+            nlcc_recycled=outcome.nlcc_recycled,
+            solution_vertices=len(outcome.solution_vertices),
+            solution_edges=len(outcome.solution_edges),
+        )
+    outcome.wall_seconds = time.perf_counter() - started
+    return outcome
+
+
+def _search_prototype_body(
+    state: SearchState,
+    prototype: Prototype,
+    constraint_set: ConstraintSet,
+    engine: Engine,
+    cache: Optional[NlccCache],
+    recycle: bool,
+    count_matches: bool,
+    collect_matches: bool,
+    verification: str,
+    role_kernel: bool,
+    delta_lcc: bool,
+    array_state: bool,
+    outcome: PrototypeSearchOutcome,
+) -> None:
+    """Alg. 2 body; fills ``outcome`` (timing is the caller's job)."""
     kernel = compile_role_kernel(prototype.graph) if role_kernel else None
     outcome.lcc_iterations = local_constraint_checking(
         state, prototype.graph, engine,
@@ -133,5 +174,3 @@ def search_prototype(
 
     outcome.solution_vertices = set(state.candidates)
     outcome.solution_edges = set(state.active_edge_list())
-    outcome.wall_seconds = time.perf_counter() - started
-    return outcome

@@ -53,9 +53,24 @@ def exploratory_search(
     outcomes.
     """
     options = options or PipelineOptions()
-    wall_start = time.perf_counter()
     if max_k is None:
         max_k = template.max_meaningful_distance()
+    with options.tracer.span(
+        "pipeline", template=template.name, k=max_k, mode="exploratory"
+    ):
+        return _run_exploratory(graph, template, max_k, stop_condition, options)
+
+
+def _run_exploratory(
+    graph: Graph,
+    template: PatternTemplate,
+    max_k: int,
+    stop_condition: Callable[[LevelReport], bool],
+    options: PipelineOptions,
+) -> PipelineResult:
+    """Top-down sweep body; the caller owns the ``pipeline`` span."""
+    tracer = options.tracer
+    wall_start = time.perf_counter()
     protos = generate_prototypes(template, max_k, options.max_prototypes)
     label_frequencies = graph.label_counts()
     cache = NlccCache() if options.work_recycling else None
@@ -68,7 +83,7 @@ def exploratory_search(
         ranks_per_node=options.ranks_per_node,
     )
     mcs_stats = MessageStats(options.num_ranks)
-    mcs_engine = Engine(pgraph, mcs_stats, options.batch_size)
+    mcs_engine = Engine(pgraph, mcs_stats, options.batch_size, tracer=tracer)
     base_state = max_candidate_set(
         graph, template, mcs_engine,
         role_kernel=options.role_kernel, delta=options.delta_lcc,
@@ -84,51 +99,58 @@ def exploratory_search(
     all_stats: List[MessageStats] = [mcs_stats]
 
     for distance in range(0, protos.max_distance + 1):
-        level_wall = time.perf_counter()
-        level = LevelReport(distance)
-        for proto in protos.at(distance):
-            constraint_set = generate_constraints(
-                proto.graph, label_frequencies, options.include_full_walk
+        with tracer.span("level", distance=distance) as level_span:
+            level_wall = time.perf_counter()
+            level = LevelReport(distance)
+            for proto in protos.at(distance):
+                constraint_set = generate_constraints(
+                    proto.graph, label_frequencies, options.include_full_walk
+                )
+                constraint_set.non_local = order_constraints(
+                    constraint_set.non_local,
+                    label_frequencies,
+                    optimize=options.constraint_ordering,
+                )
+                state = base_state.for_prototype_search(proto)
+                stats = MessageStats(options.num_ranks)
+                engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
+                outcome = search_prototype(
+                    state,
+                    proto,
+                    constraint_set,
+                    engine,
+                    cache=cache,
+                    recycle=options.work_recycling,
+                    count_matches=options.count_matches,
+                    collect_matches=options.collect_matches,
+                    verification=options.verification,
+                    role_kernel=options.role_kernel,
+                    delta_lcc=options.delta_lcc,
+                    array_state=options.array_state,
+                )
+                outcome.simulated_seconds = cost_model.makespan(stats)
+                outcome.messages = stats.total_messages
+                outcome.remote_messages = stats.total_remote_messages
+                all_stats.append(stats)
+                level.outcomes.append(outcome)
+                for vertex in outcome.solution_vertices:
+                    result.match_vectors.setdefault(vertex, set()).add(proto.id)
+            level.search_seconds = sum(o.simulated_seconds for o in level.outcomes)
+            level.union_vertices = len(
+                {v for o in level.outcomes for v in o.solution_vertices}
             )
-            constraint_set.non_local = order_constraints(
-                constraint_set.non_local,
-                label_frequencies,
-                optimize=options.constraint_ordering,
+            level.post_lcc_vertices = sum(
+                o.post_lcc_vertices for o in level.outcomes
             )
-            state = base_state.for_prototype_search(proto)
-            stats = MessageStats(options.num_ranks)
-            engine = Engine(pgraph, stats, options.batch_size)
-            outcome = search_prototype(
-                state,
-                proto,
-                constraint_set,
-                engine,
-                cache=cache,
-                recycle=options.work_recycling,
-                count_matches=options.count_matches,
-                collect_matches=options.collect_matches,
-                verification=options.verification,
-                role_kernel=options.role_kernel,
-                delta_lcc=options.delta_lcc,
-                array_state=options.array_state,
+            level.post_lcc_edges = sum(o.post_lcc_edges for o in level.outcomes)
+            level_span.add(
+                prototypes=len(level.outcomes),
+                union_vertices=level.union_vertices,
+                post_lcc_vertices=level.post_lcc_vertices,
+                post_lcc_edges=level.post_lcc_edges,
             )
-            outcome.simulated_seconds = cost_model.makespan(stats)
-            outcome.messages = stats.total_messages
-            outcome.remote_messages = stats.total_remote_messages
-            all_stats.append(stats)
-            level.outcomes.append(outcome)
-            for vertex in outcome.solution_vertices:
-                result.match_vectors.setdefault(vertex, set()).add(proto.id)
-        level.search_seconds = sum(o.simulated_seconds for o in level.outcomes)
-        level.union_vertices = len(
-            {v for o in level.outcomes for v in o.solution_vertices}
-        )
-        level.post_lcc_vertices = sum(
-            o.post_lcc_vertices for o in level.outcomes
-        )
-        level.post_lcc_edges = sum(o.post_lcc_edges for o in level.outcomes)
-        level.wall_seconds = time.perf_counter() - level_wall
-        result.levels.append(level)
+            level.wall_seconds = time.perf_counter() - level_wall
+            result.levels.append(level)
         if stop_condition(level):
             break
 

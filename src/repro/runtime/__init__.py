@@ -19,6 +19,7 @@ from .partition import (
 )
 from .quiescence import SafraDetector
 from .store import DistributedGraphStore, RankShard
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
 from .visitor import Visitor
 
 __all__ = [
@@ -26,12 +27,16 @@ __all__ = [
     "CostModel",
     "Engine",
     "MessageStats",
+    "NULL_TRACER",
+    "NullTracer",
     "PartitionedGraph",
     "PhaseCounters",
     "DistributedGraphStore",
     "PrototypeSearchPool",
     "RankShard",
     "SafraDetector",
+    "Span",
+    "Tracer",
     "Visitor",
     "balanced_assignment",
     "block_assignment",

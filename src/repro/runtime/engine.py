@@ -21,6 +21,7 @@ order), which the test suite relies on.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Callable, Deque, Iterable, List, Optional
 
@@ -28,6 +29,7 @@ from ..errors import EngineError
 from .messages import MessageStats
 from .partition import PartitionedGraph
 from .quiescence import SafraDetector
+from .trace import NULL_TRACER
 from .visitor import Visitor
 
 VisitCallback = Callable[["Context", Visitor], None]
@@ -93,6 +95,11 @@ class Engine:
     batch_size:
         How many visitors one rank processes before the scheduler rotates to
         the next rank — models asynchronous interleaving.
+    tracer:
+        Span tracer; every traversal (and every batched array round)
+        records a ``round`` span with message/visit/worklist counters
+        when tracing is enabled.  Defaults to the zero-overhead
+        :data:`~repro.runtime.trace.NULL_TRACER`.
     """
 
     def __init__(
@@ -100,10 +107,12 @@ class Engine:
         pgraph: PartitionedGraph,
         stats: Optional[MessageStats] = None,
         batch_size: int = 64,
+        tracer=None,
     ) -> None:
         if batch_size <= 0:
             raise EngineError("batch_size must be positive")
         self.pgraph = pgraph
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = stats if stats is not None else MessageStats(pgraph.num_ranks)
         if self.stats.num_ranks != pgraph.num_ranks:
             raise EngineError("stats rank count does not match partitioning")
@@ -159,15 +168,24 @@ class Engine:
         if self._running:
             raise EngineError("engine is not reentrant")
         self._running = True
+        tracing = self.tracer.enabled
+        round_started = time.perf_counter() if tracing else 0.0
         try:
+            seed_count = 0
             for visitor in seed_visitors:
                 rank = self.pgraph.rank_of(visitor.target)
                 self._queues[rank].append(visitor)
+                seed_count += 1
             self._detector.reset()
             self._drain(visit)
             self.stats.record_quiescence(
                 self._detector.control_messages(), self._detector.circuits()
             )
+            if tracing:
+                self._record_round_span(
+                    round_started, self._msg_matrix, self._visit_counts,
+                    seed_count,
+                )
             self.stats.bulk_record(
                 self._msg_matrix, self._visit_counts, self._rank_node
             )
@@ -203,11 +221,34 @@ class Engine:
                     visit(context, pop())
             detector.sweep_completed()
 
+    def _record_round_span(
+        self,
+        round_started: float,
+        msg_matrix: List[List[int]],
+        visit_counts: List[int],
+        worklist: Optional[int] = None,
+    ) -> None:
+        """Close one per-round trace span from a rank-by-rank matrix."""
+        messages = sum(sum(row) for row in msg_matrix)
+        local = sum(row[rank] for rank, row in enumerate(msg_matrix))
+        counters = {
+            "messages": messages,
+            "remote_messages": messages - local,
+            "visits": sum(visit_counts),
+        }
+        if worklist is not None:
+            counters["worklist"] = worklist
+        self.tracer.record_span(
+            "round", round_started, time.perf_counter(), counters=counters
+        )
+
     def record_batched_round(
         self,
         msg_matrix: List[List[int]],
         visit_counts: List[int],
         circuits: int = 2,
+        round_started: Optional[float] = None,
+        worklist: Optional[int] = None,
     ) -> None:
         """Account one batched (array-executed) broadcast round.
 
@@ -218,9 +259,17 @@ class Engine:
         the minimal clean termination-detection exchange (``circuits``
         Safra circuits — two when no reactivation wave occurs).  Closes a
         barrier interval exactly like :meth:`do_traversal`.
+
+        ``round_started`` (a ``perf_counter`` stamp taken at the round's
+        start) and ``worklist`` (the broadcaster count) feed the per-round
+        trace span when tracing is enabled; both are ignored otherwise.
         """
         if self._running:
             raise EngineError("engine is not reentrant")
+        if round_started is not None and self.tracer.enabled:
+            self._record_round_span(
+                round_started, msg_matrix, visit_counts, worklist
+            )
         self.stats.record_quiescence(
             self.pgraph.num_ranks * circuits, circuits
         )

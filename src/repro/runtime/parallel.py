@@ -53,17 +53,28 @@ def _init_worker(graph, template, k, options) -> None:
 
 
 def _search_task(payload: Tuple) -> Dict:
-    """Search one prototype inside a worker; returns a plain-data outcome."""
+    """Search one prototype inside a worker; returns a plain-data outcome.
+
+    When the shipped options carry an enabled tracer, the worker builds a
+    fresh local :class:`~repro.runtime.trace.Tracer` (span forests never
+    cross process boundaries implicitly — pickled tracers arrive empty)
+    and returns its closed spans as payloads for the parent to graft.
+    """
+    import os
+
     from ..core.search import search_prototype
     from ..core.state import SearchState
     from .engine import Engine
     from .messages import MessageStats
     from .partition import PartitionedGraph
+    from .trace import NULL_TRACER, Tracer
 
     proto_id, candidates_payload, edges_payload = payload
     graph = _WORKER["graph"]
     options = _WORKER["options"]
     proto = _WORKER["prototypes"][proto_id]
+    tracing = getattr(options.tracer, "enabled", False)
+    tracer = Tracer() if tracing else NULL_TRACER
 
     candidates = {v: set(roles) for v, roles in candidates_payload}
     active_edges: Dict[int, set] = {v: set() for v in candidates}
@@ -79,7 +90,7 @@ def _search_task(payload: Tuple) -> Dict:
         ranks_per_node=options.ranks_per_node,
     )
     stats = MessageStats(options.num_ranks)
-    engine = Engine(pgraph, stats, options.batch_size)
+    engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
     outcome = search_prototype(
         state,
         proto,
@@ -110,6 +121,10 @@ def _search_task(payload: Tuple) -> Dict:
         "messages": stats.total_messages,
         "remote_messages": stats.total_remote_messages,
         "wall_seconds": outcome.wall_seconds,
+        "trace_spans": (
+            [span.to_payload() for span in tracer.roots] if tracing else None
+        ),
+        "trace_worker": os.getpid() if tracing else None,
     }
 
 

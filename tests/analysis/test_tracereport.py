@@ -1,0 +1,137 @@
+"""Tests for trace loading and the attribution breakdowns."""
+
+import json
+
+import pytest
+
+from repro.analysis.tracereport import (
+    constraint_breakdown,
+    level_breakdown,
+    load_trace,
+    phase_breakdown,
+    render_report,
+    span_tree_lines,
+)
+from repro.runtime.trace import Tracer
+
+
+def make_tracer():
+    """A small hand-built trace with known times and counters."""
+    tracer = Tracer()
+    with tracer.span("pipeline", template="tri", k=1, mode="bottom-up"):
+        with tracer.span("level", distance=1) as level:
+            level.add(
+                prototypes=2, union_vertices=10, union_edges=12,
+                post_lcc_vertices=20, post_lcc_edges=22,
+            )
+            with tracer.span("prototype", proto=1, label="k1_p0", distance=1):
+                with tracer.span("lcc") as lcc:
+                    lcc.add(messages=30, vertices_pruned=4)
+                with tracer.span(
+                    "nlcc", kind="cycle", source=0, walk_length=4
+                ) as nlcc:
+                    nlcc.add(
+                        checked=5, cache_hits=2, tokens_launched=3,
+                        completions=1, eliminated_roles=2, messages=12,
+                    )
+        with tracer.span("level", distance=0) as level:
+            level.add(prototypes=1, union_vertices=3, union_edges=3)
+    return tracer
+
+
+@pytest.fixture(params=["chrome", "jsonl"])
+def records(request, tmp_path):
+    tracer = make_tracer()
+    if request.param == "chrome":
+        path = tmp_path / "t.json"
+        tracer.write_chrome_trace(path)
+    else:
+        path = tmp_path / "t.jsonl"
+        tracer.write_jsonl(path)
+    return load_trace(path)
+
+
+class TestLoadTrace:
+    def test_preorder_and_depths(self, records):
+        assert [r["name"] for r in records] == [
+            "pipeline", "level", "prototype", "lcc", "nlcc", "level",
+        ]
+        assert [r["depth"] for r in records] == [0, 1, 2, 3, 3, 1]
+
+    def test_parent_links(self, records):
+        by_id = {r["span_id"]: r for r in records}
+        lcc = next(r for r in records if r["name"] == "lcc")
+        assert by_id[lcc["parent_id"]]["name"] == "prototype"
+        root = records[0]
+        assert root["parent_id"] is None
+
+    def test_counters_survive(self, records):
+        nlcc = next(r for r in records if r["name"] == "nlcc")
+        assert nlcc["counters"]["checked"] == 5
+        assert nlcc["attrs"]["kind"] == "cycle"
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert load_trace(path) == []
+
+    def test_object_without_trace_events_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestBreakdowns:
+    def test_phase_breakdown_counts_and_counters(self, records):
+        phases = {b["name"]: b for b in phase_breakdown(records)}
+        assert phases["level"]["count"] == 2
+        assert phases["level"]["counters"]["prototypes"] == 3
+        assert phases["nlcc"]["counters"]["messages"] == 12
+        # self time of the pipeline excludes its levels
+        pipeline = phases["pipeline"]
+        assert pipeline["self_s"] <= pipeline["total_s"]
+
+    def test_phase_breakdown_sorted_by_total(self, records):
+        totals = [b["total_s"] for b in phase_breakdown(records)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_constraint_breakdown(self, records):
+        rows = constraint_breakdown(records)
+        assert len(rows) == 1
+        row = rows[0]
+        assert (row["kind"], row["source"], row["walk_length"]) == (
+            "cycle", 0, 4,
+        )
+        assert row["checked"] == 5
+        assert row["cache_hits"] == 2
+        assert row["tokens_launched"] == 3
+        assert row["eliminated_roles"] == 2
+
+    def test_level_breakdown_sorted_by_distance(self, records):
+        rows = level_breakdown(records)
+        assert [r["distance"] for r in rows] == [0, 1]
+        level1 = rows[1]
+        assert level1["prototypes"] == 2
+        assert level1["union_vertices"] == 10
+        assert level1["post_lcc_edges"] == 22
+
+
+class TestRendering:
+    def test_tree_lines_respect_depth(self, records):
+        all_lines = span_tree_lines(records, max_depth=None)
+        shallow = span_tree_lines(records, max_depth=1)
+        assert len(all_lines) == 6
+        assert len(shallow) == 3
+        assert all_lines[0].startswith("pipeline [")
+
+    def test_render_report_sections(self, records):
+        report = render_report(records)
+        assert "== span tree" in report
+        assert "== per-phase breakdown ==" in report
+        assert "== per-constraint breakdown (NLCC) ==" in report
+        assert "== per-level breakdown ==" in report
+        assert "cycle(src=0, len=4)" in report
+
+    def test_render_empty(self):
+        assert render_report([]) == "trace is empty"

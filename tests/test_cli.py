@@ -68,6 +68,80 @@ class TestSearchCommand:
         assert code == 2
         assert "error" in capsys.readouterr().err
 
+    def test_json_output_is_machine_readable(self, graph_files, capsys):
+        graph_path, labels_path, template_path = graph_files
+        code = main([
+            "search", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "-k", "1", "--ranks", "2",
+            "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["template"] == "tri"
+        assert document["prototypes"] == 4
+        assert document["candidate_set"]["vertices"] > 0
+        assert {lvl["distance"] for lvl in document["levels"]} == {0, 1}
+        assert "totals" in document and "messages" in document
+
+    def test_trace_flag_writes_parseable_trace(
+        self, graph_files, tmp_path, capsys
+    ):
+        from repro.analysis.tracereport import load_trace
+
+        graph_path, labels_path, template_path = graph_files
+        trace_path = tmp_path / "run.json"
+        code = main([
+            "search", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "-k", "1", "--ranks", "2",
+            "--trace", str(trace_path), "--json",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # the trace notice goes to stderr so --json stdout stays parseable
+        json.loads(captured.out)
+        assert str(trace_path) in captured.err
+        records = load_trace(trace_path)
+        names = {r["name"] for r in records}
+        assert {"pipeline", "level", "prototype", "lcc"} <= names
+
+
+class TestTraceCommand:
+    def _traced_search(self, graph_files, trace_path):
+        graph_path, labels_path, template_path = graph_files
+        code = main([
+            "search", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "-k", "1", "--ranks", "2",
+            "--trace", str(trace_path),
+        ])
+        assert code == 0
+
+    def test_trace_report(self, graph_files, tmp_path, capsys):
+        trace_path = tmp_path / "run.json"
+        self._traced_search(graph_files, trace_path)
+        capsys.readouterr()
+        code = main(["trace", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== span tree" in out
+        assert "== per-phase breakdown ==" in out
+        assert "== per-level breakdown ==" in out
+        assert "pipeline" in out
+
+    def test_trace_report_jsonl(self, graph_files, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        self._traced_search(graph_files, trace_path)
+        capsys.readouterr()
+        code = main(["trace", str(trace_path), "--depth", "2"])
+        assert code == 0
+        assert "== per-phase breakdown ==" in capsys.readouterr().out
+
+    def test_trace_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a trace\"}")
+        code = main(["trace", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
 
 class TestMotifsCommand:
     def test_motif_census(self, graph_files, capsys):
@@ -132,6 +206,22 @@ class TestExploreCommand:
         ])
         assert code == 0
         assert "no matches" in capsys.readouterr().out
+
+    def test_explore_trace(self, graph_files, tmp_path, capsys):
+        from repro.analysis.tracereport import load_trace
+
+        graph_path, labels_path, template_path = graph_files
+        trace_path = tmp_path / "explore.json"
+        code = main([
+            "explore", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "--ranks", "2",
+            "--trace", str(trace_path),
+        ])
+        assert code == 0
+        records = load_trace(trace_path)
+        root = next(r for r in records if r["parent_id"] is None)
+        assert root["name"] == "pipeline"
+        assert root["attrs"]["mode"] == "exploratory"
 
 
 class TestAuditCommand:
