@@ -1,0 +1,291 @@
+"""E-N1 — NLCC microbenchmark: dict token walk vs batched array frontier.
+
+Not a paper figure: this benchmark guards the PR that rebuilt NLCC as a
+batched token frontier over the CSR (``core/arraystate.array_token_walk``)
+with per-(vertex, hop, initiator) dedup.  Two measurements per workload:
+
+* *token walk* — every non-local constraint of the workload's template
+  checked sequentially on a copy of the post-LCC state, dict visitor walk
+  (``array_nlcc=False``) vs array frontier (``array_nlcc=True``, including
+  the per-constraint dict->CSR->dict round trip, exactly as a
+  non-persistent pipeline pays it);
+* *pipeline* — the full ``run_pipeline`` end to end, array NLCC off vs on
+  (the on-configuration additionally engages the level-persistent array
+  state and warm-seeded LCC rounds).
+
+Writes ``BENCH_NLCC.json`` at the repo root.  The acceptance bar is a
+>=3x token-walk speedup on NLCC-STRESS (a two-label hub-storm workload)
+with *identical* results: per-constraint checked/satisfied/eliminated
+counts, walk completions, and the final pruned state must match between
+the two modes, so the speedup can never come from doing less checking.
+Match counts of the pipeline runs must agree as well.
+
+Methodology: best-of-``REPEATS`` wall time via ``time.perf_counter``
+around the constraint loop / pipeline call only, fresh state and engine
+per run, both variants on the same cached graph objects, single process.
+
+Run directly (``python benchmarks/bench_nlcc.py``) for the full suite,
+``--smoke`` for the CI-sized subset, or via pytest-benchmark.
+"""
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import format_table, speedup
+from repro.core import (
+    PipelineOptions,
+    SearchState,
+    generate_constraints,
+    local_constraint_checking,
+    non_local_constraint_checking,
+    run_pipeline,
+)
+from repro.core.kernels import compile_role_kernel
+from repro.core.ordering import order_constraints
+from repro.runtime import Engine, MessageStats, PartitionedGraph
+from common import DEFAULT_RANKS, nlcc_workloads, print_header
+
+REPEATS = 3
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_NLCC.json"
+
+#: the workload the acceptance bar is pinned to
+ACCEPTANCE_WORKLOAD = "NLCC-STRESS"
+#: edit distance of the end-to-end pipeline runs
+PIPELINE_K = 1
+#: pipeline runs are end-to-end minutes in dict mode — time them once
+PIPELINE_REPEATS = 1
+
+
+def _post_lcc_state(graph, template):
+    """The shared starting point: LCC fixed point of the initial state."""
+    state = SearchState.initial(graph, template)
+    engine = Engine(
+        PartitionedGraph(graph, DEFAULT_RANKS), MessageStats(DEFAULT_RANKS)
+    )
+    local_constraint_checking(state, template.graph, engine, array_state=True)
+    return state
+
+
+def _constraints_for(graph, template):
+    constraint_set = generate_constraints(template.graph, graph.label_counts())
+    constraint_set.non_local = order_constraints(
+        constraint_set.non_local, graph.label_counts()
+    )
+    return constraint_set.non_local
+
+
+def _run_walk(graph, template, base_state, constraints, array_nlcc):
+    """One timed pass over all non-local constraints; returns (wall, digest)."""
+    state = base_state.copy()
+    kernel = compile_role_kernel(template.graph)
+    stats = MessageStats(DEFAULT_RANKS)
+    engine = Engine(PartitionedGraph(graph, DEFAULT_RANKS), stats)
+    digest = []
+    start = time.perf_counter()
+    for constraint in constraints:
+        result = non_local_constraint_checking(
+            state, constraint, engine, recycle=False, kernel=kernel,
+            array_nlcc=array_nlcc,
+        )
+        digest.append((
+            constraint.kind,
+            len(result.checked),
+            len(result.satisfied),
+            result.eliminated_roles,
+            result.completions,
+        ))
+    wall = time.perf_counter() - start
+    fixpoint = (
+        {v: frozenset(r) for v, r in state.candidates.items()},
+        frozenset(state.active_edge_list()),
+    )
+    counters = {
+        "completions": sum(d[4] for d in digest),
+        "tokens_launched": sum(d[1] for d in digest),
+    }
+    return wall, counters, (tuple(digest), fixpoint)
+
+
+def _run_pipeline_once(graph, template, array_nlcc):
+    options = PipelineOptions(
+        num_ranks=DEFAULT_RANKS, count_matches=True, array_nlcc=array_nlcc
+    )
+    start = time.perf_counter()
+    result = run_pipeline(graph, template, PIPELINE_K, options)
+    wall = time.perf_counter() - start
+    doc = result.stats_document()
+    return wall, {
+        "matched_vertices": len(result.match_vectors),
+        "match_mappings": result.total_match_mappings(),
+        "nlcc": doc["nlcc"],
+    }
+
+
+def run_suite(repeats=REPEATS, workloads=None, pipeline=True):
+    """Benchmark every workload x mode; returns the JSON payload."""
+    rows = []
+    for name, graph_factory, template_factory in (
+        workloads or nlcc_workloads()
+    ):
+        graph = graph_factory()
+        template = template_factory()
+        base_state = _post_lcc_state(graph, template)
+        constraints = _constraints_for(graph, template)
+
+        walk = {}
+        digests = {}
+        for label, array_nlcc in (("dict", False), ("array", True)):
+            best, counters = None, None
+            for _ in range(repeats):
+                wall, run_counters, digest = _run_walk(
+                    graph, template, base_state, constraints, array_nlcc
+                )
+                if best is None or wall < best:
+                    best, counters = wall, run_counters
+            walk[label] = dict(wall_seconds=best, **counters)
+            digests[label] = digest
+        row = {
+            "name": name,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "constraints": len(constraints),
+            "walk": walk,
+            "speedup_array_nlcc": speedup(
+                walk["dict"]["wall_seconds"], walk["array"]["wall_seconds"]
+            ),
+            "results_equal": digests["dict"] == digests["array"],
+        }
+
+        if pipeline:
+            pipe = {}
+            pipe_stats = {}
+            for label, array_nlcc in (("dict", False), ("array", True)):
+                best, info = None, None
+                for _ in range(PIPELINE_REPEATS):
+                    wall, run_info = _run_pipeline_once(
+                        graph, template, array_nlcc
+                    )
+                    if best is None or wall < best:
+                        best, info = wall, run_info
+                pipe[label] = dict(wall_seconds=best, **info)
+                pipe_stats[label] = (
+                    info["matched_vertices"], info["match_mappings"]
+                )
+            row["pipeline"] = pipe
+            row["speedup_pipeline_nlcc"] = speedup(
+                pipe["dict"]["wall_seconds"], pipe["array"]["wall_seconds"]
+            )
+            row["pipeline_matches_equal"] = (
+                pipe_stats["dict"] == pipe_stats["array"]
+            )
+        rows.append(row)
+    return {
+        "experiment": "E-N1 NLCC token walk microbenchmark",
+        "methodology": {
+            "timer": (
+                "time.perf_counter around the non-local constraint loop "
+                "(token walk) / run_pipeline (end to end) only"
+            ),
+            "repeats": repeats,
+            "pipeline_repeats": PIPELINE_REPEATS,
+            "aggregation": "best-of (min wall time per mode)",
+            "ranks": DEFAULT_RANKS,
+            "pipeline_k": PIPELINE_K,
+            "fresh_state_per_run": True,
+            "python": platform.python_version(),
+            "acceptance": (
+                ">=3x array token-walk speedup over the dict walk on "
+                "NLCC-STRESS with identical per-constraint results and "
+                "final states; identical pipeline match counts"
+            ),
+        },
+        "workloads": rows,
+    }
+
+
+def check_acceptance(payload):
+    """Assert the perf bar; returns the acceptance workload's row."""
+    for row in payload["workloads"]:
+        assert row["results_equal"], f"{row['name']}: walk results diverge"
+        if "pipeline" in row:
+            assert row["pipeline_matches_equal"], (
+                f"{row['name']}: pipeline match counts diverge"
+            )
+    target = next(
+        r for r in payload["workloads"] if r["name"] == ACCEPTANCE_WORKLOAD
+    )
+    assert target["speedup_array_nlcc"] >= 3.0, (
+        f"{target['name']}: array token-walk speedup "
+        f"{target['speedup_array_nlcc']:.2f}x < 3x"
+    )
+    return target
+
+
+def report(payload):
+    rows = []
+    for row in payload["workloads"]:
+        pipe = row.get("pipeline")
+        rows.append([
+            row["name"] + (" *" if row["name"] == ACCEPTANCE_WORKLOAD else ""),
+            f"{row['vertices']}/{row['edges']}",
+            f"{row['walk']['dict']['wall_seconds']:.3f}s",
+            f"{row['walk']['array']['wall_seconds']:.3f}s",
+            f"{row['speedup_array_nlcc']:.1f}x",
+            f"{pipe['dict']['wall_seconds']:.2f}s" if pipe else "-",
+            f"{pipe['array']['wall_seconds']:.2f}s" if pipe else "-",
+            f"{row['speedup_pipeline_nlcc']:.1f}x" if pipe else "-",
+            "yes" if row["results_equal"] else "NO",
+        ])
+    print(format_table(
+        ["workload", "V/E", "walk dict", "walk array", "walk speedup",
+         "pipe dict", "pipe array", "pipe speedup", "same results"],
+        rows,
+    ))
+    print("* acceptance workload (>=3x walk speedup)")
+
+
+@pytest.mark.benchmark(group="nlcc")
+def test_nlcc_walk_speedup(benchmark):
+    print_header("E-N1 — NLCC: dict token walk vs batched array frontier")
+    payload = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    report(payload)
+    target = check_acceptance(payload)
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    assert target["speedup_array_nlcc"] >= 3.0
+
+
+def smoke_suite():
+    """The CI-sized subset: acceptance workload, walk only, fewer repeats.
+
+    The end-to-end pipeline runs are minutes in dict mode, so CI guards
+    the token-walk speedup and result equality only; pipeline equality is
+    covered by the tier-1 equivalence tests.
+    """
+    workloads = [w for w in nlcc_workloads() if w[0] == ACCEPTANCE_WORKLOAD]
+    return run_suite(repeats=2, workloads=workloads, pipeline=False)
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    if smoke:
+        payload = smoke_suite()
+        report(payload)
+        check_acceptance(payload)
+        print("smoke OK")
+        return 0
+    payload = run_suite()
+    report(payload)
+    check_acceptance(payload)
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,23 +1,27 @@
-"""Regression gate: diff a fresh kernel-bench run against tracked history.
+"""Regression gate: diff fresh benchmark runs against tracked history.
 
 ``BENCH_HISTORY.jsonl`` (repo root) is an append-only log of the tracked
 speedup ratios, one JSON entry per gate run, keyed by git commit.  This
-script reruns the CI-sized smoke subset of ``bench_kernels.py``, compares
-the *ratios* — not absolute wall times, which vary across machines —
-against the most recent history entry (falling back to the committed
-``BENCH_KERNELS.json`` when the history is empty), and appends the fresh
-ratios to the history on a passing run:
+script reruns the CI-sized smoke subsets of ``bench_kernels.py`` and
+``bench_nlcc.py``, compares the *ratios* — not absolute wall times, which
+vary across machines — against the most recent history entry (falling
+back to the committed ``BENCH_KERNELS.json`` / ``BENCH_NLCC.json`` when
+the history is empty), and appends the fresh ratios to the history on a
+passing run:
 
 * ``speedup_kernel_delta``   (kernel+delta over baseline),
 * ``speedup_array_vs_delta`` (array over kernel+delta),
-* ``visit_reduction_delta``  (delta's visitor-count saving).
+* ``visit_reduction_delta``  (delta's visitor-count saving),
+* ``speedup_array_nlcc``     (array token frontier over the dict walk).
 
 A tracked ratio regressing by more than ``--tolerance`` (default 25%)
 relative to its baseline value fails the gate; improvements always pass.
 Workloads present in only one of the two payloads are reported but do not
-fail (the baseline may predate a new workload).  Fixed-point equality and
-the absolute >=2x acceptance bars are asserted by the smoke run itself
-before any comparison happens.
+fail (the baseline may predate a new workload), and a ratio that neither
+payload carries for a workload is skipped silently (the kernel and NLCC
+benches track disjoint ratio sets).  Fixed-point/result equality and the
+absolute >=2x / >=3x acceptance bars are asserted by the smoke runs
+themselves before any comparison happens.
 
 Run from the repo root::
 
@@ -34,10 +38,15 @@ from pathlib import Path
 from repro.analysis import format_table
 
 from bench_kernels import OUTPUT as COMMITTED, check_acceptance, smoke_suite
+from bench_nlcc import (
+    OUTPUT as NLCC_COMMITTED,
+    check_acceptance as nlcc_check_acceptance,
+    smoke_suite as nlcc_smoke_suite,
+)
 
 #: row-level ratio fields the gate tracks (higher is better for all)
 TRACKED = ["speedup_kernel_delta", "speedup_array_vs_delta",
-           "visit_reduction_delta"]
+           "visit_reduction_delta", "speedup_array_nlcc"]
 
 #: append-only ratio log, one JSON entry per passing gate run
 HISTORY = Path(__file__).resolve().parents[1] / "BENCH_HISTORY.jsonl"
@@ -63,7 +72,11 @@ def history_entry(payload: dict, commit: str = None) -> dict:
         "commit": commit if commit is not None else _git_commit(),
         "recorded_unix": time.time(),
         "workloads": [
-            {"name": row["name"], **{f: row.get(f) for f in TRACKED}}
+            # only the ratios a row actually carries: the kernel and NLCC
+            # benches track disjoint sets, and a None would read as a
+            # perpetually-missing field in later comparisons
+            {"name": row["name"],
+             **{f: row[f] for f in TRACKED if row.get(f) is not None}}
             for row in payload["workloads"]
         ],
     }
@@ -98,6 +111,8 @@ def compare(baseline: dict, fresh: dict, tolerance: float):
         for field in TRACKED:
             was = base_row.get(field)
             now = fresh_row.get(field)
+            if was is None and now is None:
+                continue  # ratio not applicable to this workload's bench
             if was is None or now is None:
                 rows.append([name, field, str(was), str(now),
                              "field missing (not compared)"])
@@ -147,6 +162,12 @@ def main(argv):
     elif args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         baseline_label = str(args.baseline)
+        if NLCC_COMMITTED.exists():
+            nlcc_baseline = json.loads(NLCC_COMMITTED.read_text())
+            baseline["workloads"] = (
+                baseline["workloads"] + nlcc_baseline["workloads"]
+            )
+            baseline_label += f" + {NLCC_COMMITTED}"
     else:
         print(f"no history at {args.history} and no committed baseline at "
               f"{args.baseline}; nothing to gate")
@@ -154,6 +175,11 @@ def main(argv):
 
     fresh = smoke_suite()
     check_acceptance(fresh)
+    # NLCC smoke covers only NLCC-STRESS, so its rows never collide with
+    # the kernel bench's workload names in the merged payload.
+    fresh_nlcc = nlcc_smoke_suite()
+    nlcc_check_acceptance(fresh_nlcc)
+    fresh = {"workloads": fresh["workloads"] + fresh_nlcc["workloads"]}
 
     rows, failures = compare(baseline, fresh, args.tolerance)
     print(f"baseline: {baseline_label}")

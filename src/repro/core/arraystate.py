@@ -275,6 +275,17 @@ class ArraySearchState:
         return cls(graph, csr, roles, role_mask, vertex_active, edge_alive)
 
     @classmethod
+    def empty(cls, graph: Graph) -> "ArraySearchState":
+        """An all-inactive state (the level-union accumulator seed)."""
+        csr = csr_of(graph)
+        return cls(
+            graph, csr, [],
+            np.zeros(csr.num_vertices, dtype=_U64),
+            np.zeros(csr.num_vertices, dtype=bool),
+            np.zeros(csr.num_directed_edges, dtype=bool),
+        )
+
+    @classmethod
     def from_search_state(
         cls, state: SearchState, roles: Optional[Sequence[int]] = None
     ) -> "ArraySearchState":
@@ -360,6 +371,18 @@ class ArraySearchState:
         state.candidates = candidates
         state.active_edges = active_edges
 
+    def reimport(self, state: SearchState) -> None:
+        """Overwrite this array state from ``state`` (same role layout).
+
+        The persistent-search path calls this after an enumeration-based
+        verification replaced the dict state's candidates/edges, so the
+        array copy feeding the level union stays in sync.
+        """
+        fresh = ArraySearchState.from_search_state(state, roles=self.roles)
+        self.role_mask = fresh.role_mask
+        self.vertex_active = fresh.vertex_active
+        self.edge_alive = fresh.edge_alive
+
     def copy(self) -> "ArraySearchState":
         return ArraySearchState(
             self.graph, self.csr, self.roles,
@@ -413,6 +436,17 @@ class ArraySearchState:
         row_alive = s + np.nonzero(self.edge_alive[s:e])[0]
         self.edge_alive[csr.mirror[row_alive]] = False
         self.edge_alive[s:e] = False
+
+    def deactivate_indices(self, idx: np.ndarray) -> None:
+        """Bulk :meth:`deactivate_vertex` over dense vertex indices."""
+        csr = self.csr
+        self.vertex_active[idx] = False
+        self.role_mask[idx] = _ZERO
+        dead = np.zeros(csr.num_vertices, dtype=bool)
+        dead[idx] = True
+        out = np.nonzero(dead[csr.src] & self.edge_alive)[0]
+        self.edge_alive[csr.mirror[out]] = False
+        self.edge_alive[out] = False
 
     def deactivate_edge(self, u: int, v: int) -> None:
         csr = self.csr
@@ -552,9 +586,14 @@ class _RoundAccounting:
     calls instead of one Visitor object per message.
     """
 
-    __slots__ = ("engine", "num_ranks", "rank_of", "src_rank", "dst_rank")
+    __slots__ = (
+        "engine", "num_ranks", "rank_of", "src_rank", "dst_rank",
+        "_matrix", "_visits",
+    )
 
     def __init__(self, engine, csr: GraphCsr) -> None:
+        self._matrix = None
+        self._visits = None
         self.engine = engine
         pgraph = engine.pgraph
         assignment = pgraph.assignment
@@ -601,6 +640,49 @@ class _RoundAccounting:
             worklist=int(seed_idx.shape[0]),
         )
 
+    # -------------------------------------------------- multi-hop batches
+    def begin(self) -> None:
+        """Start accumulating traffic across several hops of one traversal."""
+        ranks = self.num_ranks
+        self._matrix = np.zeros(ranks * ranks, dtype=np.int64)
+        self._visits = np.zeros(ranks, dtype=np.int64)
+
+    def add_seed_visits(self, seed_idx: np.ndarray) -> None:
+        """Count one dequeued-visitor visit per seed vertex."""
+        self._visits += np.bincount(
+            self.rank_of[seed_idx], minlength=self.num_ranks
+        )
+
+    def add_edge_traffic(self, edge_idx: np.ndarray) -> None:
+        """Count one message (and one receiver visit) per directed edge."""
+        ranks = self.num_ranks
+        src_r = self.src_rank[edge_idx]
+        dst_r = self.dst_rank[edge_idx]
+        self._matrix += np.bincount(
+            src_r * ranks + dst_r, minlength=ranks * ranks
+        )
+        self._visits += np.bincount(dst_r, minlength=ranks)
+
+    def flush(
+        self,
+        round_started: Optional[float] = None,
+        worklist: Optional[int] = None,
+    ) -> None:
+        """Record the accumulated batch as one traversal's traffic.
+
+        One flush = one quiescence/barrier interval, matching the dict
+        NLCC's single :meth:`Engine.do_traversal` per constraint.
+        """
+        ranks = self.num_ranks
+        self.engine.record_batched_round(
+            self._matrix.reshape(ranks, ranks).tolist(),
+            self._visits.tolist(),
+            round_started=round_started,
+            worklist=worklist,
+        )
+        self._matrix = None
+        self._visits = None
+
 
 # ----------------------------------------------------------------------
 # Vectorized fixpoint
@@ -617,6 +699,7 @@ def array_kernel_fixpoint(
     max_iterations: Optional[int] = None,
     delta: bool = True,
     mandatory_masks: Optional[Dict[int, int]] = None,
+    warm_mask: Optional[np.ndarray] = None,
 ) -> int:
     """Vectorized :func:`~repro.core.kernels.kernel_fixpoint` over ``astate``.
 
@@ -628,6 +711,17 @@ def array_kernel_fixpoint(
     vertices re-broadcast; drops remove edges and entries together), so
     the witness fold can be recomputed live each round as one masked
     gather plus ``np.bitwise_or.reduceat`` over CSR rows.
+
+    ``warm_mask`` (a boolean vertex array) enables warm-start accounting
+    for the very first round: only the flagged vertices are charged as
+    round-1 broadcasters.  This models seeding a child prototype's search
+    from the parent scope's surviving worklist — a receiver can
+    reconstruct an unchanged neighbor's initial mask (a pure function of
+    its vertex label) from persisted parent-scope knowledge, so only
+    scope-modified vertices need to re-send.  Evaluation is untouched
+    (every nonzero vertex is still refined in round 1), so the fixed
+    point *and* the iteration count are bit-identical to a cold start;
+    only the round-1 message/visit charge shrinks.
     """
     csr = astate.csr
     if astate.roles != kernel.roles:
@@ -697,6 +791,12 @@ def array_kernel_fixpoint(
         if broadcasters is None:
             seeds = active
             sending = nonzero
+            if iterations == 1 and warm_mask is not None:
+                # Warm start: only scope-modified vertices are charged for
+                # the first broadcast (accounting only — the witness fold
+                # below reads masks directly, never the sent set).
+                seeds = active & warm_mask
+                sending = nonzero & warm_mask
         else:
             seeds = broadcasters
             sending = broadcasters
@@ -820,6 +920,209 @@ def array_kernel_fixpoint(
     return iterations
 
 
+class ArrayWalkOutcome:
+    """Raw product of one :func:`array_token_walk` (dense vertex indices).
+
+    ``satisfied_idx`` holds initiators whose token completed (recycled
+    initiators are *not* included — callers union them); ``full_paths``
+    (full-walk constraints only) is one row of dense indices per completed
+    token, each an exact match mapping.
+    """
+
+    __slots__ = (
+        "checked_idx",
+        "recycled_idx",
+        "satisfied_idx",
+        "tokens_launched",
+        "completions",
+        "dedup_merged",
+        "full_paths",
+    )
+
+    def __init__(self) -> None:
+        self.checked_idx = np.zeros(0, dtype=np.int64)
+        self.recycled_idx = np.zeros(0, dtype=np.int64)
+        self.satisfied_idx = np.zeros(0, dtype=np.int64)
+        self.tokens_launched = 0
+        self.completions = 0
+        self.dedup_merged = 0
+        self.full_paths: Optional[np.ndarray] = None
+
+
+def array_token_walk(
+    astate: ArraySearchState,
+    schedule,
+    kernel: RoleKernel,
+    engine,
+    recycled_mask: Optional[np.ndarray] = None,
+    dedup: bool = True,
+    collect_paths: bool = False,
+) -> ArrayWalkOutcome:
+    """Run one NLCC constraint's token walk as a batched frontier (Alg. 5).
+
+    A token generation is a struct-of-arrays frontier: ``paths`` holds one
+    row per live token (columns = walk positions visited so far, as dense
+    CSR indices) with an integer ``weight`` per row; each hop expands every
+    row over its frontier vertex's alive out-edges via one ``np.repeat`` /
+    cumulative-offset gather, then filters by the per-hop role bit, the
+    required edge-label code and the walk's same/diff identity obligations
+    (``schedule`` — see :class:`~repro.core.kernels.WalkSchedule`).
+
+    Per-(vertex, hop, initiator) dedup: after each hop, the *free* path
+    columns (never again read for equality, symmetric in all future
+    ``diff`` checks) are sorted in place per row; rows that then agree on
+    every column describe interchangeable token families and are merged by
+    summing weights (one ``np.lexsort`` + boundary ``np.add.reduceat``).
+    Completion counts stay exact because a completing row contributes its
+    weight, and the satisfied initiator (column 0) is pinned.  Hub-vertex
+    token storms — many tokens differing only in the order they visited
+    interchangeable intermediate vertices — collapse into single weighted
+    rows instead of exploding combinatorially.  Full-walk constraints
+    skip dedup (``collect_paths``): every completed path is itself the
+    match evidence.
+
+    Message accounting mirrors the dict walk's single traversal: one
+    message per alive out-edge of every frontier row (receiver-side drops,
+    as ``ctx.broadcast`` charges), one visit per seeded candidate and per
+    delivered message, flushed as *one* batched round (one barrier, two
+    Safra circuits) at the end.  Dedup legitimately reduces message counts
+    versus the dict walk — fewer live tokens broadcast — so simulated
+    makespans may differ; results never do.
+    """
+    csr = astate.csr
+    walk = schedule.walk
+    walk_len = schedule.length
+    indptr = csr.indptr
+    indices = csr.indices
+    role_mask = astate.role_mask
+    alive = astate.edge_alive
+    role_bit = kernel.role_bit
+    hop_bits = [
+        _U64(role_bit[walk[hop]]) for hop in range(walk_len)
+    ]
+
+    hop_codes: Optional[List[Optional[int]]] = None
+    ecodes = None
+    if schedule.hop_edge_labels is not None:
+        hop_codes = [
+            None if wanted is None else csr.edge_label_ids.get(wanted, -1)
+            for wanted in schedule.hop_edge_labels
+        ]
+        ecodes = csr.edge_label_codes
+        if ecodes is None:
+            ecodes = np.zeros(csr.num_directed_edges, dtype=np.int64)
+
+    out = ArrayWalkOutcome()
+    tracing = engine.tracer.enabled
+    round_started = time.perf_counter() if tracing else None
+    accounting = _RoundAccounting(engine, csr)
+    accounting.begin()
+    # The dict walk seeds one visitor per candidate (source or not); each
+    # dequeued seed is one visit.
+    accounting.add_seed_visits(np.nonzero(astate.vertex_active)[0])
+
+    holders = np.nonzero((role_mask & hop_bits[0]) != _ZERO)[0]
+    out.checked_idx = holders
+    if recycled_mask is not None and holders.shape[0]:
+        rec = recycled_mask[holders]
+        out.recycled_idx = holders[rec]
+        start = holders[~rec]
+    else:
+        start = holders
+    out.tokens_launched = int(start.shape[0])
+
+    paths = start[:, None].astype(np.int64, copy=True)
+    weights = np.ones(paths.shape[0], dtype=np.int64)
+    satisfied_parts: List[np.ndarray] = []
+    full_rows: List[np.ndarray] = []
+
+    for hop in range(1, walk_len):
+        if paths.shape[0] == 0:
+            break
+        cur = paths[:, -1]
+        counts = csr.degrees[cur]
+        total = int(counts.sum())
+        if total == 0:
+            paths = paths[:0]
+            break
+        row_id = np.repeat(np.arange(paths.shape[0], dtype=np.int64), counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        edge = indptr[cur][row_id] + offsets
+        sent = alive[edge]
+        edge = edge[sent]
+        row_id = row_id[sent]
+        accounting.add_edge_traffic(edge)
+
+        dst = indices[edge]
+        ok = (role_mask[dst] & hop_bits[hop]) != _ZERO
+        if hop_codes is not None and hop_codes[hop] is not None:
+            ok &= ecodes[edge] == hop_codes[hop]
+        for position in schedule.same_positions[hop]:
+            ok &= paths[row_id, position] == dst
+        for position in schedule.diff_positions[hop]:
+            ok &= paths[row_id, position] != dst
+        row_id = row_id[ok]
+        dst = dst[ok]
+        if row_id.shape[0] == 0:
+            paths = paths[:0]
+            break
+        new_paths = np.concatenate(
+            [paths[row_id], dst[:, None]], axis=1
+        )
+        new_weights = weights[row_id]
+
+        if hop == walk_len - 1:
+            # Closed walk: the same-position check above forced a return
+            # to column 0, the initiator.
+            out.completions += int(new_weights.sum())
+            satisfied_parts.append(new_paths[:, 0])
+            if collect_paths:
+                full_rows.append(new_paths)
+            paths = paths[:0]
+            break
+
+        if dedup:
+            free = schedule.free[hop]
+            if len(free) >= 2:
+                free_cols = new_paths[:, free]
+                free_cols.sort(axis=1)
+                new_paths[:, free] = free_cols
+            if new_paths.shape[0] > 1:
+                order = np.lexsort(new_paths.T)
+                sorted_paths = new_paths[order]
+                boundary = np.empty(sorted_paths.shape[0], dtype=bool)
+                boundary[0] = True
+                np.any(
+                    sorted_paths[1:] != sorted_paths[:-1],
+                    axis=1, out=boundary[1:],
+                )
+                starts = np.nonzero(boundary)[0]
+                merged = starts.shape[0]
+                if merged < sorted_paths.shape[0]:
+                    out.dedup_merged += sorted_paths.shape[0] - merged
+                    new_weights = np.add.reduceat(
+                        new_weights[order], starts
+                    )
+                    new_paths = sorted_paths[starts]
+        paths = new_paths
+        weights = new_weights
+
+    accounting.flush(
+        round_started=round_started, worklist=out.tokens_launched
+    )
+    if satisfied_parts:
+        out.satisfied_idx = np.unique(np.concatenate(satisfied_parts))
+    if collect_paths:
+        out.full_paths = (
+            np.concatenate(full_rows, axis=0)
+            if full_rows
+            else np.zeros((0, walk_len), dtype=np.int64)
+        )
+    return out
+
+
 def run_array_fixpoint(
     state: SearchState,
     kernel: RoleKernel,
@@ -846,9 +1149,11 @@ def run_array_fixpoint(
 
 __all__ = [
     "ArraySearchState",
+    "ArrayWalkOutcome",
     "GraphCsr",
     "MAX_ARRAY_ROLES",
     "array_kernel_fixpoint",
+    "array_token_walk",
     "csr_of",
     "run_array_fixpoint",
     "supports_array_fixpoint",

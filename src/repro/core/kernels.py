@@ -145,6 +145,77 @@ def compile_role_kernel(proto_graph: Graph) -> RoleKernel:
     return RoleKernel(proto_graph)
 
 
+class WalkSchedule:
+    """Per-hop obligations of one non-local constraint's closed walk.
+
+    Precomputed once per constraint and shared by the dict token walk and
+    the array frontier (:func:`~repro.core.arraystate.array_token_walk`):
+
+    * ``same_positions[h]`` / ``diff_positions[h]`` — the earlier walk
+      positions a hop-``h`` vertex must equal / differ from (they fully
+      partition ``range(h)``);
+    * ``pinned[h]`` / ``free[h]`` — a partition of the path columns
+      ``0..h`` held after hop ``h``: a column is *pinned* while some
+      future hop still runs a ``same`` check against it (plus column 0,
+      the initiator, and column ``h``, the frontier vertex); every other
+      interior column is *free* — it is never read for equality again and
+      appears symmetrically in every future ``diff`` check, so free
+      column values can be reordered (sorted) without changing any future
+      token behavior.  Freedom is monotone: once free, always free.
+    * ``hop_edge_labels`` — per-hop required edge labels (``None`` = any),
+      populated only for edge-labeled prototypes.
+    """
+
+    __slots__ = (
+        "walk",
+        "length",
+        "same_positions",
+        "diff_positions",
+        "pinned",
+        "free",
+        "hop_edge_labels",
+    )
+
+    def __init__(self, constraint) -> None:
+        walk = constraint.walk
+        walk_len = len(walk)
+        self.walk = walk
+        self.length = walk_len
+        self.same_positions = []
+        self.diff_positions = []
+        for hop in range(walk_len):
+            self.same_positions.append(
+                [p for p in range(hop) if walk[p] == walk[hop]]
+            )
+            self.diff_positions.append(
+                [p for p in range(hop) if walk[p] != walk[hop]]
+            )
+        self.pinned = []
+        self.free = []
+        for hop in range(walk_len):
+            pinned = {0, hop}
+            for later in range(hop + 1, walk_len):
+                pinned.update(
+                    p for p in self.same_positions[later] if p <= hop
+                )
+            self.pinned.append(sorted(pinned))
+            self.free.append(
+                [p for p in range(1, hop) if p not in pinned]
+            )
+        self.hop_edge_labels = None
+        proto_graph = getattr(constraint, "proto_graph", None)
+        if proto_graph is not None and proto_graph.has_edge_labels:
+            self.hop_edge_labels = [None] + [
+                proto_graph.edge_label(walk[h - 1], walk[h])
+                for h in range(1, walk_len)
+            ]
+
+
+def compile_walk_schedule(constraint) -> WalkSchedule:
+    """Compile the per-hop identity/edge-label schedule of ``constraint``."""
+    return WalkSchedule(constraint)
+
+
 def candidate_masks(state: SearchState, kernel: RoleKernel) -> Dict[int, int]:
     """Snapshot ``state.candidates`` as per-vertex role bitmasks."""
     mask_of = kernel.mask_of
@@ -380,7 +451,9 @@ def _adjacent_pair(
 
 __all__ = [
     "RoleKernel",
+    "WalkSchedule",
     "candidate_masks",
     "compile_role_kernel",
+    "compile_walk_schedule",
     "kernel_fixpoint",
 ]

@@ -20,7 +20,11 @@ from typing import AbstractSet, Dict, Optional, Set
 from ..graph.graph import Graph
 from ..runtime.engine import Engine
 from ..runtime.visitor import Visitor
-from .arraystate import run_array_fixpoint, supports_array_fixpoint
+from .arraystate import (
+    array_kernel_fixpoint,
+    run_array_fixpoint,
+    supports_array_fixpoint,
+)
 from .kernels import RoleKernel, compile_role_kernel, kernel_fixpoint
 from .state import SearchState
 
@@ -34,6 +38,8 @@ def local_constraint_checking(
     delta: bool = True,
     kernel: Optional[RoleKernel] = None,
     array_state: bool = False,
+    astate=None,
+    warm_mask=None,
 ) -> int:
     """Prune ``state`` to the LCC fixed point for ``proto_graph``.
 
@@ -48,6 +54,13 @@ def local_constraint_checking(
     the role set exceeds the mask width).  All variants reach the same
     fixed point in the same number of rounds.
 
+    Passing a live ``astate`` (level-persistent array mode) runs the
+    vectorized fixpoint directly on it — no dict round trip; ``state`` is
+    left untouched for the caller's final ``write_back``.  ``warm_mask``
+    restricts the first round's broadcast accounting to the vertices whose
+    state actually differs from the parent scope it was derived from (the
+    warm-seeded worklist) — the fixed point and round count are unchanged.
+
     When the engine carries an enabled tracer, the whole fixpoint runs
     inside an ``lcc`` span counting iterations, pruned vertices/edges and
     message traffic (each round contributes its own child span).
@@ -56,17 +69,25 @@ def local_constraint_checking(
         kernel = compile_role_kernel(proto_graph)
     tracer = engine.tracer
     stats = engine.stats
+    counter = astate if astate is not None else state
     if tracer.enabled:
-        before_vertices, before_edges = state.active_counts()
+        before_vertices, before_edges = counter.active_counts()
         before_messages = stats.total_messages
         before_remote = stats.total_remote_messages
     with stats.phase("lcc"), tracer.span("lcc") as span:
-        iterations = _run_fixpoint(
-            state, proto_graph, engine, max_iterations, kernel, delta,
-            array_state,
-        )
+        if astate is not None:
+            iterations = array_kernel_fixpoint(
+                astate, kernel, engine,
+                max_iterations=max_iterations, delta=delta,
+                warm_mask=warm_mask,
+            )
+        else:
+            iterations = _run_fixpoint(
+                state, proto_graph, engine, max_iterations, kernel, delta,
+                array_state,
+            )
     if tracer.enabled:
-        after_vertices, after_edges = state.active_counts()
+        after_vertices, after_edges = counter.active_counts()
         span.add(
             iterations=iterations,
             vertices_pruned=before_vertices - after_vertices,

@@ -20,6 +20,18 @@ template edge), each completed token is an exact match by construction; the
 verified (vertex, role) pairs and traversed edges are recorded so the state
 can be reduced to exactly the solution subgraph, and the number of
 completed tokens equals the number of match mappings (used for counting).
+
+Two executions of the same walk are available:
+
+* the dict token walk below — one Python tuple per token, driven through
+  the engine's visitor callbacks;
+* the batched array frontier (:func:`~repro.core.arraystate.array_token_walk`)
+  — whole token generations as struct-of-arrays advanced one hop per
+  round over the CSR, with per-(vertex, hop, initiator) dedup.  Selected
+  via ``array_nlcc=True`` (per-constraint round trip through the array
+  state) or by passing a live ``astate`` (the level-persistent mode, no
+  conversions).  Results are identical; only message counts may shrink
+  under dedup.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from ..graph.graph import canonical_edge
 from ..runtime.engine import Engine
 from ..runtime.visitor import Visitor
 from .constraints import FULL_WALK_KIND, NonLocalConstraint
-from .kernels import RoleKernel, candidate_masks
+from .kernels import RoleKernel, candidate_masks, compile_walk_schedule
 from .state import NlccCache, SearchState
 
 
@@ -47,6 +59,7 @@ class NlccResult:
         "confirmed_roles",
         "confirmed_edges",
         "completed_mappings",
+        "dedup_merged",
     )
 
     def __init__(self, constraint: NonLocalConstraint) -> None:
@@ -63,10 +76,18 @@ class NlccResult:
         #: for full walks: one template-vertex -> graph-vertex mapping per
         #: completed token (each completion IS an exact match)
         self.completed_mappings: list = []
+        #: token rows collapsed by the array frontier's canonical fold
+        #: (always 0 on the dict path, which never dedups)
+        self.dedup_merged = 0
 
     @property
     def changed(self) -> bool:
         return self.eliminated_roles > 0
+
+    @property
+    def tokens_launched(self) -> int:
+        """Initiators that actually launched a token (checked − recycled)."""
+        return len(self.checked) - len(self.recycled)
 
     def __repr__(self) -> str:
         return (
@@ -82,6 +103,8 @@ def non_local_constraint_checking(
     cache: Optional[NlccCache] = None,
     recycle: bool = True,
     kernel: Optional[RoleKernel] = None,
+    astate=None,
+    array_nlcc: bool = False,
 ) -> NlccResult:
     """Verify ``constraint`` over ``state`` in place; returns the outcome.
 
@@ -94,7 +117,38 @@ def non_local_constraint_checking(
     per-hop role membership test becomes a single bitmask check against a
     role-mask snapshot taken before the traversal (the state is only
     mutated afterwards, so the snapshot stays valid throughout).
+
+    ``array_nlcc=True`` (requires a kernel within the mask width) runs the
+    batched array frontier instead, round-tripping ``state`` through an
+    :class:`~repro.core.arraystate.ArraySearchState` per constraint.
+    Passing a live ``astate`` skips the round trip entirely: the array
+    state is treated as authoritative, mutated in place, and ``state`` is
+    left untouched (the caller owns the final ``write_back``).
     """
+    from .arraystate import supports_array_fixpoint
+
+    if (
+        kernel is not None
+        and (astate is not None or array_nlcc)
+        and supports_array_fixpoint(kernel)
+    ):
+        return _check_array(
+            state, constraint, engine, cache, recycle, kernel, astate
+        )
+    return _check_dict(state, constraint, engine, cache, recycle, kernel)
+
+
+# ----------------------------------------------------------------------
+# Dict token walk
+# ----------------------------------------------------------------------
+def _check_dict(
+    state: SearchState,
+    constraint: NonLocalConstraint,
+    engine: Engine,
+    cache: Optional[NlccCache],
+    recycle: bool,
+    kernel: Optional[RoleKernel],
+) -> NlccResult:
     walk = constraint.walk
     walk_len = len(walk)
     source_role = constraint.source
@@ -103,25 +157,14 @@ def non_local_constraint_checking(
     result = NlccResult(constraint)
     candidates = state.candidates
     active_edges = state.active_edges
-    proto_graph = getattr(constraint, "proto_graph", None)
+    schedule = compile_walk_schedule(constraint)
+    same_positions = schedule.same_positions
+    diff_positions = schedule.diff_positions
     # Per-hop required edge labels (None = any); populated only for
     # edge-labeled prototypes so the plain hot path stays unchanged.
-    hop_edge_labels = None
-    if proto_graph is not None and proto_graph.has_edge_labels:
-        hop_edge_labels = [None] + [
-            proto_graph.edge_label(walk[h - 1], walk[h])
-            for h in range(1, walk_len)
-        ]
+    hop_edge_labels = schedule.hop_edge_labels
+    if hop_edge_labels is not None:
         graph_edge_label = state.graph.edge_label
-    # Per-hop identity obligations, precomputed from the walk: positions a
-    # new vertex must equal (same template vertex) or differ from.
-    same_positions = []
-    diff_positions = []
-    for hop in range(walk_len):
-        same = [p for p in range(hop) if walk[p] == walk[hop]]
-        diff = [p for p in range(hop) if walk[p] != walk[hop]]
-        same_positions.append(same)
-        diff_positions.append(diff)
 
     # Bitmask fast path: snapshot role masks once; the per-hop role test
     # is then one AND against the walk position's precompiled bit.
@@ -257,7 +300,7 @@ def non_local_constraint_checking(
             checked=len(result.checked),
             satisfied=len(result.satisfied),
             cache_hits=len(result.recycled),
-            tokens_launched=len(result.checked) - len(result.recycled),
+            tokens_launched=result.tokens_launched,
             completions=result.completions,
             eliminated_roles=result.eliminated_roles,
             messages=stats.total_messages - before_messages,
@@ -282,3 +325,185 @@ def _reduce_to_confirmed(state: SearchState, result: NlccResult) -> None:
             if canonical_edge(vertex, nbr) not in result.confirmed_edges:
                 state.deactivate_edge(vertex, nbr)
     result.eliminated_roles += before - state.num_active_vertices
+
+
+# ----------------------------------------------------------------------
+# Array token frontier
+# ----------------------------------------------------------------------
+def _check_array(
+    state: SearchState,
+    constraint: NonLocalConstraint,
+    engine: Engine,
+    cache: Optional[NlccCache],
+    recycle: bool,
+    kernel: RoleKernel,
+    astate,
+) -> NlccResult:
+    """Run the constraint on the batched array frontier.
+
+    With ``astate=None`` the dict ``state`` is imported, checked, and
+    written back (the per-constraint round-trip mode); otherwise
+    ``astate`` is mutated in place and ``state`` is left stale for the
+    caller's final ``write_back`` (the level-persistent mode).
+    """
+    import numpy as np
+
+    from .arraystate import ArraySearchState, array_token_walk
+
+    sync_dict = astate is None
+    if sync_dict:
+        astate = ArraySearchState.from_search_state(state, roles=kernel.roles)
+    is_full_walk = constraint.kind == FULL_WALK_KIND
+    use_cache = recycle and cache is not None and not is_full_walk
+    schedule = compile_walk_schedule(constraint)
+    result = NlccResult(constraint)
+    csr = astate.csr
+    order = csr.order
+
+    tracer = engine.tracer
+    stats = engine.stats
+    if tracer.enabled:
+        before_messages = stats.total_messages
+        before_remote = stats.total_remote_messages
+    with stats.phase("nlcc"), tracer.span(
+        "nlcc",
+        kind=constraint.kind,
+        source=constraint.source,
+        walk_length=schedule.length,
+    ) as span:
+        recycled_mask = None
+        if use_cache:
+            recycled_mask = cache.satisfied_mask(constraint.key, csr)
+        walk_out = array_token_walk(
+            astate, schedule, kernel, engine,
+            recycled_mask=recycled_mask,
+            dedup=not is_full_walk,
+            collect_paths=is_full_walk,
+        )
+        if use_cache:
+            hits = int(walk_out.recycled_idx.shape[0])
+            cache.record_bulk(
+                hits=hits,
+                misses=int(walk_out.checked_idx.shape[0]) - hits,
+            )
+        result.checked = set(order[walk_out.checked_idx].tolist())
+        result.recycled = set(order[walk_out.recycled_idx].tolist())
+        result.satisfied = (
+            set(order[walk_out.satisfied_idx].tolist()) | result.recycled
+        )
+        result.completions = walk_out.completions
+        result.dedup_merged = walk_out.dedup_merged
+
+        if is_full_walk:
+            _reduce_to_confirmed_array(
+                astate, schedule, kernel, walk_out, result
+            )
+        else:
+            satisfied = np.zeros(csr.num_vertices, dtype=bool)
+            satisfied[walk_out.satisfied_idx] = True
+            satisfied[walk_out.recycled_idx] = True
+            elim_idx = walk_out.checked_idx[
+                ~satisfied[walk_out.checked_idx]
+            ]
+            if elim_idx.shape[0]:
+                bit = np.uint64(kernel.role_bit[constraint.source])
+                astate.role_mask[elim_idx] &= ~bit
+                dead = elim_idx[astate.role_mask[elim_idx] == np.uint64(0)]
+                if dead.shape[0]:
+                    astate.deactivate_indices(dead)
+                result.eliminated_roles = int(elim_idx.shape[0])
+            if cache is not None:
+                cache.mark_satisfied(
+                    constraint.key, result.satisfied - result.recycled
+                )
+    if tracer.enabled:
+        span.add(
+            checked=len(result.checked),
+            satisfied=len(result.satisfied),
+            cache_hits=len(result.recycled),
+            tokens_launched=result.tokens_launched,
+            completions=result.completions,
+            eliminated_roles=result.eliminated_roles,
+            dedup_merged=result.dedup_merged,
+            messages=stats.total_messages - before_messages,
+            remote_messages=stats.total_remote_messages - before_remote,
+        )
+    if sync_dict:
+        astate.write_back(state)
+    return result
+
+
+def _reduce_to_confirmed_array(
+    astate, schedule, kernel: RoleKernel, walk_out, result: NlccResult
+) -> None:
+    """Array form of :func:`_reduce_to_confirmed` (full-walk reduction)."""
+    import numpy as np
+
+    csr = astate.csr
+    n = csr.num_vertices
+    order = csr.order
+    walk = schedule.walk
+    walk_len = schedule.length
+    paths = walk_out.full_paths
+    before = astate.num_active_vertices
+
+    confirmed_mask = np.zeros(n, dtype=np.uint64)
+    for position in range(walk_len):
+        np.bitwise_or.at(
+            confirmed_mask,
+            paths[:, position],
+            np.uint64(kernel.role_bit[walk[position]]),
+        )
+
+    # Match evidence, identical to the dict walk's _record_match output.
+    if paths.shape[0]:
+        vid_rows = order[paths]
+        for row in vid_rows.tolist():
+            result.completed_mappings.append(
+                {walk[position]: row[position] for position in range(walk_len)}
+            )
+        head = paths[:, :-1].ravel()
+        tail = paths[:, 1:].ravel()
+        head_vid = order[head]
+        tail_vid = order[tail]
+        lo = np.minimum(head_vid, tail_vid)
+        hi = np.maximum(head_vid, tail_vid)
+        pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
+        result.confirmed_edges = {
+            (int(u), int(v)) for u, v in pairs.tolist()
+        }
+        confirmed_codes = np.unique(
+            np.concatenate([head * n + tail, tail * n + head])
+        )
+    else:
+        confirmed_codes = np.zeros(0, dtype=np.int64)
+    roles_of = kernel.roles_of
+    for i in np.nonzero(confirmed_mask != np.uint64(0))[0].tolist():
+        result.confirmed_roles[int(order[i])] = roles_of(
+            int(confirmed_mask[i])
+        )
+
+    # Reduction, mirroring the dict loop exactly: unconfirmed candidates
+    # deactivate (killing their edges both ways); survivors' roles are
+    # replaced by their confirmed set; an unconfirmed alive edge dies only
+    # when examined from its smaller-id endpoint's side with that endpoint
+    # still a candidate — the same asymmetric-aliveness quirk the dict
+    # state preserves.
+    drop_idx = np.nonzero(
+        astate.vertex_active & (confirmed_mask == np.uint64(0))
+    )[0]
+    if drop_idx.shape[0]:
+        astate.deactivate_indices(drop_idx)
+    astate.role_mask = np.where(
+        astate.vertex_active, confirmed_mask, np.uint64(0)
+    )
+    alive = astate.edge_alive
+    examined = alive & csr.vid_gt & astate.vertex_active[csr.src]
+    edge_codes = csr.src * np.int64(n) + csr.indices
+    kill_idx = np.nonzero(
+        examined & ~np.isin(edge_codes, confirmed_codes)
+    )[0]
+    if kill_idx.shape[0]:
+        alive[kill_idx] = False
+        alive[csr.mirror[kill_idx]] = False
+    result.eliminated_roles += before - astate.num_active_vertices

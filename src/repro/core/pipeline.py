@@ -76,6 +76,12 @@ class PipelineOptions:
     #: LCC and M* hot loops — same fixed points, batched visitor payloads;
     #: only effective together with ``role_kernel``
     array_state: bool = True
+    #: batched array token frontiers for NLCC (core/arraystate walk), plus
+    #: level-persistent array search state in the in-process pipeline —
+    #: identical results, token storms collapsed by the dedup fold; only
+    #: effective together with ``role_kernel`` and ``array_state``, and
+    #: falls back losslessly to the dict token walk otherwise
+    array_nlcc: bool = True
     #: search-space reduction: containment rule across levels (Obs. 1)
     use_containment: bool = True
     #: redundant work elimination: recycle NLCC results (Obs. 2)
@@ -281,6 +287,21 @@ def _run_bottom_up(
     union_prev: Optional[SearchState] = None
     deepest = protos.max_distance
 
+    # Level-persistent array mode: the scope state (M* / previous level's
+    # union) is converted to array form once per level, each prototype's
+    # starting scope is derived in array form (with a warm-seeded first
+    # LCC round when it comes from the union), and the whole search runs
+    # on that one array state.
+    array_level = _array_level_eligible(template, options)
+    base_astate = None
+    if array_level:
+        from .arraystate import ArraySearchState
+
+        template_roles = sorted(template.graph.vertices())
+        base_astate = ArraySearchState.from_search_state(
+            base_state, roles=template_roles
+        )
+
     pool = None
     if options.worker_processes > 1:
         from ..runtime.parallel import PrototypeSearchPool
@@ -309,6 +330,14 @@ def _run_bottom_up(
                 stored_matches = {}
                 continue
 
+            union_astate = None
+            if array_level and union_prev is not None:
+                # One conversion per level: every prototype scope below is
+                # derived from this array form without a dict round trip.
+                union_astate = ArraySearchState.from_search_state(
+                    union_prev, roles=template_roles
+                )
+
             for proto in protos.at(distance):
                 extended = None
                 if options.enumeration_optimization and distance < deepest:
@@ -317,9 +346,20 @@ def _run_bottom_up(
                     outcome, proto_state = extended
                     next_stored[proto.id] = outcome.matches
                 else:
-                    proto_state = _starting_state(
-                        proto, distance, deepest, base_state, union_prev, options
-                    )
+                    array_scope = warm_mask = None
+                    if array_level:
+                        # The dict state is only materialized by the
+                        # search's final write_back.
+                        proto_state = SearchState.empty(graph)
+                        array_scope, warm_mask = _starting_astate(
+                            proto, distance, deepest, base_astate,
+                            union_astate, options,
+                        )
+                    else:
+                        proto_state = _starting_state(
+                            proto, distance, deepest, base_state, union_prev,
+                            options,
+                        )
                     stats = MessageStats(deployment_ranks)
                     engine = Engine(
                         search_pgraph, stats, options.batch_size, tracer=tracer
@@ -339,6 +379,9 @@ def _run_bottom_up(
                         role_kernel=options.role_kernel,
                         delta_lcc=options.delta_lcc,
                         array_state=options.array_state,
+                        array_nlcc=options.array_nlcc,
+                        array_scope=array_scope,
+                        warm_mask=warm_mask,
                     )
                     outcome.simulated_seconds = cost_model.makespan(stats)
                     outcome.messages = stats.total_messages
@@ -485,6 +528,9 @@ def _pooled_level(
         outcome.nlcc_constraints_checked = payload["nlcc_constraints_checked"]
         outcome.nlcc_roles_eliminated = payload["nlcc_roles_eliminated"]
         outcome.nlcc_recycled = payload["nlcc_recycled"]
+        outcome.nlcc_tokens_launched = payload.get("nlcc_tokens_launched", 0)
+        outcome.nlcc_completions = payload.get("nlcc_completions", 0)
+        outcome.nlcc_dedup_merged = payload.get("nlcc_dedup_merged", 0)
         outcome.exact = payload["exact"]
         outcome.simulated_seconds = payload["simulated_seconds"]
         outcome.messages = payload["messages"]
@@ -501,6 +547,68 @@ def _pooled_level(
             union.active_edges.setdefault(u, set()).add(v)
             union.active_edges.setdefault(v, set()).add(u)
     return union
+
+
+def _array_level_eligible(template: PatternTemplate, options: PipelineOptions) -> bool:
+    """Whether the in-process sweep can keep search state in array form.
+
+    Requires the full array stack (role kernel + array LCC + array NLCC),
+    the M* scope (the naive per-prototype ``SearchState.initial`` start
+    deliberately pays full-adjacency traffic the array scope derivation
+    would skip), no enumeration optimization (its derived outcomes carry
+    dict states), and a template within the 64-bit role-mask width.
+    """
+    from .arraystate import MAX_ARRAY_ROLES
+
+    return (
+        options.array_state
+        and options.array_nlcc
+        and options.role_kernel
+        and options.use_max_candidate_set
+        and not options.enumeration_optimization
+        and template.graph.num_vertices <= MAX_ARRAY_ROLES
+    )
+
+
+def _starting_astate(
+    proto: Prototype,
+    distance: int,
+    deepest: int,
+    base_astate,
+    union_astate,
+    options: PipelineOptions,
+):
+    """Array-form scope for one prototype search, per the containment rule.
+
+    Returns ``(scope, warm_mask)``.  When the scope derives from the
+    previous level's union, ``warm_mask`` flags the vertices whose state
+    actually differs from that union (activity changes plus endpoints of
+    aliveness changes) — the surviving worklist that seeds the first LCC
+    round's broadcast accounting instead of a cold full broadcast.  Scopes
+    cut fresh from M* keep the cold broadcast (``warm_mask=None``), like
+    the dict pipeline.
+    """
+    import numpy as np
+
+    use_union = (
+        options.use_containment
+        and distance < deepest
+        and union_astate is not None
+        and proto.child_links
+    )
+    if not use_union:
+        return base_astate.for_prototype_search(proto), None
+    link = proto.child_links[0]
+    a, b = link.removed_edge
+    template_graph = proto.template.graph
+    pair = (template_graph.label(a), template_graph.label(b))
+    scoped = union_astate.for_prototype_search(proto, readmit_label_pairs=[pair])
+    warm = scoped.vertex_active != union_astate.vertex_active
+    csr = scoped.csr
+    diff = np.nonzero(scoped.edge_alive != union_astate.edge_alive)[0]
+    warm[csr.src[diff]] = True
+    warm[csr.indices[diff]] = True
+    return scoped, warm
 
 
 def _starting_state(

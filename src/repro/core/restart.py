@@ -253,6 +253,7 @@ def _sweep(
                     role_kernel=options.role_kernel,
                     delta_lcc=options.delta_lcc,
                     array_state=options.array_state,
+                    array_nlcc=options.array_nlcc,
                 )
                 outcome.simulated_seconds = options.cost_model.makespan(stats)
                 level.outcomes.append(outcome)

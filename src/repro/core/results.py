@@ -32,6 +32,12 @@ class PrototypeSearchOutcome:
         self.nlcc_constraints_checked = 0
         self.nlcc_roles_eliminated = 0
         self.nlcc_recycled = 0
+        #: token-walk work counters, recorded whether or not a tracer is
+        #: attached: initiators that actually launched a token, walk
+        #: completions, and frontier rows collapsed by the array dedup fold
+        self.nlcc_tokens_launched = 0
+        self.nlcc_completions = 0
+        self.nlcc_dedup_merged = 0
         self.exact = True
         #: simulated parallel seconds for this prototype's search
         self.simulated_seconds = 0.0
@@ -165,6 +171,24 @@ class PipelineResult:
                 return level
         raise KeyError(f"no level at distance {distance}")
 
+    def nlcc_totals(self) -> Dict[str, int]:
+        """Aggregated NLCC token-walk counters over every prototype search.
+
+        Computed straight from the outcomes, so they are populated even
+        when tracing is disabled (the tracer only adds per-span copies).
+        """
+        outcomes = self.outcomes()
+        return {
+            "constraints_checked": sum(
+                o.nlcc_constraints_checked for o in outcomes
+            ),
+            "roles_eliminated": sum(o.nlcc_roles_eliminated for o in outcomes),
+            "recycled": sum(o.nlcc_recycled for o in outcomes),
+            "tokens_launched": sum(o.nlcc_tokens_launched for o in outcomes),
+            "completions": sum(o.nlcc_completions for o in outcomes),
+            "dedup_merged": sum(o.nlcc_dedup_merged for o in outcomes),
+        }
+
     def stats_document(self) -> Dict[str, object]:
         """Machine-readable run summary (the CLI's ``--json`` output).
 
@@ -194,12 +218,22 @@ class PipelineResult:
                     "union_edges": level.union_edges,
                     "post_lcc_vertices": level.post_lcc_vertices,
                     "post_lcc_edges": level.post_lcc_edges,
+                    "nlcc_tokens_launched": sum(
+                        o.nlcc_tokens_launched for o in level.outcomes
+                    ),
+                    "nlcc_completions": sum(
+                        o.nlcc_completions for o in level.outcomes
+                    ),
+                    "nlcc_dedup_merged": sum(
+                        o.nlcc_dedup_merged for o in level.outcomes
+                    ),
                     "search_seconds": level.search_seconds,
                     "infrastructure_seconds": level.infrastructure_seconds,
                     "wall_seconds": level.wall_seconds,
                 }
                 for level in self.levels
             ],
+            "nlcc": self.nlcc_totals(),
             "nlcc_cache": dict(self.nlcc_cache_stats),
             "messages": dict(self.message_summary),
             "totals": {

@@ -25,6 +25,7 @@ from .enumeration import (
     enumerate_matches,
     state_from_matches,
 )
+from .arraystate import ArraySearchState, supports_array_fixpoint
 from .kernels import compile_role_kernel
 from .lcc import local_constraint_checking
 from .nlcc import non_local_constraint_checking
@@ -46,6 +47,9 @@ def search_prototype(
     role_kernel: bool = True,
     delta_lcc: bool = True,
     array_state: bool = False,
+    array_nlcc: bool = False,
+    array_scope: Optional[ArraySearchState] = None,
+    warm_mask=None,
 ) -> PrototypeSearchOutcome:
     """Reduce ``state`` to the prototype's solution subgraph, in place.
 
@@ -62,6 +66,16 @@ def search_prototype(
     by every LCC re-run and NLCC traversal of this search; ``delta_lcc``
     enables the semi-naive LCC worklist and ``array_state`` the vectorized
     CSR fixpoint.  All preserve results exactly.
+
+    With both ``array_state`` and ``array_nlcc`` (and a kernel within the
+    mask width) the whole search body runs on one persistent
+    :class:`~repro.core.arraystate.ArraySearchState` — every LCC fixpoint
+    and token walk in array form, one ``write_back`` into ``state`` at the
+    end.  ``array_scope`` supplies that array state pre-built by the caller
+    (the level-persistent mode); it is mutated in place and kept in sync
+    with ``state`` even through an enumeration-verification reduction.
+    ``warm_mask`` warm-seeds the first LCC round's broadcast accounting
+    (see :func:`~repro.core.lcc.local_constraint_checking`).
     """
     outcome = PrototypeSearchOutcome(prototype)
     started = time.perf_counter()
@@ -76,7 +90,8 @@ def search_prototype(
         _search_prototype_body(
             state, prototype, constraint_set, engine, cache, recycle,
             count_matches, collect_matches, verification, role_kernel,
-            delta_lcc, array_state, outcome,
+            delta_lcc, array_state, array_nlcc, array_scope, warm_mask,
+            outcome,
         )
     if tracer.enabled:
         span.add(
@@ -84,6 +99,8 @@ def search_prototype(
             nlcc_constraints=outcome.nlcc_constraints_checked,
             nlcc_eliminated=outcome.nlcc_roles_eliminated,
             nlcc_recycled=outcome.nlcc_recycled,
+            nlcc_tokens=outcome.nlcc_tokens_launched,
+            nlcc_dedup_merged=outcome.nlcc_dedup_merged,
             solution_vertices=len(outcome.solution_vertices),
             solution_edges=len(outcome.solution_edges),
         )
@@ -104,33 +121,60 @@ def _search_prototype_body(
     role_kernel: bool,
     delta_lcc: bool,
     array_state: bool,
+    array_nlcc: bool,
+    array_scope: Optional[ArraySearchState],
+    warm_mask,
     outcome: PrototypeSearchOutcome,
 ) -> None:
     """Alg. 2 body; fills ``outcome`` (timing is the caller's job)."""
     kernel = compile_role_kernel(prototype.graph) if role_kernel else None
+    astate = None
+    if (
+        kernel is not None
+        and array_state
+        and array_nlcc
+        and supports_array_fixpoint(kernel)
+    ):
+        # Persistent array mode: LCC and NLCC share one array state for
+        # the whole search, written back to the dict state exactly once.
+        if array_scope is not None:
+            astate = array_scope
+        else:
+            astate = ArraySearchState.from_search_state(
+                state, roles=kernel.roles
+            )
+    elif array_scope is not None:
+        # Caller prepared an array scope but this search can't run in
+        # array form (e.g. the kernel is off) — materialize it so the
+        # dict path sees the real starting state.
+        array_scope.write_back(state)
+    counter = astate if astate is not None else state
     outcome.lcc_iterations = local_constraint_checking(
         state, prototype.graph, engine,
         role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
-        array_state=array_state,
+        array_state=array_state, astate=astate, warm_mask=warm_mask,
     )
     (
         outcome.post_lcc_vertices,
         outcome.post_lcc_edges,
-    ) = state.active_counts()
+    ) = counter.active_counts()
 
     full_walk_ran = False
     full_walk_completions = 0
     full_walk_matches = None
     for constraint in constraint_set.non_local:
-        if not state.num_active_vertices:
+        if not counter.num_active_vertices:
             break
         result = non_local_constraint_checking(
             state, constraint, engine, cache=cache, recycle=recycle,
-            kernel=kernel,
+            kernel=kernel, astate=astate, array_nlcc=array_nlcc,
         )
         outcome.nlcc_constraints_checked += 1
         outcome.nlcc_roles_eliminated += result.eliminated_roles
         outcome.nlcc_recycled += len(result.recycled)
+        outcome.nlcc_tokens_launched += result.tokens_launched
+        outcome.nlcc_completions += result.completions
+        outcome.nlcc_dedup_merged += result.dedup_merged
         if constraint.kind == FULL_WALK_KIND:
             full_walk_ran = True
             full_walk_completions = result.completions
@@ -139,8 +183,11 @@ def _search_prototype_body(
             outcome.lcc_iterations += local_constraint_checking(
                 state, prototype.graph, engine,
                 role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
-                array_state=array_state,
+                array_state=array_state, astate=astate,
             )
+
+    if astate is not None:
+        astate.write_back(state)
 
     constraints_exact = full_walk_ran or constraint_set.exact_without_full_walk
     need_enumeration = verification == "enumeration" or (
@@ -161,6 +208,11 @@ def _search_prototype_body(
         outcome.match_mappings = len(matches)
         if collect_matches:
             outcome.matches = matches
+        if array_scope is not None and astate is not None:
+            # The caller keeps using the array state after this search
+            # (level-persistent mode) — resync it with the enumeration-
+            # reduced dict state.
+            astate.reimport(state)
     elif full_walk_ran:
         outcome.match_mappings = full_walk_completions
     elif count_matches:

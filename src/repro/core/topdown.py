@@ -24,11 +24,11 @@ from ..runtime.partition import PartitionedGraph
 from .candidate_set import max_candidate_set
 from .constraints import generate_constraints
 from .ordering import order_constraints
-from .pipeline import PipelineOptions, merge_message_stats
+from .pipeline import PipelineOptions, _array_level_eligible, merge_message_stats
 from .prototypes import generate_prototypes
 from .results import LevelReport, PipelineResult
 from .search import search_prototype
-from .state import NlccCache
+from .state import NlccCache, SearchState
 from .template import PatternTemplate
 
 #: stop as soon as a level produced at least one matching vertex
@@ -98,6 +98,16 @@ def _run_exploratory(
     result.candidate_set_seconds = cost_model.makespan(mcs_stats)
     all_stats: List[MessageStats] = [mcs_stats]
 
+    # Every exploratory scope derives from M*: convert it to array form
+    # once and cut each prototype's scope directly in array form.
+    base_astate = None
+    if _array_level_eligible(template, options):
+        from .arraystate import ArraySearchState
+
+        base_astate = ArraySearchState.from_search_state(
+            base_state, roles=sorted(template.graph.vertices())
+        )
+
     for distance in range(0, protos.max_distance + 1):
         with tracer.span("level", distance=distance) as level_span:
             level_wall = time.perf_counter()
@@ -111,7 +121,12 @@ def _run_exploratory(
                     label_frequencies,
                     optimize=options.constraint_ordering,
                 )
-                state = base_state.for_prototype_search(proto)
+                if base_astate is not None:
+                    state = SearchState.empty(graph)
+                    array_scope = base_astate.for_prototype_search(proto)
+                else:
+                    state = base_state.for_prototype_search(proto)
+                    array_scope = None
                 stats = MessageStats(options.num_ranks)
                 engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
                 outcome = search_prototype(
@@ -127,6 +142,8 @@ def _run_exploratory(
                     role_kernel=options.role_kernel,
                     delta_lcc=options.delta_lcc,
                     array_state=options.array_state,
+                    array_nlcc=options.array_nlcc,
+                    array_scope=array_scope,
                 )
                 outcome.simulated_seconds = cost_model.makespan(stats)
                 outcome.messages = stats.total_messages

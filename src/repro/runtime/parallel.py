@@ -103,6 +103,7 @@ def _search_task(payload: Tuple) -> Dict:
         role_kernel=options.role_kernel,
         delta_lcc=options.delta_lcc,
         array_state=options.array_state,
+        array_nlcc=getattr(options, "array_nlcc", False),
     )
     return {
         "proto_id": proto_id,
@@ -116,6 +117,9 @@ def _search_task(payload: Tuple) -> Dict:
         "nlcc_constraints_checked": outcome.nlcc_constraints_checked,
         "nlcc_roles_eliminated": outcome.nlcc_roles_eliminated,
         "nlcc_recycled": outcome.nlcc_recycled,
+        "nlcc_tokens_launched": outcome.nlcc_tokens_launched,
+        "nlcc_completions": outcome.nlcc_completions,
+        "nlcc_dedup_merged": outcome.nlcc_dedup_merged,
         "exact": outcome.exact,
         "simulated_seconds": options.cost_model.makespan(stats),
         "messages": stats.total_messages,
@@ -146,10 +150,66 @@ class PrototypeSearchPool:
             initializer=_init_worker,
             initargs=(graph, template, k, options),
         )
+        #: measured wall seconds of the last search of each prototype
+        self._wall_history: Dict[int, float] = {}
+        #: exponential moving average of wall seconds per payload unit
+        #: (candidate + edge entries) — the cost model for unseen protos
+        self._ema_rate: Optional[float] = None
+
+    def _task_cost(self, task: Tuple) -> float:
+        """Predicted wall seconds for one (proto_id, candidates, edges) task.
+
+        Prefers the prototype's own measured wall time from an earlier
+        level (the tracing layer's per-prototype numbers flow back through
+        the result payloads); otherwise scales the payload size by the
+        observed seconds-per-unit rate.  With no history at all, payload
+        size alone still yields a sensible big-first order.
+        """
+        proto_id, candidates, edges = task
+        exact = self._wall_history.get(proto_id)
+        if exact is not None:
+            return exact
+        units = len(candidates) + len(edges)
+        if self._ema_rate is not None:
+            return units * self._ema_rate
+        return float(units)
+
+    def _record_result(self, task: Tuple, result: Dict) -> None:
+        proto_id, candidates, edges = task
+        wall = result.get("wall_seconds")
+        if wall is None:
+            return
+        self._wall_history[proto_id] = wall
+        units = len(candidates) + len(edges)
+        if units > 0:
+            rate = wall / units
+            self._ema_rate = (
+                rate
+                if self._ema_rate is None
+                else 0.7 * self._ema_rate + 0.3 * rate
+            )
 
     def search_level(self, tasks: List[Tuple]) -> List[Dict]:
-        """Run a level's (proto_id, candidates, edges) tasks; keeps order."""
-        return list(self._pool.map(_search_task, tasks))
+        """Run a level's (proto_id, candidates, edges) tasks; keeps order.
+
+        Tasks are submitted longest-predicted-first (greedy LPT): the
+        executor hands queued tasks to workers as they free up, so a
+        descending-cost submission order is exactly the classic LPT
+        packing — the big prototypes can no longer land last and stretch
+        the level's makespan, as round-robin chunking allowed.  Results
+        are returned in the original task order regardless.
+        """
+        order = sorted(
+            range(len(tasks)),
+            key=lambda i: (-self._task_cost(tasks[i]), i),
+        )
+        futures = {i: self._pool.submit(_search_task, tasks[i]) for i in order}
+        results: List[Dict] = []
+        for i in range(len(tasks)):
+            result = futures[i].result()
+            self._record_result(tasks[i], result)
+            results.append(result)
+        return results
 
     def close(self) -> None:
         self._pool.shutdown()

@@ -1,0 +1,278 @@
+"""Array-NLCC vs dict-NLCC equivalence (the batched token frontier).
+
+Every test runs the same walk twice — dict token visitors vs the batched
+array frontier (``array_nlcc=True``) — and asserts identical observable
+results: final state, checked/satisfied/recycled sets, eliminations,
+completions, confirmed roles/edges, and (for full walks) the exact match
+mappings.  The array path may merge token rows (``dedup_merged``) but
+must never change what the walk concludes.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    NlccCache,
+    PatternTemplate,
+    PipelineOptions,
+    SearchState,
+    generate_constraints,
+    local_constraint_checking,
+    non_local_constraint_checking,
+    run_pipeline,
+)
+from repro.core.kernels import compile_role_kernel
+from repro.core.ordering import order_constraints
+from repro.graph.generators import gnm_graph
+from repro.graph.graph import Graph
+from repro.runtime import Engine, MessageStats, PartitionedGraph
+
+
+def engine_for(graph, ranks=4):
+    return Engine(PartitionedGraph(graph, ranks), MessageStats(ranks))
+
+
+def state_snapshot(state):
+    return (
+        {v: frozenset(r) for v, r in state.candidates.items()},
+        frozenset(state.active_edge_list()),
+    )
+
+
+def result_digest(result):
+    """Everything an NlccResult observably concludes, order-insensitive.
+
+    ``completed_mappings`` is compared as a multiset of frozen item-sets:
+    the two executions discover paths in different orders, and sorting
+    frozensets is not a total order (subset comparison), so a Counter is
+    the only stable equality.
+    """
+    return (
+        frozenset(result.checked),
+        frozenset(result.satisfied),
+        frozenset(result.recycled),
+        result.eliminated_roles,
+        result.completions,
+        {v: frozenset(r) for v, r in result.confirmed_roles.items()},
+        frozenset(result.confirmed_edges),
+        Counter(frozenset(m.items()) for m in result.completed_mappings),
+    )
+
+
+def run_constraints(graph, template, constraints, array_nlcc, cache=None,
+                    recycle=False):
+    """Fresh post-LCC state, then every constraint in order; returns
+    (state snapshot, [result digests], engine stats)."""
+    state = SearchState.initial(graph, template)
+    engine = engine_for(graph)
+    local_constraint_checking(state, template.graph, engine)
+    kernel = compile_role_kernel(template.graph)
+    digests = []
+    for constraint in constraints:
+        result = non_local_constraint_checking(
+            state, constraint, engine, cache=cache, recycle=recycle,
+            kernel=kernel, array_nlcc=array_nlcc,
+        )
+        digests.append(result_digest(result))
+    return state_snapshot(state), digests
+
+
+def all_constraints(graph, template):
+    constraint_set = generate_constraints(template.graph, graph.label_counts())
+    return order_constraints(constraint_set.non_local, graph.label_counts())
+
+
+class TestWalkEquivalence:
+    """Dict walk and array frontier agree constraint by constraint."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_c4_all_constraint_kinds(self, seed):
+        # Two labels on a C4: cycle + path constraints and the full walk,
+        # all three walk kinds in one sweep.
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={0: 0, 1: 1, 2: 1, 3: 0},
+        )
+        graph = gnm_graph(60, 150, num_labels=2, seed=seed)
+        constraints = all_constraints(graph, template)
+        assert {c.kind for c in constraints} >= {"cycle", "path", "tds_full"}
+        dict_out = run_constraints(graph, template, constraints, False)
+        array_out = run_constraints(graph, template, constraints, True)
+        assert array_out == dict_out
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_triangle_distinct_labels(self, seed):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)], labels={0: 1, 1: 2, 2: 3}
+        )
+        graph = gnm_graph(50, 140, num_labels=3, seed=seed + 10)
+        constraints = all_constraints(graph, template)
+        dict_out = run_constraints(graph, template, constraints, False)
+        array_out = run_constraints(graph, template, constraints, True)
+        assert array_out == dict_out
+
+    def test_edge_labeled_walk(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)],
+            labels={0: 1, 1: 2, 2: 3},
+            edge_labels={(0, 1): 7},
+        )
+        graph = Graph()
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        for v in range(40):
+            graph.add_vertex(v, int(rng.integers(3)) + 1)
+        added = 0
+        while added < 110:
+            u, v = int(rng.integers(40)), int(rng.integers(40))
+            if u != v and not graph.has_edge(u, v):
+                label = None if rng.random() < 0.5 else 7
+                graph.add_edge(u, v, label)
+                added += 1
+        constraints = all_constraints(graph, template)
+        dict_out = run_constraints(graph, template, constraints, False)
+        array_out = run_constraints(graph, template, constraints, True)
+        assert array_out == dict_out
+
+
+class TestHubStormDedup:
+    """The dedup fold merges swapped interior rows without changing results."""
+
+    def storm_graph(self):
+        # A clique of one label: every vertex is a candidate for every C4
+        # role, every interior pair of a closed walk exists in both orders.
+        graph = Graph()
+        n = 10
+        for v in range(n):
+            graph.add_vertex(v, 0)
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+
+    def test_dedup_fires_and_results_match(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={0: 0, 1: 0, 2: 0, 3: 0},
+        )
+        graph = self.storm_graph()
+        constraints = all_constraints(graph, template)
+        dict_out = run_constraints(graph, template, constraints, False)
+        array_out = run_constraints(graph, template, constraints, True)
+        assert array_out == dict_out
+
+        # Rerun one cycle constraint directly to observe the merge counter:
+        # in a single-label clique the two free interior positions of the
+        # length-5 cycle walk occur in both orders for every vertex pair.
+        state = SearchState.initial(graph, template)
+        engine = engine_for(graph)
+        local_constraint_checking(state, template.graph, engine)
+        kernel = compile_role_kernel(template.graph)
+        cycle = next(c for c in constraints if c.kind == "cycle")
+        result = non_local_constraint_checking(
+            state, cycle, engine, recycle=False, kernel=kernel,
+            array_nlcc=True,
+        )
+        assert result.dedup_merged > 0
+        assert result.satisfied == result.checked
+
+
+class TestCacheParity:
+    """Work recycling behaves identically under both executions."""
+
+    def template_and_graph(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 0)], labels={0: 1, 1: 2, 2: 3}
+        )
+        graph = gnm_graph(50, 140, num_labels=3, seed=2)
+        return template, graph
+
+    @pytest.mark.parametrize("array_nlcc", [False, True])
+    def test_second_run_recycles(self, array_nlcc):
+        template, graph = self.template_and_graph()
+        constraints = [
+            c for c in all_constraints(graph, template) if c.kind == "cycle"
+        ]
+        cache = NlccCache()
+        _snap1, first = run_constraints(
+            graph, template, constraints, array_nlcc, cache=cache,
+            recycle=True,
+        )
+        _snap2, second = run_constraints(
+            graph, template, constraints, array_nlcc, cache=cache,
+            recycle=True,
+        )
+        # first pass recycles nothing, second recycles every satisfied
+        # initiator (digest fields: checked, satisfied, recycled, ...)
+        assert all(digest[2] == frozenset() for digest in first)
+        assert [d[2] for d in second] == [d[1] for d in first]
+
+    def test_hit_miss_counters_match(self):
+        template, graph = self.template_and_graph()
+        constraints = [
+            c for c in all_constraints(graph, template) if c.kind == "cycle"
+        ]
+        counters = {}
+        for array_nlcc in (False, True):
+            cache = NlccCache()
+            for _ in range(2):
+                run_constraints(
+                    graph, template, constraints, array_nlcc, cache=cache,
+                    recycle=True,
+                )
+            counters[array_nlcc] = (cache.hits, cache.misses)
+        assert counters[False] == counters[True]
+
+
+class TestPipelineEquivalence:
+    """run_pipeline with array_nlcc off vs on is observably identical."""
+
+    @pytest.mark.parametrize("k", [0, 1])
+    def test_end_to_end(self, k):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={0: 0, 1: 1, 2: 1, 3: 0},
+        )
+        graph = gnm_graph(80, 220, num_labels=2, seed=5)
+        results = {}
+        for array_nlcc in (False, True):
+            options = PipelineOptions(
+                num_ranks=4, count_matches=True, array_nlcc=array_nlcc
+            )
+            result = run_pipeline(graph, template, k, options)
+            results[array_nlcc] = (
+                {v: frozenset(p) for v, p in result.match_vectors.items()},
+                result.total_match_mappings(),
+                [
+                    (o.proto_id, sorted(o.solution_vertices),
+                     sorted(o.solution_edges), o.match_mappings,
+                     o.distinct_matches, o.lcc_iterations,
+                     o.post_lcc_vertices, o.post_lcc_edges)
+                    for level in result.levels for o in level.outcomes
+                ],
+            )
+        assert results[False] == results[True]
+
+    def test_stats_document_counters_without_tracer(self):
+        template = PatternTemplate.from_edges(
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            labels={0: 0, 1: 1, 2: 1, 3: 0},
+        )
+        graph = gnm_graph(80, 220, num_labels=2, seed=5)
+        docs = {}
+        for array_nlcc in (False, True):
+            options = PipelineOptions(
+                num_ranks=4, count_matches=True, array_nlcc=array_nlcc
+            )
+            doc = run_pipeline(graph, template, 1, options).stats_document()
+            docs[array_nlcc] = doc["nlcc"]
+        for nlcc in docs.values():
+            assert nlcc["tokens_launched"] > 0
+            assert nlcc["completions"] > 0
+        # everything except the array-only dedup counter agrees
+        for field in ("constraints_checked", "roles_eliminated", "recycled",
+                      "tokens_launched", "completions"):
+            assert docs[False][field] == docs[True][field]
+        assert docs[False]["dedup_merged"] == 0
