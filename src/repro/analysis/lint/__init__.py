@@ -1,0 +1,37 @@
+"""``repro lint`` — project-specific AST invariant checking.
+
+The dict/array dual-path pipeline keeps two semantically-identical
+implementations of every hot path; this package encodes the invariants
+that keep them in lockstep (and the option-threading / tracing-overhead
+contracts around them) as mechanical rules.  See
+:mod:`repro.analysis.lint.rules` for the rules and
+:mod:`repro.analysis.lint.framework` for the machinery.
+
+Run it via ``repro lint`` or ``python -m repro.analysis.lint`` (CI).
+"""
+
+from .framework import (
+    Baseline,
+    LintReport,
+    ModuleSource,
+    Project,
+    Rule,
+    Violation,
+    all_rules,
+    register_rule,
+    run_lint,
+)
+from .runner import main
+
+__all__ = [
+    "Baseline",
+    "LintReport",
+    "ModuleSource",
+    "Project",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "main",
+    "register_rule",
+    "run_lint",
+]

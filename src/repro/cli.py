@@ -13,6 +13,9 @@ Python:
   ``explore --trace``;
 * ``audit``       — run a search and verify its 100% precision/recall
   against brute force (small graphs);
+* ``lint``        — project-specific AST invariant checks (optional-int
+  truthiness, options threading, tracer guards, array/dict fallback
+  parity, hot-loop hygiene — docs/INTERNALS.md §11);
 * ``motifs``      — 3/4/5-vertex motif census of an edge-list graph;
 * ``generate``    — write one of the synthetic datasets to disk;
 * ``datasets``    — print the Table 1-style summary of the built-in datasets.
@@ -193,6 +196,12 @@ def command_audit(args: argparse.Namespace) -> int:
     return 0 if report.exact else 1
 
 
+def command_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint.runner import lint_from_args
+
+    return lint_from_args(args)
+
+
 def command_motifs(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph)
     # Motif counting is label-blind: normalize to a single label.
@@ -293,6 +302,15 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("template", help="template JSON file")
     audit.add_argument("-k", type=int, default=1, help="edit distance")
     audit.set_defaults(func=command_audit)
+
+    lint = commands.add_parser(
+        "lint",
+        help="project-specific AST invariant checks (INTERNALS.md §11)",
+    )
+    from .analysis.lint.runner import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=command_lint)
 
     motifs = commands.add_parser("motifs", help="motif census")
     _add_common_graph_arguments(motifs)

@@ -124,7 +124,7 @@ class RoleKernel:
         """Unpack a bitmask into the role set it encodes."""
         bit_role = self.bit_role
         roles = set()
-        while mask:
+        while mask != 0:
             bit = mask & -mask
             roles.add(bit_role[bit])
             mask ^= bit

@@ -15,7 +15,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..runtime.parallel import PrototypeSearchPool
+    from .arraystate import ArraySearchState
 
 from ..errors import PipelineError
 from ..graph.graph import Graph
@@ -249,13 +253,18 @@ def _run_bottom_up(
     result.candidate_set_seconds = cost_model.makespan(mcs_stats)
 
     # ---------------------------------------------- search deployment
-    search_ranks = options.reload_ranks or options.num_ranks
+    # `reload_ranks` is Optional[int]; reload_ranks=0 must disable the
+    # reload exactly like None instead of leaking a falsy int into the
+    # flag or the rank arithmetic (repro-lint R1).
+    reload_requested = (
+        options.reload_ranks is not None and options.reload_ranks != 0
+    )
+    search_ranks = (
+        options.reload_ranks if reload_requested else options.num_ranks
+    )
     deployment_ranks = max(1, search_ranks // options.parallel_deployments)
     infrastructure = 0.0
-    # `reload_ranks` is Optional[int]: normalize to a real bool so falsy
-    # edge cases (reload_ranks=0) disable the reload instead of leaking an
-    # int/None into the flag.
-    rebalancing = options.load_balance == "reshuffle" or bool(options.reload_ranks)
+    rebalancing = options.load_balance == "reshuffle" or reload_requested
     if rebalancing:
         pruned = base_state.to_graph()
         infrastructure += REBALANCE_COST_PER_EDGE * (
@@ -432,7 +441,9 @@ def _run_bottom_up(
     return result
 
 
-def _initial_assignment(graph: Graph, num_ranks: int, options: PipelineOptions):
+def _initial_assignment(
+    graph: Graph, num_ranks: int, options: PipelineOptions
+) -> Dict[int, int]:
     """Initial vertex-to-rank map per the configured strategy."""
     if options.partition_strategy == "block":
         from ..runtime.partition import block_assignment
@@ -442,8 +453,15 @@ def _initial_assignment(graph: Graph, num_ranks: int, options: PipelineOptions):
 
 
 def _finish_level(
-    level, result, options, label_frequencies, union,
-    rebalancing, distance, level_wall, span=None,
+    level: LevelReport,
+    result: PipelineResult,
+    options: PipelineOptions,
+    label_frequencies: Dict[int, int],
+    union: SearchState,
+    rebalancing: bool,
+    distance: int,
+    level_wall: float,
+    span: Any = None,
 ) -> None:
     """Shared level epilogue: scheduling time, union sizes, bookkeeping.
 
@@ -491,9 +509,16 @@ def _finish_level(
 
 
 def _pooled_level(
-    pool, protos, distance, deepest, base_state, union_prev,
-    options, level, result,
-):
+    pool: "PrototypeSearchPool",
+    protos: PrototypeSet,
+    distance: int,
+    deepest: int,
+    base_state: SearchState,
+    union_prev: Optional[SearchState],
+    options: PipelineOptions,
+    level: LevelReport,
+    result: PipelineResult,
+) -> SearchState:
     """Execute one level's prototype searches on the worker pool."""
     from ..runtime.parallel import state_to_payload
 
@@ -574,10 +599,10 @@ def _starting_astate(
     proto: Prototype,
     distance: int,
     deepest: int,
-    base_astate,
-    union_astate,
+    base_astate: "ArraySearchState",
+    union_astate: Optional["ArraySearchState"],
     options: PipelineOptions,
-):
+) -> Tuple["ArraySearchState", Optional[Any]]:
     """Array-form scope for one prototype search, per the containment rule.
 
     Returns ``(scope, warm_mask)``.  When the scope derives from the
@@ -643,7 +668,7 @@ def _try_extension(
     proto: Prototype,
     stored_matches: Dict[int, List[Dict[int, int]]],
     graph: Graph,
-):
+) -> Optional[Tuple[PrototypeSearchOutcome, SearchState]]:
     """Derive this prototype's result from a child's stored matches (§4)."""
     for link in proto.child_links:
         child_matches = stored_matches.get(link.child.id)

@@ -2,15 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set
 
 from ..graph.graph import Edge, Graph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .prototypes import Prototype, PrototypeSet
 
 
 class PrototypeSearchOutcome:
     """Everything recorded while searching one prototype."""
 
-    def __init__(self, prototype) -> None:
+    def __init__(self, prototype: "Prototype") -> None:
         self.prototype = prototype
         self.proto_id: int = prototype.id
         self.name: str = prototype.name
@@ -97,7 +100,9 @@ class PipelineResult:
     (Def. 3): for each vertex, the set of prototype ids it participates in.
     """
 
-    def __init__(self, template_name: str, k: int, prototype_set) -> None:
+    def __init__(
+        self, template_name: str, k: int, prototype_set: "PrototypeSet"
+    ) -> None:
         self.template_name = template_name
         self.k = k
         self.prototype_set = prototype_set
@@ -157,13 +162,13 @@ class PipelineResult:
         counts = [o.match_mappings for o in self.outcomes()]
         if any(c is None for c in counts):
             return None
-        return sum(counts)
+        return sum(c for c in counts if c is not None)
 
     def total_distinct_matches(self) -> Optional[int]:
         counts = [o.distinct_matches for o in self.outcomes()]
         if any(c is None for c in counts):
             return None
-        return sum(counts)
+        return sum(c for c in counts if c is not None)
 
     def level_for(self, distance: int) -> LevelReport:
         for level in self.levels:

@@ -49,7 +49,13 @@ def reload_on(
         num_ranks,
         assignment=None,
         delegate_degree_threshold=pgraph.delegate_degree_threshold,
-        ranks_per_node=ranks_per_node or pgraph.ranks_per_node,
+        # Optional[int]: an explicit ranks_per_node=0 is "unset" (falls
+        # back to the source deployment), never a zero-node layout.
+        ranks_per_node=(
+            ranks_per_node
+            if ranks_per_node is not None and ranks_per_node != 0
+            else pgraph.ranks_per_node
+        ),
     )
     if balanced:
         return reshuffle(new_pgraph)

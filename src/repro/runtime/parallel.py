@@ -17,13 +17,24 @@ makespans are computed inside the workers from their own message traces.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..core.pipeline import PipelineOptions
+    from ..core.state import SearchState
+    from ..core.template import PatternTemplate
+    from ..graph.graph import Graph
 
 #: per-worker state, populated by the pool initializer
-_WORKER: Dict[str, object] = {}
+_WORKER: Dict[str, Any] = {}
 
 
-def _init_worker(graph, template, k, options) -> None:
+def _init_worker(
+    graph: "Graph",
+    template: "PatternTemplate",
+    k: int,
+    options: "PipelineOptions",
+) -> None:
     """Runs once per worker process: build the shared per-replica state."""
     from ..core.constraints import generate_constraints
     from ..core.ordering import order_constraints
@@ -103,7 +114,7 @@ def _search_task(payload: Tuple) -> Dict:
         role_kernel=options.role_kernel,
         delta_lcc=options.delta_lcc,
         array_state=options.array_state,
-        array_nlcc=getattr(options, "array_nlcc", False),
+        array_nlcc=options.array_nlcc,
     )
     return {
         "proto_id": proto_id,
@@ -139,7 +150,14 @@ class PrototypeSearchPool:
     :meth:`search_level`.
     """
 
-    def __init__(self, graph, template, k, options, processes: int) -> None:
+    def __init__(
+        self,
+        graph: "Graph",
+        template: "PatternTemplate",
+        k: int,
+        options: "PipelineOptions",
+        processes: int,
+    ) -> None:
         if processes <= 1:
             raise ValueError("a pool needs at least two processes")
         import multiprocessing as mp
@@ -217,11 +235,11 @@ class PrototypeSearchPool:
     def __enter__(self) -> "PrototypeSearchPool":
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.close()
 
 
-def state_to_payload(state) -> Tuple[List, List]:
+def state_to_payload(state: "SearchState") -> Tuple[List, List]:
     """Serialize a SearchState's candidates/edges for shipping to workers."""
     candidates = [
         (v, sorted(state.candidates[v])) for v in state.candidates

@@ -33,8 +33,21 @@ exporters rebase them to the earliest span start.
 from __future__ import annotations
 
 import json
+import os
 import time
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    cast,
+)
+
+#: anything ``open()`` accepts for the exporter paths
+PathLike = Union[str, "os.PathLike[str]"]
 
 __all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer"]
 
@@ -69,6 +82,8 @@ class Span:
     # ------------------------------------------------------------------
     def __enter__(self) -> "Span":
         tracer = self._tracer
+        if tracer is None:
+            raise RuntimeError("span entered without an owning tracer")
         stack = tracer._stack
         if stack:
             stack[-1].children.append(self)
@@ -78,9 +93,10 @@ class Span:
         self.start_s = time.perf_counter()
         return self
 
-    def __exit__(self, *_exc) -> bool:
+    def __exit__(self, *_exc: object) -> bool:
         self.end_s = time.perf_counter()
-        self._tracer._stack.pop()
+        if self._tracer is not None:
+            self._tracer._stack.pop()
         return False
 
     # ------------------------------------------------------------------
@@ -136,13 +152,18 @@ class Span:
     def from_payload(
         cls, payload: Dict[str, object], tracer: Optional["Tracer"] = None
     ) -> "Span":
-        span = cls(payload["name"], dict(payload.get("attrs") or {}), tracer)
-        span.start_s = payload.get("start_s")
-        span.end_s = payload.get("end_s")
-        span.counters = dict(payload.get("counters") or {})
+        attrs = cast(Dict[str, object], payload.get("attrs") or {})
+        span = cls(cast(str, payload["name"]), dict(attrs), tracer)
+        span.start_s = cast(Optional[float], payload.get("start_s"))
+        span.end_s = cast(Optional[float], payload.get("end_s"))
+        span.counters = dict(
+            cast(Dict[str, float], payload.get("counters") or {})
+        )
         span.children = [
             cls.from_payload(child, tracer)
-            for child in payload.get("children", ())
+            for child in cast(
+                Iterable[Dict[str, object]], payload.get("children", ())
+            )
         ]
         return span
 
@@ -167,10 +188,10 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *_exc) -> bool:
+    def __exit__(self, *_exc: object) -> bool:
         return False
 
-    def add(self, **_counters) -> None:
+    def add(self, **_counters: float) -> None:
         pass
 
     def total(self, _counter: str) -> float:
@@ -191,16 +212,18 @@ class NullTracer:
     enabled = False
     roots: List[Span] = []
 
-    def span(self, _name: str, **_attrs) -> _NullSpan:
+    def span(self, _name: str, **_attrs: object) -> _NullSpan:
         return _NULL_SPAN
 
-    def add(self, **_counters) -> None:
+    def add(self, **_counters: float) -> None:
         pass
 
-    def record_span(self, *_args, **_kwargs) -> None:
+    def record_span(self, *_args: object, **_kwargs: object) -> None:
         pass
 
-    def attach(self, _payloads, **_attrs) -> None:
+    def attach(
+        self, _payloads: Iterable[Dict[str, object]], **_attrs: object
+    ) -> None:
         pass
 
     def __repr__(self) -> str:
@@ -233,14 +256,15 @@ class Tracer:
         self._stack: List[Span] = []
 
     # -- pickling: workers need `.enabled`, never the span forest --------
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> Dict[str, object]:
         return {}
 
-    def __setstate__(self, _state: dict) -> None:
-        self.__init__()
+    def __setstate__(self, _state: Dict[str, object]) -> None:
+        self.roots = []
+        self._stack = []
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs) -> Span:
+    def span(self, name: str, **attrs: object) -> Span:
         """A new span, child of the currently open one (root if none)."""
         return Span(name, attrs, self)
 
@@ -279,14 +303,18 @@ class Tracer:
             self.roots.append(span)
         return span
 
-    def attach(self, payloads, **extra_attrs) -> List[Span]:
+    def attach(
+        self,
+        payloads: Iterable[Dict[str, object]],
+        **extra_attrs: object,
+    ) -> List[Span]:
         """Graft worker span payloads under the currently open span.
 
         ``extra_attrs`` (e.g. ``worker=<pid>``) are added to the attrs of
         each top-level grafted span, labeling which worker produced it.
         """
         parent = self._stack[-1] if self._stack else None
-        grafted = []
+        grafted: List[Span] = []
         for payload in payloads:
             span = Span.from_payload(payload, self)
             if extra_attrs:
@@ -343,20 +371,21 @@ class Tracer:
         get their own ``tid`` (from the ``worker`` attr) so per-worker
         timelines render as separate tracks.
         """
-        events = []
+        events: List[Dict[str, object]] = []
         for record in self._flat_records():
+            attrs = cast(Dict[str, object], record["attrs"])
             events.append({
                 "name": record["name"],
                 "cat": "repro",
                 "ph": "X",
-                "ts": record["ts"] * 1e6,
-                "dur": record["dur"] * 1e6,
+                "ts": cast(float, record["ts"]) * 1e6,
+                "dur": cast(float, record["dur"]) * 1e6,
                 "pid": 0,
-                "tid": record["attrs"].get("worker", 0),
+                "tid": attrs.get("worker", 0),
                 "args": {
                     "span_id": record["span_id"],
                     "parent_id": record["parent_id"],
-                    "attrs": record["attrs"],
+                    "attrs": attrs,
                     "counters": record["counters"],
                 },
             })
@@ -366,11 +395,11 @@ class Tracer:
             "otherData": {"producer": "repro tracer"},
         }
 
-    def write_chrome_trace(self, path) -> None:
+    def write_chrome_trace(self, path: PathLike) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(self.to_chrome_trace(), handle, indent=1, default=str)
 
-    def write_jsonl(self, path) -> None:
+    def write_jsonl(self, path: PathLike) -> None:
         """One flat JSON record per span, preorder (grep/pandas friendly)."""
         with open(path, "w", encoding="utf-8") as handle:
             for record in self._flat_records():

@@ -128,6 +128,14 @@ class TestOptionEquivalence:
             result.total_simulated_seconds == reference.total_simulated_seconds
         )
 
+    def test_reload_ranks_nonzero_engages_reload(self):
+        """A real reload target must charge rebalancing infrastructure."""
+        g, t = graph(), template()
+        result = run_pipeline(
+            g, t, 1, PipelineOptions(num_ranks=6, reload_ranks=2)
+        )
+        assert result.total_infrastructure_seconds > 0.0
+
     def test_naive_equivalent(self):
         g, t = graph(), template()
         assert (

@@ -43,6 +43,20 @@ class TestReload:
         small = reload_on(pg, 2)
         assert small.delegate_degree_threshold == 10
 
+    def test_reload_ranks_per_node_zero_falls_back(self):
+        # ranks_per_node is Optional[int]: an explicit 0 means "unset"
+        # and must inherit the source deployment's layout instead of
+        # reaching PartitionedGraph (which rejects non-positive values).
+        g = webgraph(100, seed=6)
+        pg = PartitionedGraph(g, 8, ranks_per_node=4)
+        assert reload_on(pg, 4, ranks_per_node=0).ranks_per_node == 4
+        assert reload_on(pg, 4, ranks_per_node=None).ranks_per_node == 4
+
+    def test_reload_explicit_ranks_per_node_honored(self):
+        g = webgraph(100, seed=7)
+        pg = PartitionedGraph(g, 8, ranks_per_node=4)
+        assert reload_on(pg, 4, ranks_per_node=2).ranks_per_node == 2
+
     def test_reload_zero_ranks_rejected(self):
         pg = PartitionedGraph(from_edges([(0, 1)]), 2)
         with pytest.raises(PartitionError):

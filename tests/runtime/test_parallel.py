@@ -61,6 +61,34 @@ class TestWorkerProcesses:
             lvl.search_seconds >= 0 for lvl in pooled.levels
         )
 
+    def test_array_paths_forwarded_to_workers(self):
+        # Workers read options.array_state/array_nlcc directly; a dropped
+        # keyword would silently fall back to the dict path in-pool while
+        # the sequential run used the array kernels.
+        graph, template = workload(seed=54)
+        knobs = dict(
+            num_ranks=2, count_matches=True,
+            array_state=True, array_nlcc=True,
+        )
+        sequential = run_pipeline(
+            graph, template, 1, PipelineOptions(**knobs)
+        )
+        pooled = run_pipeline(
+            graph, template, 1,
+            PipelineOptions(worker_processes=2, **knobs),
+        )
+        assert pooled.match_vectors == sequential.match_vectors
+        for proto in sequential.prototype_set:
+            seq_outcome = sequential.outcome_for(proto.id)
+            par_outcome = pooled.outcome_for(proto.id)
+            assert (
+                par_outcome.nlcc_tokens_launched
+                == seq_outcome.nlcc_tokens_launched
+            )
+            assert (
+                par_outcome.distinct_matches == seq_outcome.distinct_matches
+            )
+
     def test_collect_matches_rejected(self):
         with pytest.raises(PipelineError):
             PipelineOptions(worker_processes=2, collect_matches=True)
