@@ -12,10 +12,17 @@ passing run:
 * ``speedup_kernel_delta``   (kernel+delta over baseline),
 * ``speedup_array_vs_delta`` (array over kernel+delta),
 * ``visit_reduction_delta``  (delta's visitor-count saving),
-* ``speedup_array_nlcc``     (array token frontier over the dict walk).
+* ``speedup_array_nlcc``     (array token frontier over the dict walk),
+* ``speedup_shm_pool``       (shm-bitmap pool over dict-payload pool,
+  end to end — ``bench_parallel.py``).
 
 A tracked ratio regressing by more than ``--tolerance`` (default 25%)
 relative to its baseline value fails the gate; improvements always pass.
+End-to-end pool wall clocks are scheduler-noisy on shared runners, so
+``speedup_shm_pool`` gets a relaxed per-field tolerance (see
+``RELAXED_TOLERANCE``); the deterministic >=10x payload-bytes bar
+asserted by ``bench_parallel``'s own smoke run is the hard guard for
+that subsystem.
 Workloads present in only one of the two payloads are reported but do not
 fail (the baseline may predate a new workload), and a ratio that neither
 payload carries for a workload is skipped silently (the kernel and NLCC
@@ -43,10 +50,19 @@ from bench_nlcc import (
     check_acceptance as nlcc_check_acceptance,
     smoke_suite as nlcc_smoke_suite,
 )
+from bench_parallel import (
+    OUTPUT as PARALLEL_COMMITTED,
+    check_acceptance as parallel_check_acceptance,
+    smoke_suite as parallel_smoke_suite,
+)
 
 #: row-level ratio fields the gate tracks (higher is better for all)
 TRACKED = ["speedup_kernel_delta", "speedup_array_vs_delta",
-           "visit_reduction_delta", "speedup_array_nlcc"]
+           "visit_reduction_delta", "speedup_array_nlcc",
+           "speedup_shm_pool"]
+
+#: per-field minimum tolerance overrides for noise-dominated ratios
+RELAXED_TOLERANCE = {"speedup_shm_pool": 0.60}
 
 #: append-only ratio log, one JSON entry per passing gate run
 HISTORY = Path(__file__).resolve().parents[1] / "BENCH_HISTORY.jsonl"
@@ -117,7 +133,10 @@ def compare(baseline: dict, fresh: dict, tolerance: float):
                 rows.append([name, field, str(was), str(now),
                              "field missing (not compared)"])
                 continue
-            floor = was * (1.0 - tolerance)
+            field_tolerance = max(
+                tolerance, RELAXED_TOLERANCE.get(field, 0.0)
+            )
+            floor = was * (1.0 - field_tolerance)
             ok = now >= floor
             rows.append([
                 name, field, f"{was:.2f}", f"{now:.2f}",
@@ -126,7 +145,7 @@ def compare(baseline: dict, fresh: dict, tolerance: float):
             if not ok:
                 failures.append(
                     f"{name}.{field}: {now:.2f} < {floor:.2f} "
-                    f"(committed {was:.2f}, tolerance {tolerance:.0%})"
+                    f"(committed {was:.2f}, tolerance {field_tolerance:.0%})"
                 )
     for name in committed_rows:
         if name not in fresh_rows:
@@ -162,12 +181,13 @@ def main(argv):
     elif args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         baseline_label = str(args.baseline)
-        if NLCC_COMMITTED.exists():
-            nlcc_baseline = json.loads(NLCC_COMMITTED.read_text())
-            baseline["workloads"] = (
-                baseline["workloads"] + nlcc_baseline["workloads"]
-            )
-            baseline_label += f" + {NLCC_COMMITTED}"
+        for committed in (NLCC_COMMITTED, PARALLEL_COMMITTED):
+            if committed.exists():
+                extra = json.loads(committed.read_text())
+                baseline["workloads"] = (
+                    baseline["workloads"] + extra["workloads"]
+                )
+                baseline_label += f" + {committed}"
     else:
         print(f"no history at {args.history} and no committed baseline at "
               f"{args.baseline}; nothing to gate")
@@ -175,11 +195,19 @@ def main(argv):
 
     fresh = smoke_suite()
     check_acceptance(fresh)
-    # NLCC smoke covers only NLCC-STRESS, so its rows never collide with
-    # the kernel bench's workload names in the merged payload.
+    # The NLCC smoke covers only NLCC-STRESS and the parallel smoke only
+    # SHM-prefixed rows, so the merged payload never collides on names.
     fresh_nlcc = nlcc_smoke_suite()
     nlcc_check_acceptance(fresh_nlcc)
-    fresh = {"workloads": fresh["workloads"] + fresh_nlcc["workloads"]}
+    fresh_parallel = parallel_smoke_suite()
+    parallel_check_acceptance(fresh_parallel)
+    fresh = {
+        "workloads": (
+            fresh["workloads"]
+            + fresh_nlcc["workloads"]
+            + fresh_parallel["workloads"]
+        )
+    }
 
     rows, failures = compare(baseline, fresh, args.tolerance)
     print(f"baseline: {baseline_label}")

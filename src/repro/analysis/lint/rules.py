@@ -19,6 +19,10 @@ Each rule is motivated by a bug class this codebase has actually hit
 * **R5** ``hot-loop-hygiene`` — per-element Python loops over CSR
   arrays, ``np.append`` inside loops, and object-dtype arrays undo the
   vectorization the hot modules exist for.
+* **R6** ``shared-memory-lifecycle`` — ``SharedMemory(...)`` built
+  outside the ``runtime/shm.py`` wrapper bypasses the owner/attach
+  registry and its atexit sweep, leaking ``/dev/shm`` segments on
+  crashed runs.
 
 All rules are pure AST passes — no imports of the checked code, so the
 linter runs on any snapshot of the tree, broken or not.
@@ -36,6 +40,7 @@ __all__ = [
     "HotLoopHygieneRule",
     "OptionalIntTruthinessRule",
     "OptionsThreadingRule",
+    "SharedMemoryLifecycleRule",
     "TracerGuardRule",
 ]
 
@@ -692,3 +697,43 @@ class HotLoopHygieneRule(Rule):
         if isinstance(probe, ast.Call) and _call_name(probe) == "nonzero":
             return "np.nonzero(...)"
         return None
+
+
+@register_rule
+class SharedMemoryLifecycleRule(Rule):
+    """Direct ``SharedMemory(...)`` construction outside ``runtime/shm.py``.
+
+    POSIX shared-memory segments outlive the creating process until
+    somebody unlinks them: a stray ``SharedMemory(create=True, ...)``
+    call that isn't paired with the wrapper's registry + atexit sweep
+    leaks a ``/dev/shm`` entry on any crashed run, and an out-of-band
+    attach can double-unlink a segment the owner still serves.  All
+    segment construction must go through :class:`SharedGraphCsr` /
+    :func:`attach_shared_csr` in :mod:`repro.runtime.shm`.
+    """
+
+    id = "R6"
+    title = "shared-memory lifecycle"
+    rationale = (
+        "named segments persist past interpreter exit unless unlinked; "
+        "only the shm wrapper's owner/attach registry guarantees cleanup"
+    )
+
+    _WRAPPER_BASENAME = "shm.py"
+
+    def check_module(
+        self, project: Project, module: ModuleSource
+    ) -> Iterator[Violation]:
+        if module.basename == self._WRAPPER_BASENAME:
+            return
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and _call_name(node) == "SharedMemory"):
+                yield module.violation(
+                    self,
+                    node,
+                    "direct SharedMemory(...) construction outside the "
+                    "runtime/shm lifecycle wrapper; use SharedGraphCsr "
+                    "(owner) or attach_shared_csr (worker) so the segment "
+                    "is registered for unlink/close cleanup",
+                )

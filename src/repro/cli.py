@@ -91,12 +91,27 @@ def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_worker_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="OS worker processes executing prototype searches "
+             "(default 1 = in-process; >1 shares one graph CSR via "
+             "shared memory)",
+    )
+    parser.add_argument(
+        "--no-shm-pool", action="store_true",
+        help="ship pooled scopes as legacy dict payloads instead of "
+             "shared-memory bitmap payloads",
+    )
+
+
 def command_search(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph, args.labels)
     template = load_template(args.template)
     tracer = _make_tracer(args)
     options = PipelineOptions(
         num_ranks=args.ranks, count_matches=args.count, tracer=tracer,
+        worker_processes=args.workers, shm_pool=not args.no_shm_pool,
     )
     result = run_pipeline(graph, template, args.k, options)
     if args.trace:
@@ -147,7 +162,10 @@ def command_explore(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     result = exploratory_search(
         graph, template, max_k=args.max_k,
-        options=PipelineOptions(num_ranks=args.ranks, tracer=tracer),
+        options=PipelineOptions(
+            num_ranks=args.ranks, tracer=tracer,
+            worker_processes=args.workers, shm_pool=not args.no_shm_pool,
+        ),
     )
     if args.trace:
         _write_trace(tracer, args.trace)
@@ -258,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     search = commands.add_parser("search", help="approximate matching")
     _add_common_graph_arguments(search)
+    _add_worker_arguments(search)
     search.add_argument("template", help="template JSON file")
     search.add_argument("-k", type=int, default=1, help="edit distance")
     search.add_argument("--count", action="store_true", help="count matches")
@@ -277,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
         "explore", help="top-down exploratory search (relax until matches)"
     )
     _add_common_graph_arguments(explore)
+    _add_worker_arguments(explore)
     explore.add_argument("template", help="template JSON file")
     explore.add_argument("--max-k", type=int, default=None,
                          help="relaxation bound (default: until disconnect)")

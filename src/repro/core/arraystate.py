@@ -198,6 +198,38 @@ def _role_bits(roles: Sequence[int]) -> Dict[int, int]:
     return {role: 1 << i for i, role in enumerate(roles)}
 
 
+def _label_mask_table(
+    csr: GraphCsr, template, roles: Sequence[int], role_bit: Dict[int, int]
+) -> np.ndarray:
+    """Per-label-code union of the role bits carrying that label.
+
+    Indexing the table by ``csr.label_codes`` seeds every vertex with all
+    roles of its label — the common core of ``initial``,
+    ``for_prototype_search`` and the pooled scope-payload reconstruction.
+    """
+    by_label: Dict[int, int] = {}
+    for role in roles:
+        lab = template.label(role)
+        by_label[lab] = by_label.get(lab, 0) | role_bit[role]
+    mask_by_code = np.zeros(csr.num_labels, dtype=_U64)
+    for lab, mask in by_label.items():
+        code = csr.label_ids.get(lab)
+        if code is not None:
+            mask_by_code[code] = mask
+    return mask_by_code
+
+
+def pack_bits(flags: np.ndarray) -> bytes:
+    """Wire form of a boolean array: ``np.packbits`` bitmap bytes."""
+    return np.packbits(flags).tobytes()
+
+
+def unpack_bits(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` (fresh, writable boolean array)."""
+    raw = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(raw, count=count).astype(bool)
+
+
 def _segment_or(contrib: np.ndarray, csr: GraphCsr) -> np.ndarray:
     """Per-vertex OR of a per-edge uint64 array over CSR row segments."""
     if contrib.shape[0] == 0:
@@ -260,15 +292,7 @@ class ArraySearchState:
         csr = csr_of(graph)
         roles = sorted(template.vertices())
         role_bit = _role_bits(roles)
-        by_label: Dict[int, int] = {}
-        for role in roles:
-            lab = template.label(role)
-            by_label[lab] = by_label.get(lab, 0) | role_bit[role]
-        mask_by_code = np.zeros(csr.num_labels, dtype=_U64)
-        for lab, mask in by_label.items():
-            code = csr.label_ids.get(lab)
-            if code is not None:
-                mask_by_code[code] = mask
+        mask_by_code = _label_mask_table(csr, template, roles, role_bit)
         role_mask = mask_by_code[csr.label_codes]
         vertex_active = role_mask != _ZERO
         edge_alive = vertex_active[csr.src].copy()
@@ -329,6 +353,56 @@ class ArraySearchState:
                 )
                 edge_alive[s:e] = np.isin(indices[s:e], targets)
         return cls(state.graph, csr, roles, role_mask, vertex_active, edge_alive)
+
+    @classmethod
+    def from_scope_payload(
+        cls,
+        graph: Graph,
+        csr: GraphCsr,
+        prototype,
+        vertex_bits: bytes,
+        edge_bits: bytes,
+    ) -> "ArraySearchState":
+        """Rebuild a ``for_prototype_search`` scope from its wire bitmaps.
+
+        Role masks are never shipped: ``for_prototype_search`` *resets*
+        them by label (``where(active, table[label_codes], 0)``), so
+        re-deriving the mask from the prototype's labels over the shipped
+        ``vertex_active`` bitmap is bit-identical to the sender's array —
+        two bitmaps replace the whole dict payload.
+        """
+        roles = sorted(prototype.graph.vertices())
+        role_bit = _role_bits(roles)
+        vertex_active = unpack_bits(vertex_bits, csr.num_vertices)
+        edge_alive = unpack_bits(edge_bits, csr.num_directed_edges)
+        mask_by_code = _label_mask_table(csr, prototype.graph, roles, role_bit)
+        role_mask = np.where(vertex_active, mask_by_code[csr.label_codes], _ZERO)
+        return cls(graph, csr, roles, role_mask, vertex_active, edge_alive)
+
+    def scope_payload(self) -> Tuple[bytes, bytes]:
+        """``(vertex bitmap, edge bitmap)`` wire form of a scope cut."""
+        return pack_bits(self.vertex_active), pack_bits(self.edge_alive)
+
+    def solution_payload(self) -> Tuple[bytes, bytes]:
+        """Final-state bitmaps for the pooled level union.
+
+        The edge bitmap holds the canonical solution edges (alive in the
+        ``vid_gt`` direction with both endpoints active) expanded to both
+        directions — exactly the symmetric edge set the dict pooled union
+        rebuilds from a worker's sorted ``solution_edges`` list.
+        """
+        csr = self.csr
+        active = self.vertex_active
+        sel = (
+            self.edge_alive
+            & csr.vid_gt
+            & active[csr.src]
+            & active[csr.indices]
+        )
+        both = sel.copy()
+        idx = np.nonzero(sel)[0]
+        both[csr.mirror[idx]] = True
+        return pack_bits(active), pack_bits(both)
 
     # ------------------------------------------------------------------
     def _build_dicts(self) -> Tuple[Dict[int, Set[int]], Dict[int, Set[int]]]:
@@ -489,15 +563,7 @@ class ArraySearchState:
         proto_graph = prototype.graph
         roles = sorted(proto_graph.vertices())
         role_bit = _role_bits(roles)
-        by_label: Dict[int, int] = {}
-        for role in roles:
-            lab = proto_graph.label(role)
-            by_label[lab] = by_label.get(lab, 0) | role_bit[role]
-        mask_by_code = np.zeros(csr.num_labels, dtype=_U64)
-        for lab, mask in by_label.items():
-            code = csr.label_ids.get(lab)
-            if code is not None:
-                mask_by_code[code] = mask
+        mask_by_code = _label_mask_table(csr, proto_graph, roles, role_bit)
         new_mask = np.where(
             self.vertex_active, mask_by_code[csr.label_codes], _ZERO
         )
@@ -1155,6 +1221,8 @@ __all__ = [
     "array_kernel_fixpoint",
     "array_token_walk",
     "csr_of",
+    "pack_bits",
     "run_array_fixpoint",
     "supports_array_fixpoint",
+    "unpack_bits",
 ]

@@ -56,6 +56,24 @@ def count_match_mappings(prototype: Prototype, state: SearchState) -> int:
     return sum(1 for _ in enumerate_matches(prototype, state))
 
 
+def matches_from_paths(
+    walk: Sequence[int], rows: Sequence[Sequence[int]]
+) -> List[Mapping]:
+    """Materialize full-walk match mappings from dense path rows.
+
+    ``rows[p][position]`` is the graph vertex the ``p``-th completed
+    full-walk token visited at ``position``; the resulting mapping is
+    ``{walk[position]: rows[p][position]}`` — exactly the dict the token
+    walk's ``_record_match`` builds one completion at a time.  A walk
+    visits repeated roles at consistent vertices by construction, so the
+    later position silently overwriting the earlier one is lossless.
+    """
+    return [
+        {role: row[position] for position, role in enumerate(walk)}
+        for row in rows
+    ]
+
+
 def distinct_match_count(prototype: Prototype, mapping_count: int) -> int:
     """Convert a mapping count into a distinct-subgraph count."""
     autos = automorphism_count(prototype.graph)

@@ -58,7 +58,9 @@ class NlccResult:
         "completions",
         "confirmed_roles",
         "confirmed_edges",
-        "completed_mappings",
+        "_completed_mappings",
+        "completed_walk",
+        "completed_paths",
         "dedup_merged",
     )
 
@@ -73,12 +75,35 @@ class NlccResult:
         self.completions = 0
         self.confirmed_roles: Dict[int, Set[int]] = {}
         self.confirmed_edges: Set[Tuple[int, int]] = set()
-        #: for full walks: one template-vertex -> graph-vertex mapping per
-        #: completed token (each completion IS an exact match)
-        self.completed_mappings: list = []
+        #: backing list for :attr:`completed_mappings`; the dict walk
+        #: appends eagerly, the array walk leaves it None and keeps the
+        #: dense evidence in ``completed_walk``/``completed_paths``
+        self._completed_mappings: Optional[list] = []
+        #: walk role sequence of the dense match evidence (array walk)
+        self.completed_walk: Optional[Tuple[int, ...]] = None
+        #: completions-by-walk-length matrix of graph vertex ids, one row
+        #: per completed full-walk token (array walk)
+        self.completed_paths = None
         #: token rows collapsed by the array frontier's canonical fold
         #: (always 0 on the dict path, which never dedups)
         self.dedup_merged = 0
+
+    @property
+    def completed_mappings(self) -> list:
+        """For full walks: one role -> graph-vertex mapping per completed
+        token (each completion IS an exact match).
+
+        The array walk stores its completions as a dense path matrix;
+        per-match dicts are materialized from it only on first access,
+        so pipelines that merely count matches never build them.
+        """
+        if self._completed_mappings is None:
+            from .enumeration import matches_from_paths
+
+            self._completed_mappings = matches_from_paths(
+                self.completed_walk, self.completed_paths.tolist()
+            )
+        return self._completed_mappings
 
     @property
     def changed(self) -> bool:
@@ -456,12 +481,14 @@ def _reduce_to_confirmed_array(
         )
 
     # Match evidence, identical to the dict walk's _record_match output.
+    # Per-match dicts are NOT built here: the dense vid matrix is the
+    # stored form, materialized lazily by NlccResult.completed_mappings
+    # (enumeration.matches_from_paths) only if a consumer asks.
     if paths.shape[0]:
         vid_rows = order[paths]
-        for row in vid_rows.tolist():
-            result.completed_mappings.append(
-                {walk[position]: row[position] for position in range(walk_len)}
-            )
+        result.completed_walk = tuple(walk)
+        result.completed_paths = vid_rows
+        result._completed_mappings = None
         head = paths[:, :-1].ravel()
         tail = paths[:, 1:].ravel()
         head_vid = order[head]

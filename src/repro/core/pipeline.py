@@ -121,6 +121,10 @@ class PipelineOptions:
     #: parallel (1 = in-process).  Orthogonal to `parallel_deployments`,
     #: which models replica deployments in the simulated cost.
     worker_processes: int = 1
+    #: pooled runs share one graph CSR via a shared-memory segment and
+    #: ship scopes as packed bitmaps (when the array stack is eligible);
+    #: False forces the legacy per-task dict payloads
+    shm_pool: bool = True
     #: span tracer (:class:`repro.runtime.trace.Tracer`) threaded into
     #: every engine of the run; the default NULL_TRACER records nothing
     #: and costs one attribute check per guarded site.
@@ -293,7 +297,12 @@ def _run_bottom_up(
     # ------------------------------------------------------ level sweep
     want_matches = options.count_matches or options.collect_matches
     stored_matches: Dict[int, List[Dict[int, int]]] = {}
+    # The previous level's union lives in whichever form the level that
+    # produced it used — dict (in-process / legacy pooled) or array
+    # (shm-pooled).  Exactly one of the two is non-None after a level;
+    # conversions happen lazily, at most once per level transition.
     union_prev: Optional[SearchState] = None
+    union_aprev: Optional["ArraySearchState"] = None
     deepest = protos.max_distance
 
     # Level-persistent array mode: the scope state (M* / previous level's
@@ -320,104 +329,129 @@ def _run_bottom_up(
             options.worker_processes,
         )
 
-    for distance in range(deepest, -1, -1):
-        with tracer.span("level", distance=distance) as level_span:
-            level_wall = time.perf_counter()
-            level = LevelReport(distance)
-            level_states: List[SearchState] = []
-            next_stored: Dict[int, List[Dict[int, int]]] = {}
+    try:
+        for distance in range(deepest, -1, -1):
+            with tracer.span("level", distance=distance) as level_span:
+                level_wall = time.perf_counter()
+                level = LevelReport(distance)
+                level_states: List[SearchState] = []
+                next_stored: Dict[int, List[Dict[int, int]]] = {}
 
-            if pool is not None and len(protos.at(distance)) > 1:
-                union_prev = _pooled_level(
-                    pool, protos, distance, deepest, base_state, union_prev,
-                    options, level, result,
-                )
+                if pool is not None and len(protos.at(distance)) > 1:
+                    if pool.array_payloads:
+                        assert base_astate is not None
+                        if union_aprev is None and union_prev is not None:
+                            union_aprev = ArraySearchState.from_search_state(
+                                union_prev, roles=template_roles
+                            )
+                        union_aprev = _pooled_level_array(
+                            pool, protos, distance, deepest, base_astate,
+                            union_aprev, options, level, result,
+                        )
+                        union_prev = None
+                        union: "SearchState | ArraySearchState" = union_aprev
+                    else:
+                        if union_prev is None and union_aprev is not None:
+                            union_prev = union_aprev.to_search_state()
+                        union_prev = _pooled_level(
+                            pool, protos, distance, deepest, base_state,
+                            union_prev, options, level, result,
+                        )
+                        union_aprev = None
+                        union = union_prev
+                    _finish_level(
+                        level, result, options, label_frequencies, union,
+                        rebalancing, distance, level_wall, span=level_span,
+                    )
+                    stored_matches = {}
+                    continue
+
+                union_astate = None
+                if array_level:
+                    if union_aprev is not None:
+                        union_astate = union_aprev
+                    elif union_prev is not None:
+                        # One conversion per level: every prototype scope below
+                        # is derived from this array form without a dict round
+                        # trip.
+                        union_astate = ArraySearchState.from_search_state(
+                            union_prev, roles=template_roles
+                        )
+                elif union_prev is None and union_aprev is not None:
+                    union_prev = union_aprev.to_search_state()
+
+                for proto in protos.at(distance):
+                    extended = None
+                    if options.enumeration_optimization and distance < deepest:
+                        extended = _try_extension(proto, stored_matches, graph)
+                    if extended is not None:
+                        outcome, proto_state = extended
+                        next_stored[proto.id] = outcome.matches
+                    else:
+                        array_scope = warm_mask = None
+                        if array_level:
+                            # The dict state is only materialized by the
+                            # search's final write_back.
+                            proto_state = SearchState.empty(graph)
+                            array_scope, warm_mask = _starting_astate(
+                                proto, distance, deepest, base_astate,
+                                union_astate, options,
+                            )
+                        else:
+                            proto_state = _starting_state(
+                                proto, distance, deepest, base_state, union_prev,
+                                options,
+                            )
+                        stats = MessageStats(deployment_ranks)
+                        engine = Engine(
+                            search_pgraph, stats, options.batch_size, tracer=tracer
+                        )
+                        outcome = search_prototype(
+                            proto_state,
+                            proto,
+                            constraint_sets[proto.id],
+                            engine,
+                            cache=cache,
+                            recycle=options.work_recycling,
+                            count_matches=options.count_matches,
+                            collect_matches=(
+                                options.collect_matches or options.enumeration_optimization
+                            ),
+                            verification=options.verification,
+                            role_kernel=options.role_kernel,
+                            delta_lcc=options.delta_lcc,
+                            array_state=options.array_state,
+                            array_nlcc=options.array_nlcc,
+                            array_scope=array_scope,
+                            warm_mask=warm_mask,
+                        )
+                        outcome.simulated_seconds = cost_model.makespan(stats)
+                        outcome.messages = stats.total_messages
+                        outcome.remote_messages = stats.total_remote_messages
+                        all_stats.append(stats)
+                        if outcome.matches is not None and options.enumeration_optimization:
+                            next_stored[proto.id] = outcome.matches
+                    if not options.collect_matches:
+                        outcome.matches = None
+                    level.outcomes.append(outcome)
+                    level_states.append(proto_state)
+                    for vertex in outcome.solution_vertices:
+                        result.match_vectors.setdefault(vertex, set()).add(proto.id)
+
+                # Union of this level's solution subgraphs = next level's scope.
+                union_dict = SearchState.empty(graph)
+                for state in level_states:
+                    union_dict.union_with(state)
+                union_prev = union_dict
+                union_aprev = None
                 _finish_level(
-                    level, result, options, label_frequencies, union_prev,
+                    level, result, options, label_frequencies, union_dict,
                     rebalancing, distance, level_wall, span=level_span,
                 )
-                stored_matches = {}
-                continue
-
-            union_astate = None
-            if array_level and union_prev is not None:
-                # One conversion per level: every prototype scope below is
-                # derived from this array form without a dict round trip.
-                union_astate = ArraySearchState.from_search_state(
-                    union_prev, roles=template_roles
-                )
-
-            for proto in protos.at(distance):
-                extended = None
-                if options.enumeration_optimization and distance < deepest:
-                    extended = _try_extension(proto, stored_matches, graph)
-                if extended is not None:
-                    outcome, proto_state = extended
-                    next_stored[proto.id] = outcome.matches
-                else:
-                    array_scope = warm_mask = None
-                    if array_level:
-                        # The dict state is only materialized by the
-                        # search's final write_back.
-                        proto_state = SearchState.empty(graph)
-                        array_scope, warm_mask = _starting_astate(
-                            proto, distance, deepest, base_astate,
-                            union_astate, options,
-                        )
-                    else:
-                        proto_state = _starting_state(
-                            proto, distance, deepest, base_state, union_prev,
-                            options,
-                        )
-                    stats = MessageStats(deployment_ranks)
-                    engine = Engine(
-                        search_pgraph, stats, options.batch_size, tracer=tracer
-                    )
-                    outcome = search_prototype(
-                        proto_state,
-                        proto,
-                        constraint_sets[proto.id],
-                        engine,
-                        cache=cache,
-                        recycle=options.work_recycling,
-                        count_matches=options.count_matches,
-                        collect_matches=(
-                            options.collect_matches or options.enumeration_optimization
-                        ),
-                        verification=options.verification,
-                        role_kernel=options.role_kernel,
-                        delta_lcc=options.delta_lcc,
-                        array_state=options.array_state,
-                        array_nlcc=options.array_nlcc,
-                        array_scope=array_scope,
-                        warm_mask=warm_mask,
-                    )
-                    outcome.simulated_seconds = cost_model.makespan(stats)
-                    outcome.messages = stats.total_messages
-                    outcome.remote_messages = stats.total_remote_messages
-                    all_stats.append(stats)
-                    if outcome.matches is not None and options.enumeration_optimization:
-                        next_stored[proto.id] = outcome.matches
-                if not options.collect_matches:
-                    outcome.matches = None
-                level.outcomes.append(outcome)
-                level_states.append(proto_state)
-                for vertex in outcome.solution_vertices:
-                    result.match_vectors.setdefault(vertex, set()).add(proto.id)
-
-            # Union of this level's solution subgraphs = next level's scope.
-            union = SearchState.empty(graph)
-            for state in level_states:
-                union.union_with(state)
-            union_prev = union
-            _finish_level(
-                level, result, options, label_frequencies, union,
-                rebalancing, distance, level_wall, span=level_span,
-            )
-            stored_matches = next_stored
-
-    if pool is not None:
-        pool.close()
+                stored_matches = next_stored
+    finally:
+        if pool is not None:
+            pool.close()
 
     # ------------------------------------------------------------ totals
     result.total_infrastructure_seconds = infrastructure + sum(
@@ -457,7 +491,7 @@ def _finish_level(
     result: PipelineResult,
     options: PipelineOptions,
     label_frequencies: Dict[int, int],
-    union: SearchState,
+    union: "SearchState | ArraySearchState",
     rebalancing: bool,
     distance: int,
     level_wall: float,
@@ -519,48 +553,20 @@ def _pooled_level(
     level: LevelReport,
     result: PipelineResult,
 ) -> SearchState:
-    """Execute one level's prototype searches on the worker pool."""
-    from ..runtime.parallel import state_to_payload
+    """Execute one level's searches on the pool (legacy dict payloads)."""
+    from ..runtime.parallel import dict_task, payload_to_outcome
 
     tasks = []
     for proto in protos.at(distance):
         scoped = _starting_state(
             proto, distance, deepest, base_state, union_prev, options
         )
-        candidates, edges = state_to_payload(scoped)
-        tasks.append((proto.id, candidates, edges))
+        tasks.append(dict_task(proto.id, scoped))
     union = SearchState.empty(base_state.graph)
     tracer = options.tracer
     for payload in pool.search_level(tasks):
         proto = protos.by_id(payload["proto_id"])
-        if payload.get("trace_spans"):
-            # Graft the worker's span tree under the open level span,
-            # labeled with the worker pid (perf_counter is CLOCK_MONOTONIC,
-            # shared across forked workers, so timestamps line up).
-            tracer.attach(
-                payload["trace_spans"], worker=payload.get("trace_worker")
-            )
-        outcome = PrototypeSearchOutcome(proto)
-        outcome.solution_vertices = set(payload["solution_vertices"])
-        outcome.solution_edges = {
-            (int(u), int(v)) for u, v in payload["solution_edges"]
-        }
-        outcome.match_mappings = payload["match_mappings"]
-        outcome.distinct_matches = payload["distinct_matches"]
-        outcome.lcc_iterations = payload["lcc_iterations"]
-        outcome.post_lcc_vertices = payload.get("post_lcc_vertices", 0)
-        outcome.post_lcc_edges = payload.get("post_lcc_edges", 0)
-        outcome.nlcc_constraints_checked = payload["nlcc_constraints_checked"]
-        outcome.nlcc_roles_eliminated = payload["nlcc_roles_eliminated"]
-        outcome.nlcc_recycled = payload["nlcc_recycled"]
-        outcome.nlcc_tokens_launched = payload.get("nlcc_tokens_launched", 0)
-        outcome.nlcc_completions = payload.get("nlcc_completions", 0)
-        outcome.nlcc_dedup_merged = payload.get("nlcc_dedup_merged", 0)
-        outcome.exact = payload["exact"]
-        outcome.simulated_seconds = payload["simulated_seconds"]
-        outcome.messages = payload["messages"]
-        outcome.remote_messages = payload["remote_messages"]
-        outcome.wall_seconds = payload["wall_seconds"]
+        outcome = payload_to_outcome(proto, payload, tracer=tracer)
         level.outcomes.append(outcome)
         for vertex in outcome.solution_vertices:
             result.match_vectors.setdefault(vertex, set()).add(proto.id)
@@ -571,6 +577,49 @@ def _pooled_level(
         for u, v in outcome.solution_edges:
             union.active_edges.setdefault(u, set()).add(v)
             union.active_edges.setdefault(v, set()).add(u)
+    return union
+
+
+def _pooled_level_array(
+    pool: "PrototypeSearchPool",
+    protos: PrototypeSet,
+    distance: int,
+    deepest: int,
+    base_astate: "ArraySearchState",
+    union_aprev: Optional["ArraySearchState"],
+    options: PipelineOptions,
+    level: LevelReport,
+    result: PipelineResult,
+) -> "ArraySearchState":
+    """Execute one level's searches on the pool, arrays end to end.
+
+    Scopes are cut by :func:`_starting_astate` and shipped as packed
+    bitmaps over the pool's shared CSR — no dict ``SearchState`` is ever
+    materialized on this path.  Workers return packed solution bitmaps
+    that are OR-ed into an array-form union whose role masks stay zero,
+    exactly like the dict pooled union's empty candidate role sets.
+    """
+    from ..runtime.parallel import array_task, payload_to_outcome
+    from .arraystate import ArraySearchState, unpack_bits
+
+    tasks = []
+    for proto in protos.at(distance):
+        scoped, warm_mask = _starting_astate(
+            proto, distance, deepest, base_astate, union_aprev, options
+        )
+        tasks.append(array_task(proto.id, scoped, warm_mask))
+    csr = base_astate.csr
+    union = ArraySearchState.empty(base_astate.graph)
+    tracer = options.tracer
+    for payload in pool.search_level(tasks):
+        proto = protos.by_id(payload["proto_id"])
+        outcome = payload_to_outcome(proto, payload, tracer=tracer)
+        level.outcomes.append(outcome)
+        for vertex in outcome.solution_vertices:
+            result.match_vectors.setdefault(vertex, set()).add(proto.id)
+        vertex_bits, edge_bits = payload["solution_bits"]
+        union.vertex_active |= unpack_bits(vertex_bits, csr.num_vertices)
+        union.edge_alive |= unpack_bits(edge_bits, csr.num_directed_edges)
     return union
 
 

@@ -161,7 +161,7 @@ def _search_prototype_body(
 
     full_walk_ran = False
     full_walk_completions = 0
-    full_walk_matches = None
+    full_walk_result = None
     for constraint in constraint_set.non_local:
         if not counter.num_active_vertices:
             break
@@ -178,7 +178,11 @@ def _search_prototype_body(
         if constraint.kind == FULL_WALK_KIND:
             full_walk_ran = True
             full_walk_completions = result.completions
-            full_walk_matches = result.completed_mappings
+            # Keep the whole result: the array walk stores completions
+            # as a dense path matrix, and reading .completed_mappings
+            # here would materialize per-match dicts even when no one
+            # collects them.
+            full_walk_result = result
         elif result.changed:
             outcome.lcc_iterations += local_constraint_checking(
                 state, prototype.graph, engine,
@@ -196,7 +200,7 @@ def _search_prototype_body(
     if collect_matches and not need_enumeration:
         if full_walk_ran:
             # Each completed full-walk token already is an exact match.
-            outcome.matches = full_walk_matches
+            outcome.matches = full_walk_result.completed_mappings
         else:
             outcome.matches = list(enumerate_matches(prototype, state))
         outcome.match_mappings = len(outcome.matches)

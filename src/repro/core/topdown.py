@@ -108,68 +108,55 @@ def _run_exploratory(
             base_state, roles=sorted(template.graph.vertices())
         )
 
-    for distance in range(0, protos.max_distance + 1):
-        with tracer.span("level", distance=distance) as level_span:
-            level_wall = time.perf_counter()
-            level = LevelReport(distance)
-            for proto in protos.at(distance):
-                constraint_set = generate_constraints(
-                    proto.graph, label_frequencies, options.include_full_walk
-                )
-                constraint_set.non_local = order_constraints(
-                    constraint_set.non_local,
-                    label_frequencies,
-                    optimize=options.constraint_ordering,
-                )
-                if base_astate is not None:
-                    state = SearchState.empty(graph)
-                    array_scope = base_astate.for_prototype_search(proto)
+    pool = None
+    if options.worker_processes > 1:
+        from ..runtime.parallel import PrototypeSearchPool
+
+        pool = PrototypeSearchPool(
+            graph, template, max_k, options, options.worker_processes
+        )
+
+    try:
+        for distance in range(0, protos.max_distance + 1):
+            with tracer.span("level", distance=distance) as level_span:
+                level_wall = time.perf_counter()
+                level = LevelReport(distance)
+                if pool is not None and len(protos.at(distance)) > 1:
+                    _pooled_exploratory_level(
+                        pool, protos, distance, base_state, base_astate,
+                        options, level, result,
+                    )
                 else:
-                    state = base_state.for_prototype_search(proto)
-                    array_scope = None
-                stats = MessageStats(options.num_ranks)
-                engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
-                outcome = search_prototype(
-                    state,
-                    proto,
-                    constraint_set,
-                    engine,
-                    cache=cache,
-                    recycle=options.work_recycling,
-                    count_matches=options.count_matches,
-                    collect_matches=options.collect_matches,
-                    verification=options.verification,
-                    role_kernel=options.role_kernel,
-                    delta_lcc=options.delta_lcc,
-                    array_state=options.array_state,
-                    array_nlcc=options.array_nlcc,
-                    array_scope=array_scope,
+                    _inline_exploratory_level(
+                        graph, pgraph, protos, distance, base_state,
+                        base_astate, label_frequencies, cache, options,
+                        level, result, all_stats,
+                    )
+                level.search_seconds = sum(
+                    o.simulated_seconds for o in level.outcomes
                 )
-                outcome.simulated_seconds = cost_model.makespan(stats)
-                outcome.messages = stats.total_messages
-                outcome.remote_messages = stats.total_remote_messages
-                all_stats.append(stats)
-                level.outcomes.append(outcome)
-                for vertex in outcome.solution_vertices:
-                    result.match_vectors.setdefault(vertex, set()).add(proto.id)
-            level.search_seconds = sum(o.simulated_seconds for o in level.outcomes)
-            level.union_vertices = len(
-                {v for o in level.outcomes for v in o.solution_vertices}
-            )
-            level.post_lcc_vertices = sum(
-                o.post_lcc_vertices for o in level.outcomes
-            )
-            level.post_lcc_edges = sum(o.post_lcc_edges for o in level.outcomes)
-            level_span.add(
-                prototypes=len(level.outcomes),
-                union_vertices=level.union_vertices,
-                post_lcc_vertices=level.post_lcc_vertices,
-                post_lcc_edges=level.post_lcc_edges,
-            )
-            level.wall_seconds = time.perf_counter() - level_wall
-            result.levels.append(level)
-        if stop_condition(level):
-            break
+                level.union_vertices = len(
+                    {v for o in level.outcomes for v in o.solution_vertices}
+                )
+                level.post_lcc_vertices = sum(
+                    o.post_lcc_vertices for o in level.outcomes
+                )
+                level.post_lcc_edges = sum(
+                    o.post_lcc_edges for o in level.outcomes
+                )
+                level_span.add(
+                    prototypes=len(level.outcomes),
+                    union_vertices=level.union_vertices,
+                    post_lcc_vertices=level.post_lcc_vertices,
+                    post_lcc_edges=level.post_lcc_edges,
+                )
+                level.wall_seconds = time.perf_counter() - level_wall
+                result.levels.append(level)
+            if stop_condition(level):
+                break
+    finally:
+        if pool is not None:
+            pool.close()
 
     result.total_simulated_seconds = result.candidate_set_seconds + sum(
         level.search_seconds for level in result.levels
@@ -185,6 +172,105 @@ def _run_exploratory(
             "entries": entries,
         }
     return result
+
+
+def _inline_exploratory_level(
+    graph: Graph,
+    pgraph: PartitionedGraph,
+    protos,
+    distance: int,
+    base_state: SearchState,
+    base_astate,
+    label_frequencies: Dict[int, int],
+    cache: Optional[NlccCache],
+    options: PipelineOptions,
+    level: LevelReport,
+    result: PipelineResult,
+    all_stats: List[MessageStats],
+) -> None:
+    """Search one exploratory level in-process."""
+    tracer = options.tracer
+    cost_model = options.cost_model
+    for proto in protos.at(distance):
+        constraint_set = generate_constraints(
+            proto.graph, label_frequencies, options.include_full_walk
+        )
+        constraint_set.non_local = order_constraints(
+            constraint_set.non_local,
+            label_frequencies,
+            optimize=options.constraint_ordering,
+        )
+        if base_astate is not None:
+            state = SearchState.empty(graph)
+            array_scope = base_astate.for_prototype_search(proto)
+        else:
+            state = base_state.for_prototype_search(proto)
+            array_scope = None
+        stats = MessageStats(options.num_ranks)
+        engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
+        outcome = search_prototype(
+            state,
+            proto,
+            constraint_set,
+            engine,
+            cache=cache,
+            recycle=options.work_recycling,
+            count_matches=options.count_matches,
+            collect_matches=options.collect_matches,
+            verification=options.verification,
+            role_kernel=options.role_kernel,
+            delta_lcc=options.delta_lcc,
+            array_state=options.array_state,
+            array_nlcc=options.array_nlcc,
+            array_scope=array_scope,
+        )
+        outcome.simulated_seconds = cost_model.makespan(stats)
+        outcome.messages = stats.total_messages
+        outcome.remote_messages = stats.total_remote_messages
+        all_stats.append(stats)
+        level.outcomes.append(outcome)
+        for vertex in outcome.solution_vertices:
+            result.match_vectors.setdefault(vertex, set()).add(proto.id)
+
+
+def _pooled_exploratory_level(
+    pool,
+    protos,
+    distance: int,
+    base_state: SearchState,
+    base_astate,
+    options: PipelineOptions,
+    level: LevelReport,
+    result: PipelineResult,
+) -> None:
+    """Search one exploratory level on the worker pool.
+
+    Every scope is cut fresh from M* (no cross-level unions top-down), so
+    warm seeds never apply; with an array-eligible pool the scopes ship
+    as packed bitmaps over the shared CSR, otherwise as legacy dict
+    payloads.  Workers generate their own constraint sets at init.  Like
+    the bottom-up pooled path, worker message traces fold into the
+    per-outcome totals but not ``result.message_summary``.
+    """
+    from ..runtime.parallel import array_task, dict_task, payload_to_outcome
+
+    tasks = []
+    for proto in protos.at(distance):
+        if base_astate is not None and pool.array_payloads:
+            tasks.append(
+                array_task(proto.id, base_astate.for_prototype_search(proto))
+            )
+        else:
+            tasks.append(
+                dict_task(proto.id, base_state.for_prototype_search(proto))
+            )
+    tracer = options.tracer
+    for payload in pool.search_level(tasks):
+        proto = protos.by_id(payload["proto_id"])
+        outcome = payload_to_outcome(proto, payload, tracer=tracer)
+        level.outcomes.append(outcome)
+        for vertex in outcome.solution_vertices:
+            result.match_vectors.setdefault(vertex, set()).add(proto.id)
 
 
 def stopping_distance(result: PipelineResult) -> Optional[int]:

@@ -4,29 +4,106 @@ The pipeline's ``parallel_deployments`` option *models* replica
 deployments in the simulated cost; this module additionally *executes*
 prototype searches on worker processes, cutting wall-clock time on
 multi-core machines.  Each worker behaves like one replica deployment of
-§4: it holds its own copy of the background graph (initialized once per
-worker via fork), rebuilds the prototype set deterministically, and keeps
-its own NLCC work-recycling cache across the tasks it serves — exactly the
-sharing a physical replica would have.
+§4: it attaches to the background graph's shared-memory CSR (one copy of
+the frozen arrays, exported by :mod:`repro.runtime.shm` and mapped
+zero-copy by every worker), rebuilds the prototype set deterministically,
+and keeps its own NLCC work-recycling cache across the tasks it serves —
+exactly the sharing a physical replica would have.
 
-Results are identical to sequential execution (outcomes are pure functions
-of the shipped starting scope); only wall-clock changes.  Simulated
-makespans are computed inside the workers from their own message traces.
+Tasks ship as :class:`PoolTask` wire objects in one of two payload kinds:
+
+* ``"array"`` — two ``np.packbits`` bitmaps (active vertices, alive
+  directed edges) cut straight from the level scope's
+  :class:`~repro.core.arraystate.ArraySearchState`; the worker re-derives
+  the uint64 role masks from the prototype's labels (bit-identical, see
+  ``ArraySearchState.from_scope_payload``) and runs the search without
+  ever materializing a dict state.  Results return as packed solution
+  bitmaps the parent ORs into the level union.
+* ``"dict"`` — the legacy ``(candidates, edges)`` lists, used when the
+  array stack is off, the template exceeds the 64-bit mask width, or
+  ``options.shm_pool`` is disabled.  Candidate role sets ship unsorted;
+  determinism comes from :meth:`PrototypeSearchPool.search_level`
+  returning results in task order, not from payload ordering.
+
+Results are identical to sequential execution (outcomes are pure
+functions of the shipped starting scope); only wall-clock changes.
+Simulated makespans are computed inside the workers from their own
+message traces.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from ..core.arraystate import ArraySearchState
     from ..core.pipeline import PipelineOptions
+    from ..core.prototypes import Prototype
+    from ..core.results import PrototypeSearchOutcome
     from ..core.state import SearchState
     from ..core.template import PatternTemplate
     from ..graph.graph import Graph
+    from .shm import SharedCsrHandle
+    from .trace import Tracer
 
 #: per-worker state, populated by the pool initializer
 _WORKER: Dict[str, Any] = {}
+
+
+class PoolTask:
+    """One prototype-search work item in wire form.
+
+    ``kind`` selects the payload format: ``"array"`` carries
+    ``(vertex_bits, edge_bits, warm_bits_or_None)`` packed bitmaps over
+    the shared CSR, ``"dict"`` carries the legacy
+    ``(candidates, edges)`` lists.  ``units`` is the scope size
+    (active vertices + canonical active edges), precomputed at pack time
+    so LPT ordering costs the same regardless of payload format.
+    """
+
+    __slots__ = ("proto_id", "kind", "data", "units")
+
+    def __init__(
+        self, proto_id: int, kind: str, data: Tuple[Any, ...], units: int
+    ) -> None:
+        self.proto_id = proto_id
+        self.kind = kind
+        self.data = data
+        self.units = units
+
+    def __getstate__(self) -> Tuple[int, str, Tuple[Any, ...], int]:
+        return (self.proto_id, self.kind, self.data, self.units)
+
+    def __setstate__(
+        self, state: Tuple[int, str, Tuple[Any, ...], int]
+    ) -> None:
+        self.proto_id, self.kind, self.data, self.units = state
+
+
+def array_task(
+    proto_id: int,
+    scope: "ArraySearchState",
+    warm_mask: Optional[Any] = None,
+) -> PoolTask:
+    """Pack an array scope cut into an ``"array"`` :class:`PoolTask`."""
+    from ..core.arraystate import pack_bits
+
+    vertex_bits, edge_bits = scope.scope_payload()
+    warm_bits = None if warm_mask is None else pack_bits(warm_mask)
+    vertices, edges = scope.active_counts()
+    return PoolTask(
+        proto_id, "array", (vertex_bits, edge_bits, warm_bits),
+        vertices + edges,
+    )
+
+
+def dict_task(proto_id: int, state: "SearchState") -> PoolTask:
+    """Pack a dict scope into a legacy ``"dict"`` :class:`PoolTask`."""
+    candidates, edges = state_to_payload(state)
+    return PoolTask(
+        proto_id, "dict", (candidates, edges), len(candidates) + len(edges)
+    )
 
 
 def _init_worker(
@@ -34,12 +111,27 @@ def _init_worker(
     template: "PatternTemplate",
     k: int,
     options: "PipelineOptions",
+    shm_handle: Optional["SharedCsrHandle"] = None,
 ) -> None:
-    """Runs once per worker process: build the shared per-replica state."""
+    """Runs once per worker process: build the shared per-replica state.
+
+    When the pool exported the graph's CSR to shared memory, the worker
+    attaches to the segment and installs the zero-copy view as the
+    graph's memoized CSR, so every ``csr_of(graph)`` in the search stack
+    reads the one shared copy.
+    """
     from ..core.constraints import generate_constraints
     from ..core.ordering import order_constraints
     from ..core.prototypes import generate_prototypes
     from ..core.state import NlccCache
+
+    if shm_handle is not None:
+        from .shm import attach_shared_csr
+
+        try:
+            graph._csr_cache = attach_shared_csr(shm_handle, graph)
+        except (FileNotFoundError, OSError):  # pragma: no cover - attach race
+            pass  # csr_of() rebuilds locally; results are unaffected
 
     label_frequencies = graph.label_counts()
     protos = generate_prototypes(template, k, options.max_prototypes)
@@ -63,8 +155,14 @@ def _init_worker(
     )
 
 
-def _search_task(payload: Tuple) -> Dict:
+def _search_task(task: PoolTask) -> Dict[str, Any]:
     """Search one prototype inside a worker; returns a plain-data outcome.
+
+    ``"array"`` tasks reconstruct an :class:`ArraySearchState` over the
+    attached shared CSR and hand it to :func:`search_prototype` as the
+    ``array_scope`` — the dict state stays empty until the search's final
+    write-back.  Their result payload additionally carries packed
+    solution bitmaps (``solution_bits``) for the parent's level union.
 
     When the shipped options carry an enabled tracer, the worker builds a
     fresh local :class:`~repro.runtime.trace.Tracer` (span forests never
@@ -80,19 +178,33 @@ def _search_task(payload: Tuple) -> Dict:
     from .partition import PartitionedGraph
     from .trace import NULL_TRACER, Tracer
 
-    proto_id, candidates_payload, edges_payload = payload
     graph = _WORKER["graph"]
     options = _WORKER["options"]
-    proto = _WORKER["prototypes"][proto_id]
+    proto = _WORKER["prototypes"][task.proto_id]
     tracing = getattr(options.tracer, "enabled", False)
     tracer = Tracer() if tracing else NULL_TRACER
 
-    candidates = {v: set(roles) for v, roles in candidates_payload}
-    active_edges: Dict[int, set] = {v: set() for v in candidates}
-    for u, v in edges_payload:
-        active_edges.setdefault(u, set()).add(v)
-        active_edges.setdefault(v, set()).add(u)
-    state = SearchState(graph, candidates, active_edges)
+    astate: Optional["ArraySearchState"] = None
+    warm_mask = None
+    if task.kind == "array":
+        from ..core.arraystate import ArraySearchState, csr_of, unpack_bits
+
+        csr = csr_of(graph)
+        vertex_bits, edge_bits, warm_bits = task.data
+        astate = ArraySearchState.from_scope_payload(
+            graph, csr, proto, vertex_bits, edge_bits
+        )
+        if warm_bits is not None:
+            warm_mask = unpack_bits(warm_bits, csr.num_vertices)
+        state = SearchState.empty(graph)
+    else:
+        candidates_payload, edges_payload = task.data
+        candidates = {v: set(roles) for v, roles in candidates_payload}
+        active_edges: Dict[int, set] = {v: set() for v in candidates}
+        for u, v in edges_payload:
+            active_edges.setdefault(u, set()).add(v)
+            active_edges.setdefault(v, set()).add(u)
+        state = SearchState(graph, candidates, active_edges)
 
     pgraph = PartitionedGraph(
         graph,
@@ -105,7 +217,7 @@ def _search_task(payload: Tuple) -> Dict:
     outcome = search_prototype(
         state,
         proto,
-        _WORKER["constraint_sets"][proto_id],
+        _WORKER["constraint_sets"][task.proto_id],
         engine,
         cache=_WORKER["cache"],
         recycle=options.work_recycling,
@@ -115,11 +227,16 @@ def _search_task(payload: Tuple) -> Dict:
         delta_lcc=options.delta_lcc,
         array_state=options.array_state,
         array_nlcc=options.array_nlcc,
+        array_scope=astate,
+        warm_mask=warm_mask,
     )
     return {
-        "proto_id": proto_id,
+        "proto_id": task.proto_id,
         "solution_vertices": sorted(outcome.solution_vertices),
         "solution_edges": sorted(outcome.solution_edges),
+        "solution_bits": (
+            astate.solution_payload() if astate is not None else None
+        ),
         "match_mappings": outcome.match_mappings,
         "distinct_matches": outcome.distinct_matches,
         "lcc_iterations": outcome.lcc_iterations,
@@ -143,8 +260,54 @@ def _search_task(payload: Tuple) -> Dict:
     }
 
 
+def payload_to_outcome(
+    proto: "Prototype",
+    payload: Dict[str, Any],
+    tracer: Optional["Tracer"] = None,
+) -> "PrototypeSearchOutcome":
+    """Rebuild a :class:`PrototypeSearchOutcome` from a worker's payload.
+
+    When ``tracer`` is given and the payload carries worker spans, the
+    span tree is grafted under the currently open span, labeled with the
+    worker pid (``perf_counter`` is CLOCK_MONOTONIC, shared across forked
+    workers, so timestamps line up).
+    """
+    from ..core.results import PrototypeSearchOutcome
+
+    if tracer is not None and payload.get("trace_spans"):
+        tracer.attach(payload["trace_spans"], worker=payload.get("trace_worker"))
+    outcome = PrototypeSearchOutcome(proto)
+    outcome.solution_vertices = set(payload["solution_vertices"])
+    outcome.solution_edges = {
+        (int(u), int(v)) for u, v in payload["solution_edges"]
+    }
+    outcome.match_mappings = payload["match_mappings"]
+    outcome.distinct_matches = payload["distinct_matches"]
+    outcome.lcc_iterations = payload["lcc_iterations"]
+    outcome.post_lcc_vertices = payload.get("post_lcc_vertices", 0)
+    outcome.post_lcc_edges = payload.get("post_lcc_edges", 0)
+    outcome.nlcc_constraints_checked = payload["nlcc_constraints_checked"]
+    outcome.nlcc_roles_eliminated = payload["nlcc_roles_eliminated"]
+    outcome.nlcc_recycled = payload["nlcc_recycled"]
+    outcome.nlcc_tokens_launched = payload.get("nlcc_tokens_launched", 0)
+    outcome.nlcc_completions = payload.get("nlcc_completions", 0)
+    outcome.nlcc_dedup_merged = payload.get("nlcc_dedup_merged", 0)
+    outcome.exact = payload["exact"]
+    outcome.simulated_seconds = payload["simulated_seconds"]
+    outcome.messages = payload["messages"]
+    outcome.remote_messages = payload["remote_messages"]
+    outcome.wall_seconds = payload["wall_seconds"]
+    return outcome
+
+
 class PrototypeSearchPool:
     """A pool of replica workers executing prototype searches.
+
+    When ``options.shm_pool`` is on and the level sweep is array-eligible
+    (see ``_array_level_eligible``), the pool exports the graph's CSR to
+    a shared-memory segment at construction, workers attach zero-copy,
+    and :attr:`array_payloads` tells callers to ship packed-bitmap tasks.
+    Closing the pool unlinks the segment.
 
     Use as a context manager; submit per-level batches with
     :meth:`search_level`.
@@ -162,67 +325,81 @@ class PrototypeSearchPool:
             raise ValueError("a pool needs at least two processes")
         import multiprocessing as mp
 
+        from ..core.pipeline import _array_level_eligible
+
+        #: whether callers should ship packed array payloads
+        self.array_payloads: bool = bool(options.shm_pool) and (
+            _array_level_eligible(template, options)
+        )
+        self._shm: Optional[Any] = None
+        shm_handle: Optional["SharedCsrHandle"] = None
+        if self.array_payloads:
+            from ..core.arraystate import csr_of
+            from .shm import SharedGraphCsr
+
+            self._shm = SharedGraphCsr(csr_of(graph))
+            shm_handle = self._shm.handle
         self._pool = ProcessPoolExecutor(
             max_workers=processes,
             mp_context=mp.get_context("fork"),
             initializer=_init_worker,
-            initargs=(graph, template, k, options),
+            initargs=(graph, template, k, options, shm_handle),
         )
         #: measured wall seconds of the last search of each prototype
         self._wall_history: Dict[int, float] = {}
-        #: exponential moving average of wall seconds per payload unit
-        #: (candidate + edge entries) — the cost model for unseen protos
+        #: exponential moving average of wall seconds per scope unit
+        #: (active vertices + edges) — the cost model for unseen protos
         self._ema_rate: Optional[float] = None
 
-    def _task_cost(self, task: Tuple) -> float:
-        """Predicted wall seconds for one (proto_id, candidates, edges) task.
+    def _task_cost(self, task: PoolTask) -> float:
+        """Predicted wall seconds for one :class:`PoolTask`.
 
         Prefers the prototype's own measured wall time from an earlier
         level (the tracing layer's per-prototype numbers flow back through
-        the result payloads); otherwise scales the payload size by the
-        observed seconds-per-unit rate.  With no history at all, payload
-        size alone still yields a sensible big-first order.
+        the result payloads); otherwise scales the scope size — the
+        ``units`` precomputed at pack time, identical for both payload
+        formats — by the observed seconds-per-unit rate.  With no history
+        at all, scope size alone still yields a sensible big-first order.
         """
-        proto_id, candidates, edges = task
-        exact = self._wall_history.get(proto_id)
+        exact = self._wall_history.get(task.proto_id)
         if exact is not None:
             return exact
-        units = len(candidates) + len(edges)
         if self._ema_rate is not None:
-            return units * self._ema_rate
-        return float(units)
+            return task.units * self._ema_rate
+        return float(task.units)
 
-    def _record_result(self, task: Tuple, result: Dict) -> None:
-        proto_id, candidates, edges = task
+    def _record_result(self, task: PoolTask, result: Dict[str, Any]) -> None:
         wall = result.get("wall_seconds")
         if wall is None:
             return
-        self._wall_history[proto_id] = wall
-        units = len(candidates) + len(edges)
-        if units > 0:
-            rate = wall / units
+        self._wall_history[task.proto_id] = wall
+        if task.units > 0:
+            rate = wall / task.units
             self._ema_rate = (
                 rate
                 if self._ema_rate is None
                 else 0.7 * self._ema_rate + 0.3 * rate
             )
 
-    def search_level(self, tasks: List[Tuple]) -> List[Dict]:
-        """Run a level's (proto_id, candidates, edges) tasks; keeps order.
+    def search_level(self, tasks: List[PoolTask]) -> List[Dict[str, Any]]:
+        """Run a level's :class:`PoolTask` batch; keeps task order.
 
         Tasks are submitted longest-predicted-first (greedy LPT): the
         executor hands queued tasks to workers as they free up, so a
         descending-cost submission order is exactly the classic LPT
         packing — the big prototypes can no longer land last and stretch
         the level's makespan, as round-robin chunking allowed.  Results
-        are returned in the original task order regardless.
+        are returned in the original task order regardless, which is what
+        makes worker-side iteration order irrelevant to determinism.
         """
         order = sorted(
             range(len(tasks)),
             key=lambda i: (-self._task_cost(tasks[i]), i),
         )
-        futures = {i: self._pool.submit(_search_task, tasks[i]) for i in order}
-        results: List[Dict] = []
+        futures: Dict[int, "Future[Dict[str, Any]]"] = {
+            i: self._pool.submit(_search_task, tasks[i]) for i in order
+        }
+        results: List[Dict[str, Any]] = []
         for i in range(len(tasks)):
             result = futures[i].result()
             self._record_result(tasks[i], result)
@@ -231,6 +408,9 @@ class PrototypeSearchPool:
 
     def close(self) -> None:
         self._pool.shutdown()
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
 
     def __enter__(self) -> "PrototypeSearchPool":
         return self
@@ -239,10 +419,14 @@ class PrototypeSearchPool:
         self.close()
 
 
-def state_to_payload(state: "SearchState") -> Tuple[List, List]:
-    """Serialize a SearchState's candidates/edges for shipping to workers."""
-    candidates = [
-        (v, sorted(state.candidates[v])) for v in state.candidates
-    ]
+def state_to_payload(state: "SearchState") -> Tuple[List[Any], List[Any]]:
+    """Serialize a SearchState's candidates/edges for shipping to workers.
+
+    Role sets ship in set-iteration order: ``search_level`` returns
+    results in task order, so payload ordering never reaches any
+    order-sensitive consumer and the old per-vertex ``sorted()`` was pure
+    shipping overhead.
+    """
+    candidates = [(v, list(state.candidates[v])) for v in state.candidates]
     edges = state.active_edge_list()
     return candidates, edges

@@ -34,8 +34,8 @@ def rules_fired(report):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert set(all_rules()) == {"R1", "R2", "R3", "R4", "R5"}
+    def test_all_six_rules_registered(self):
+        assert set(all_rules()) == {"R1", "R2", "R3", "R4", "R5", "R6"}
 
     def test_rules_carry_rationales(self):
         for rule in all_rules().values():
@@ -276,6 +276,45 @@ class TestR5HotLoopHygiene:
             def scan(csr):
                 return [v for v in csr.indices]
             """}, rules=["R5"])
+        assert report.clean
+
+
+class TestR6SharedMemoryLifecycle:
+    def test_direct_construction_fires(self, tmp_path):
+        report = lint_files(tmp_path, {"pool_helpers.py": """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make():
+                return SharedMemory(create=True, size=64)
+            """}, rules=["R6"])
+        assert rules_fired(report) == {"R6"}
+
+    def test_attach_by_name_fires(self, tmp_path):
+        report = lint_files(tmp_path, {"parallel.py": """\
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """}, rules=["R6"])
+        assert rules_fired(report) == {"R6"}
+
+    def test_lifecycle_wrapper_module_is_exempt(self, tmp_path):
+        report = lint_files(tmp_path, {"shm.py": """\
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make():
+                return SharedMemory(create=True, size=64)
+            """}, rules=["R6"])
+        assert report.clean
+
+    def test_wrapper_api_use_is_clean(self, tmp_path):
+        report = lint_files(tmp_path, {"parallel.py": """\
+            from repro.runtime.shm import SharedGraphCsr, attach_shared_csr
+
+            def share(csr, handle, graph):
+                owned = SharedGraphCsr(csr)
+                return owned, attach_shared_csr(handle, graph)
+            """}, rules=["R6"])
         assert report.clean
 
 

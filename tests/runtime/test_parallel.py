@@ -89,6 +89,27 @@ class TestWorkerProcesses:
                 par_outcome.distinct_matches == seq_outcome.distinct_matches
             )
 
+    def test_dict_payload_fallback_identical(self):
+        # shm_pool=False forces the legacy dict payloads even when the
+        # array stack is on; results must not depend on the wire format.
+        graph, template = workload(seed=55)
+        knobs = dict(
+            num_ranks=2, count_matches=True,
+            array_state=True, array_nlcc=True,
+        )
+        sequential = run_pipeline(graph, template, 1, PipelineOptions(**knobs))
+        pooled = run_pipeline(
+            graph, template, 1,
+            PipelineOptions(worker_processes=2, shm_pool=False, **knobs),
+        )
+        assert pooled.match_vectors == sequential.match_vectors
+        for proto in sequential.prototype_set:
+            seq_outcome = sequential.outcome_for(proto.id)
+            par_outcome = pooled.outcome_for(proto.id)
+            assert par_outcome.solution_vertices == seq_outcome.solution_vertices
+            assert par_outcome.solution_edges == seq_outcome.solution_edges
+            assert par_outcome.match_mappings == seq_outcome.match_mappings
+
     def test_collect_matches_rejected(self):
         with pytest.raises(PipelineError):
             PipelineOptions(worker_processes=2, collect_matches=True)
