@@ -231,6 +231,58 @@ def nlcc_workloads() -> List[Tuple[str, object, object]]:
     ]
 
 
+#: MOTIF-BATCH workload shape — a small unlabeled core surrounded by
+#: "dust": thousands of sub-motif-sized components that no 4-vertex motif
+#: can touch, but that every per-template pipeline must scan end to end
+#: (single label + degree >= 2 everywhere keeps dust alive through ``M*``
+#: and LCC; only the token walks rule it out).  Dust carries ~180x the
+#: core's edges, so a census that runs six independent pipelines pays the
+#: full graph six times while the batched executor pays it once (the
+#: deepest level) and finishes on the core-only auxiliary view.
+MOTIF_BATCH_CORE_VERTICES = 100
+MOTIF_BATCH_CORE_EDGES = 250
+MOTIF_BATCH_DUST_TRIANGLES = 15000
+MOTIF_BATCH_PLANTED_CLIQUES = 4
+
+
+@lru_cache(maxsize=None)
+def motif_batch_background():
+    """Single-label core + triangle dust: the batched-census workload.
+
+    The G(n, m) core holds the actual 4-vertex motif population (plus a
+    few planted 4-cliques so the densest motif count is non-zero); each
+    dust component is a 3-vertex triangle — connected, degree 2
+    everywhere, so neither ``M*`` nor LCC can discard it — that cannot
+    contain any connected 4-vertex subgraph (every connected graph on
+    >= 4 vertices contains a P4 or a 3-star, so any larger component
+    would survive the deepest level and leak into the auxiliary view).
+    Only the bottom-up sweep's token walks discover the dust is barren,
+    which is exactly the per-template redundancy the template-library
+    batch executor amortizes across the census.
+    """
+    from repro.graph.generators.random_labeled import gnm_graph
+
+    graph = gnm_graph(
+        MOTIF_BATCH_CORE_VERTICES, MOTIF_BATCH_CORE_EDGES,
+        num_labels=1, seed=23,
+    )
+    clique_edges = [(u, v) for u in range(4) for v in range(u + 1, 4)]
+    plant_pattern(
+        graph, clique_edges, [0, 0, 0, 0],
+        copies=MOTIF_BATCH_PLANTED_CLIQUES, seed=29,
+    )
+    next_vertex = MOTIF_BATCH_CORE_VERTICES
+    for _ in range(MOTIF_BATCH_DUST_TRIANGLES):
+        a, b, c = next_vertex, next_vertex + 1, next_vertex + 2
+        for vertex in (a, b, c):
+            graph.add_vertex(vertex, 0)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(c, a)
+        next_vertex += 3
+    return graph
+
+
 def default_options(**overrides) -> PipelineOptions:
     """The fully-optimized HGT configuration used across benchmarks."""
     base = dict(num_ranks=DEFAULT_RANKS)

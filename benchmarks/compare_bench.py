@@ -14,7 +14,9 @@ passing run:
 * ``visit_reduction_delta``  (delta's visitor-count saving),
 * ``speedup_array_nlcc``     (array token frontier over the dict walk),
 * ``speedup_shm_pool``       (shm-bitmap pool over dict-payload pool,
-  end to end — ``bench_parallel.py``).
+  end to end — ``bench_parallel.py``),
+* ``speedup_batched_census`` (template-library batched motif census over
+  the per-template pipeline loop — ``bench_batch.py``).
 
 A tracked ratio regressing by more than ``--tolerance`` (default 25%)
 relative to its baseline value fails the gate; improvements always pass.
@@ -55,14 +57,20 @@ from bench_parallel import (
     check_acceptance as parallel_check_acceptance,
     smoke_suite as parallel_smoke_suite,
 )
+from bench_batch import (
+    OUTPUT as BATCH_COMMITTED,
+    check_acceptance as batch_check_acceptance,
+    smoke_suite as batch_smoke_suite,
+)
 
 #: row-level ratio fields the gate tracks (higher is better for all)
 TRACKED = ["speedup_kernel_delta", "speedup_array_vs_delta",
            "visit_reduction_delta", "speedup_array_nlcc",
-           "speedup_shm_pool"]
+           "speedup_shm_pool", "speedup_batched_census"]
 
 #: per-field minimum tolerance overrides for noise-dominated ratios
-RELAXED_TOLERANCE = {"speedup_shm_pool": 0.60}
+RELAXED_TOLERANCE = {"speedup_shm_pool": 0.60,
+                     "speedup_batched_census": 0.60}
 
 #: append-only ratio log, one JSON entry per passing gate run
 HISTORY = Path(__file__).resolve().parents[1] / "BENCH_HISTORY.jsonl"
@@ -181,7 +189,8 @@ def main(argv):
     elif args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         baseline_label = str(args.baseline)
-        for committed in (NLCC_COMMITTED, PARALLEL_COMMITTED):
+        for committed in (NLCC_COMMITTED, PARALLEL_COMMITTED,
+                          BATCH_COMMITTED):
             if committed.exists():
                 extra = json.loads(committed.read_text())
                 baseline["workloads"] = (
@@ -195,17 +204,21 @@ def main(argv):
 
     fresh = smoke_suite()
     check_acceptance(fresh)
-    # The NLCC smoke covers only NLCC-STRESS and the parallel smoke only
-    # SHM-prefixed rows, so the merged payload never collides on names.
+    # The NLCC smoke covers only NLCC-STRESS, the parallel smoke only
+    # SHM-prefixed rows and the batch smoke only MOTIF-BATCH, so the
+    # merged payload never collides on names.
     fresh_nlcc = nlcc_smoke_suite()
     nlcc_check_acceptance(fresh_nlcc)
     fresh_parallel = parallel_smoke_suite()
     parallel_check_acceptance(fresh_parallel)
+    fresh_batch = batch_smoke_suite()
+    batch_check_acceptance(fresh_batch)
     fresh = {
         "workloads": (
             fresh["workloads"]
             + fresh_nlcc["workloads"]
             + fresh_parallel["workloads"]
+            + fresh_batch["workloads"]
         )
     }
 

@@ -23,6 +23,10 @@ Each rule is motivated by a bug class this codebase has actually hit
   outside the ``runtime/shm.py`` wrapper bypasses the owner/attach
   registry and its atexit sweep, leaking ``/dev/shm`` segments on
   crashed runs.
+* **R7** ``batched-template-execution`` — a ``for`` loop calling
+  ``run_pipeline`` once per template recomputes kernels, prototypes and
+  the ``M*`` traversal from scratch every iteration; multi-template
+  work belongs in the ``core/batch.py`` executor.
 
 All rules are pure AST passes — no imports of the checked code, so the
 linter runs on any snapshot of the tree, broken or not.
@@ -36,6 +40,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from .framework import ModuleSource, Project, Rule, Violation, register_rule
 
 __all__ = [
+    "BatchedTemplateExecutionRule",
     "FallbackParityRule",
     "HotLoopHygieneRule",
     "OptionalIntTruthinessRule",
@@ -737,3 +742,80 @@ class SharedMemoryLifecycleRule(Rule):
                     "(owner) or attach_shared_csr (worker) so the segment "
                     "is registered for unlink/close cleanup",
                 )
+
+
+# ----------------------------------------------------------------------
+# R7 — batched template execution
+# ----------------------------------------------------------------------
+@register_rule
+class BatchedTemplateExecutionRule(Rule):
+    """Per-template ``run_pipeline`` loops outside the batch executor.
+
+    A ``for`` loop over a template/motif/pattern collection that calls
+    ``run_pipeline`` in its body re-pays kernel compilation, prototype
+    generation and the ``M*`` background traversal once per iteration —
+    precisely the redundancy :mod:`repro.core.batch` exists to share.
+    Flagged when either the loop target or the iterated expression
+    mentions a template-ish name; intentional baselines carry an
+    explicit suppression comment.
+    """
+
+    id = "R7"
+    title = "batched template execution"
+    rationale = (
+        "looping run_pipeline over a template list recomputes kernels, "
+        "prototypes and M* per template; core/batch.py shares them"
+    )
+
+    _EXECUTOR_BASENAME = "batch.py"
+
+    #: loop target / iterable name fragments marking a template sweep
+    _HINTS = (
+        "template", "motif", "pattern", "prototype", "protos",
+        "instantiation", "quer",
+    )
+
+    def check_module(
+        self, project: Project, module: ModuleSource
+    ) -> Iterator[Violation]:
+        if module.basename == self._EXECUTOR_BASENAME:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not self._calls_run_pipeline(node):
+                continue
+            if not (self._templateish(node.target)
+                    or self._templateish(node.iter)):
+                continue
+            yield module.violation(
+                self,
+                node,
+                "run_pipeline called once per template inside a loop; "
+                "route multi-template work through core/batch.py "
+                "(TemplateLibrary/run_batch) to share kernels, prototypes "
+                "and the M* traversal",
+            )
+
+    @staticmethod
+    def _calls_run_pipeline(loop: ast.AST) -> bool:
+        for stmt in getattr(loop, "body", ()):
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and _call_name(sub) == "run_pipeline"):
+                    return True
+        return False
+
+    @classmethod
+    def _templateish(cls, node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name is not None:
+                lowered = name.lower()
+                if any(hint in lowered for hint in cls._HINTS):
+                    return True
+        return False

@@ -15,8 +15,14 @@ Python:
   against brute force (small graphs);
 * ``lint``        — project-specific AST invariant checks (optional-int
   truthiness, options threading, tracer guards, array/dict fallback
-  parity, hot-loop hygiene — docs/INTERNALS.md §11);
+  parity, hot-loop hygiene, batched template execution —
+  docs/INTERNALS.md §11);
+* ``batch``       — template-library batch search: several template JSON
+  files run through one compiled library sharing kernels, prototypes,
+  the ``M*`` traversal and auxiliary pruned views (docs/INTERNALS.md
+  §13);
 * ``motifs``      — 3/4/5-vertex motif census of an edge-list graph;
+  ``--batched`` routes it through the batch executor;
 * ``generate``    — write one of the synthetic datasets to disk;
 * ``datasets``    — print the Table 1-style summary of the built-in datasets.
 
@@ -220,18 +226,70 @@ def command_lint(args: argparse.Namespace) -> int:
     return lint_from_args(args)
 
 
+def command_batch(args: argparse.Namespace) -> int:
+    from .core import BatchQuery, run_batch
+
+    graph = graph_io.read_edge_list(args.graph, args.labels)
+    tracer = _make_tracer(args)
+    options = PipelineOptions(
+        num_ranks=args.ranks, count_matches=args.count, tracer=tracer,
+        worker_processes=args.workers, shm_pool=not args.no_shm_pool,
+        aux_views=not args.no_aux_views,
+    )
+    queries = []
+    for index, path in enumerate(args.templates):
+        template = load_template(path)
+        queries.append(BatchQuery(template, args.k, name=f"q{index}:{template.name}"))
+    batch = run_batch(graph, queries, options)
+    if args.trace:
+        _write_trace(tracer, args.trace)
+
+    if args.json:
+        print(json.dumps(batch.stats_document(), indent=1))
+        return 0
+
+    rows = [
+        [item.query.name, item.class_name,
+         "yes" if item.absorbed else "no",
+         len(item.matched_vertices),
+         item.match_mappings if item.match_mappings is not None else "-"]
+        for item in sorted(batch, key=lambda i: i.query.name)
+    ]
+    print(format_table(
+        ["query", "class", "absorbed", "matched vertices", "mappings"], rows
+    ))
+    document = batch.stats_document()
+    aux = document["aux_views"]
+    print(f"classes: {document['classes']} over {document['queries']} queries; "
+          f"root runs: {document['root_runs']}")
+    print(f"M* memo: {document['mstar_memo']['hits']} hits, "
+          f"{document['mstar_memo']['misses']} misses; "
+          f"aux views: {aux['built']} built, {aux['reuse']} reused searches, "
+          f"{aux['shipped']} shipped")
+    return 0
+
+
 def command_motifs(args: argparse.Namespace) -> int:
     graph = graph_io.read_edge_list(args.graph)
     # Motif counting is label-blind: normalize to a single label.
     for vertex in graph.vertices():
         graph.add_vertex(vertex, 0)
-    counts = count_motifs(graph, args.size, PipelineOptions(num_ranks=args.ranks))
+    counts = count_motifs(
+        graph, args.size, PipelineOptions(num_ranks=args.ranks),
+        batched=args.batched,
+    )
     rows = [
         [proto.name, proto.num_edges,
          counts.noninduced[proto.id], counts.induced[proto.id]]
         for proto in sorted(counts.prototypes, key=lambda p: -p.num_edges)
     ]
     print(format_table(["motif", "edges", "non-induced", "induced"], rows))
+    if counts.batch is not None:
+        document = counts.batch.stats_document()
+        aux = document["aux_views"]
+        print(f"batched: {document['root_runs']} root run(s) for "
+              f"{document['queries']} motifs; aux views {aux['built']} built, "
+              f"{aux['reuse']} reused searches")
     return 0
 
 
@@ -332,9 +390,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
     lint.set_defaults(func=command_lint)
 
+    batch = commands.add_parser(
+        "batch",
+        help="template-library batch search (shared kernels/prototypes/"
+             "M*/auxiliary views)",
+    )
+    _add_common_graph_arguments(batch)
+    _add_worker_arguments(batch)
+    batch.add_argument(
+        "templates", nargs="+", help="template JSON files (the library)"
+    )
+    batch.add_argument("-k", type=int, default=0,
+                       help="edit distance for every query (default 0)")
+    batch.add_argument("--count", action="store_true", help="count matches")
+    batch.add_argument(
+        "--no-aux-views", action="store_true",
+        help="disable the GraphMini-style auxiliary pruned views",
+    )
+    batch.add_argument(
+        "--json", action="store_true",
+        help="print the batch stats document (per-class reuse counters) "
+             "as JSON",
+    )
+    batch.add_argument(
+        "--trace",
+        help="record a span trace (.jsonl = flat records, else Chrome "
+             "trace-event JSON for Perfetto)",
+    )
+    batch.set_defaults(func=command_batch)
+
     motifs = commands.add_parser("motifs", help="motif census")
     _add_common_graph_arguments(motifs)
     motifs.add_argument("--size", type=int, default=3, choices=[3, 4, 5])
+    motifs.add_argument(
+        "--batched", action="store_true",
+        help="route the census through the template-library batch "
+             "executor (one clique-rooted run + auxiliary views)",
+    )
     motifs.set_defaults(func=command_motifs)
 
     generate = commands.add_parser("generate", help="write a synthetic dataset")

@@ -92,6 +92,9 @@ class GraphCsr:
         "edge_label_ids",
         "num_vertices",
         "num_directed_edges",
+        "parent",
+        "parent_vertex_index",
+        "parent_edge_index",
     )
 
     def __init__(self, graph: Graph) -> None:
@@ -170,6 +173,94 @@ class GraphCsr:
             getattr(self, name).flags.writeable = False
         if ecodes is not None:
             ecodes.flags.writeable = False
+
+        self.parent = None
+        self.parent_vertex_index = None
+        self.parent_edge_index = None
+
+    def induced_view(self, vertex_mask: np.ndarray) -> "GraphCsr":
+        """Compact CSR over the vertices selected by ``vertex_mask``.
+
+        The auxiliary-graph primitive of the batch executor: once a level
+        union (or an M* scope) has pruned the background graph, the
+        surviving adjacency is packed into a dense sub-CSR so every later
+        search touches arrays sized to the pruned graph instead of ``G``.
+        The view is *vertex-induced*: every background edge between two
+        surviving vertices is kept (Obs. 1's readmission scans require
+        the full induced adjacency, not just currently-alive edges).
+
+        Original vertex ids are preserved in ``order`` — results read off
+        a view need no remapping.  The old<->new maps live in
+        ``parent_vertex_index`` (dense parent row indices of the kept
+        vertices) and ``parent_edge_index`` (parent directed-edge
+        positions of the kept edges); ``parent`` links back to the source
+        CSR.  The backing :class:`~repro.graph.graph.Graph` is the
+        id-preserving ``graph.subgraph`` and the view installs itself as
+        that subgraph's memoized CSR.
+        """
+        keep = np.asarray(vertex_mask, dtype=bool)
+        if keep.shape[0] != self.num_vertices:
+            raise ValueError(
+                f"vertex_mask has {keep.shape[0]} entries for a CSR of "
+                f"{self.num_vertices} vertices"
+            )
+        kept = np.nonzero(keep)[0]
+        n_new = int(kept.shape[0])
+        ids = self.order[kept]
+        edge_keep = keep[self.src] & keep[self.indices]
+        eidx = np.nonzero(edge_keep)[0]
+        m_new = int(eidx.shape[0])
+
+        view = GraphCsr.__new__(GraphCsr)
+        view.graph = self.graph.subgraph(ids.tolist())
+        view.parent = self
+        view.parent_vertex_index = kept
+        view.parent_edge_index = eidx
+        view.num_vertices = n_new
+        view.num_directed_edges = m_new
+        view.order = ids
+        view.index_of = {int(v): i for i, v in enumerate(ids.tolist())}
+
+        # eidx is ascending and the parent's src is non-decreasing, so the
+        # remapped edges stay grouped (and row-ordered) by source row.
+        new_of_old = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_of_old[kept] = np.arange(n_new, dtype=np.int64)
+        view.src = new_of_old[self.src[eidx]]
+        view.indices = new_of_old[self.indices[eidx]]
+        degrees = np.bincount(view.src, minlength=n_new).astype(np.int64)
+        indptr = np.zeros(n_new + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        view.indptr = indptr
+        view.degrees = degrees
+        view.zero_degree = degrees == 0
+
+        # A surviving edge's reverse also survives (same endpoint pair),
+        # so the parent mirror restricted to eidx permutes eidx itself.
+        pos_of_old = np.full(self.num_directed_edges, -1, dtype=np.int64)
+        pos_of_old[eidx] = np.arange(m_new, dtype=np.int64)
+        view.mirror = pos_of_old[self.mirror[eidx]]
+
+        view.label_codes = self.label_codes[kept]
+        view.label_ids = self.label_ids
+        view.num_labels = self.num_labels
+        view.vid_gt = self.vid_gt[eidx]
+        view.pair_code = self.pair_code[eidx]
+        view.edge_label_ids = self.edge_label_ids
+        if self.edge_label_codes is not None:
+            view.edge_label_codes = self.edge_label_codes[eidx]
+        else:
+            view.edge_label_codes = None
+
+        for name in (
+            "order", "indptr", "indices", "src", "mirror", "degrees",
+            "zero_degree", "label_codes", "vid_gt", "pair_code",
+        ):
+            getattr(view, name).flags.writeable = False
+        if view.edge_label_codes is not None:
+            view.edge_label_codes.flags.writeable = False
+
+        view.graph._csr_cache = view
+        return view
 
     def label_pair_code(self, label_a: int, label_b: int) -> Optional[int]:
         """Dense code of an unordered vertex-label pair, if both occur."""
@@ -462,6 +553,24 @@ class ArraySearchState:
             self.graph, self.csr, self.roles,
             self.role_mask.copy(), self.vertex_active.copy(),
             self.edge_alive.copy(),
+        )
+
+    def restrict_to_view(self, view: GraphCsr) -> "ArraySearchState":
+        """Project this state onto an induced sub-view of its CSR.
+
+        ``view`` must come from ``self.csr.induced_view(...)``; the
+        returned state gathers role masks, activity and edge aliveness
+        through the view's parent index maps, so it is bit-identical to
+        this state restricted to the surviving vertices/edges — just over
+        arrays sized to the pruned graph.
+        """
+        if view.parent is not self.csr:
+            raise ValueError("view was not derived from this state's CSR")
+        return ArraySearchState(
+            view.graph, view, self.roles,
+            self.role_mask[view.parent_vertex_index],
+            self.vertex_active[view.parent_vertex_index],
+            self.edge_alive[view.parent_edge_index],
         )
 
     # ------------------------------------------------------------------

@@ -19,7 +19,7 @@ key optimization to limit network traffic in later pipeline steps).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Set
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from ..runtime.engine import Engine
 from ..graph.graph import canonical_edge
@@ -28,10 +28,52 @@ from .arraystate import (
     array_kernel_fixpoint,
     supports_array_fixpoint,
 )
-from .kernels import compile_role_kernel, kernel_fixpoint
+from .kernels import (
+    cached_role_kernel,
+    kernel_fixpoint,
+    structural_fingerprint,
+)
 from .lcc import _exchange_candidacies, _has_adjacent_pair
 from .state import SearchState
 from .template import PatternTemplate
+
+
+class CandidateSetMemo:
+    """Cross-template ``M*`` memo for batched runs over one graph.
+
+    ``M*`` is edit-distance-independent (§3.1): it depends only on the
+    template's labels, edges and mandatory edges — so template-library
+    classes that differ only in ``k`` (or repeat runs of one class) can
+    share a single background traversal.  The owner scopes one memo to
+    one background graph; keys are the template's structural fingerprint
+    plus its mandatory edges.  Lookups return a fresh :meth:`SearchState
+    .copy` because the pipeline mutates ``M*`` into per-level scopes.
+    """
+
+    __slots__ = ("_states", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._states: Dict[Tuple, SearchState] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(template: PatternTemplate) -> Tuple:
+        return (
+            structural_fingerprint(template.graph),
+            tuple(sorted(template.mandatory_edges)),
+        )
+
+    def get(self, template: PatternTemplate) -> Optional[SearchState]:
+        state = self._states.get(self.key_for(template))
+        if state is None:
+            return None
+        self.hits += 1
+        return state.copy()
+
+    def put(self, template: PatternTemplate, state: SearchState) -> None:
+        self.misses += 1
+        self._states[self.key_for(template)] = state.copy()
 
 
 def max_candidate_set(
@@ -41,6 +83,7 @@ def max_candidate_set(
     role_kernel: bool = True,
     delta: bool = True,
     array_state: bool = False,
+    memo: Optional[CandidateSetMemo] = None,
 ) -> SearchState:
     """Compute ``M*`` as a :class:`SearchState` over ``graph``.
 
@@ -48,7 +91,13 @@ def max_candidate_set(
     semi-naive and vectorized-CSR hot paths; the fixed point is identical
     either way.  The array path seeds the initial labeling directly in
     array form and converts to the dict state only at the boundary.
+    ``memo`` (batched runs) returns a cached fixed point for a
+    structurally-identical template without touching the graph at all.
     """
+    if memo is not None:
+        cached = memo.get(template)
+        if cached is not None:
+            return cached
     tracer = engine.tracer
     stats = engine.stats
     if tracer.enabled:
@@ -68,6 +117,8 @@ def max_candidate_set(
             messages=stats.total_messages - before_messages,
             remote_messages=stats.total_remote_messages - before_remote,
         )
+    if memo is not None:
+        memo.put(template, state)
     return state
 
 
@@ -81,7 +132,7 @@ def _compute_max_candidate_set(
 ) -> SearchState:
     """Fixpoint body of :func:`max_candidate_set` (caller owns phase/span)."""
     if role_kernel:
-        kernel = compile_role_kernel(template.graph)
+        kernel = cached_role_kernel(template.graph)
         mandatory = kernel.mandatory_masks(template.mandatory_edges)
         if array_state and supports_array_fixpoint(kernel):
             astate = ArraySearchState.initial(graph, template)
@@ -175,4 +226,4 @@ def _role_viable(
     return bool(required_any & witnessed)
 
 
-__all__ = ["max_candidate_set", "canonical_edge"]
+__all__ = ["CandidateSetMemo", "max_candidate_set", "canonical_edge"]

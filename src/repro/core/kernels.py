@@ -145,6 +145,61 @@ def compile_role_kernel(proto_graph: Graph) -> RoleKernel:
     return RoleKernel(proto_graph)
 
 
+def structural_fingerprint(graph: Graph) -> Tuple:
+    """Hashable identity of a labeled graph (vertices, labels, edges).
+
+    Two graphs with equal fingerprints are *identical* (same vertex ids,
+    labels, edges and edge labels), not merely isomorphic — strong enough
+    to share compiled read-only tables between them.
+    """
+    return (
+        tuple(sorted((v, graph.label(v)) for v in graph.vertices())),
+        tuple(sorted(graph.edges())),
+        tuple(sorted(graph._edge_labels.items())) if graph.has_edge_labels
+        else (),
+    )
+
+
+#: process-wide compiled-kernel table, keyed by structural fingerprint
+_KERNEL_CACHE: Dict[Tuple, RoleKernel] = {}
+
+#: cumulative cache traffic, surfaced by the batch executor's counters
+_KERNEL_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def cached_role_kernel(proto_graph: Graph) -> RoleKernel:
+    """Class-keyed :func:`compile_role_kernel` memoization.
+
+    Prototype graphs recur heavily across a batch (label-isomorphic
+    templates share prototype structures, and every level of a pipeline
+    recompiles per prototype).  The compiled tables are read-only, so one
+    :class:`RoleKernel` can serve every structurally-identical graph; the
+    cache key is the exact structural fingerprint — *not* a canonical
+    form — so role ids in the tables always match the caller's graph.
+    """
+    key = structural_fingerprint(proto_graph)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        _KERNEL_CACHE_STATS["misses"] += 1
+        kernel = RoleKernel(proto_graph)
+        _KERNEL_CACHE[key] = kernel
+    else:
+        _KERNEL_CACHE_STATS["hits"] += 1
+    return kernel
+
+
+def kernel_cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide kernel-cache hit/miss counters."""
+    return dict(_KERNEL_CACHE_STATS)
+
+
+def clear_kernel_cache() -> None:
+    """Drop compiled kernels and reset the counters (test hook)."""
+    _KERNEL_CACHE.clear()
+    _KERNEL_CACHE_STATS["hits"] = 0
+    _KERNEL_CACHE_STATS["misses"] = 0
+
+
 class WalkSchedule:
     """Per-hop obligations of one non-local constraint's closed walk.
 

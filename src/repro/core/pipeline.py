@@ -33,7 +33,7 @@ from .enumeration import (
     extend_from_child_matches,
     state_from_matches,
 )
-from .candidate_set import max_candidate_set
+from .candidate_set import CandidateSetMemo, max_candidate_set
 from .ordering import (
     estimate_prototype_cost,
     order_constraints,
@@ -125,6 +125,17 @@ class PipelineOptions:
     #: ship scopes as packed bitmaps (when the array stack is eligible);
     #: False forces the legacy per-task dict payloads
     shm_pool: bool = True
+    #: GraphMini-style auxiliary pruned graphs: when a level's solution
+    #: union has pruned the scope far enough, pack the surviving
+    #: adjacency into a compact ``GraphCsr.induced_view`` and run every
+    #: remaining level on the view instead of ``G`` (in-process array
+    #: sweep only; results are bit-identical, original vertex ids are
+    #: preserved)
+    aux_views: bool = False
+    #: materialize a view only when the union keeps at most this fraction
+    #: of the background graph's vertices (re-checked per level, so views
+    #: nest as the sweep keeps pruning)
+    aux_view_ratio: float = 0.6
     #: span tracer (:class:`repro.runtime.trace.Tracer`) threaded into
     #: every engine of the run; the default NULL_TRACER records nothing
     #: and costs one attribute check per guarded site.
@@ -151,6 +162,8 @@ class PipelineOptions:
             )
         if self.worker_processes < 1:
             raise PipelineError("worker_processes must be at least 1")
+        if not 0.0 < self.aux_view_ratio <= 1.0:
+            raise PipelineError("aux_view_ratio must be in (0, 1]")
         if self.worker_processes > 1 and (
             self.collect_matches or self.enumeration_optimization
         ):
@@ -171,6 +184,7 @@ def run_pipeline(
     k: int,
     options: Optional[PipelineOptions] = None,
     prototype_set: Optional[PrototypeSet] = None,
+    candidate_memo: Optional["CandidateSetMemo"] = None,
 ) -> PipelineResult:
     """Find all matches within edit-distance ``k`` of ``template``.
 
@@ -181,12 +195,19 @@ def run_pipeline(
     When ``options.tracer`` is an enabled tracer, the whole run is
     recorded as one ``pipeline`` span containing per-level, per-prototype
     and per-phase child spans (see :mod:`repro.runtime.trace`).
+
+    ``candidate_memo`` (batched runs; see :mod:`repro.core.batch`) shares
+    the edit-distance-independent ``M*`` fixed point across pipelines over
+    the same background graph — it must be scoped to one graph by the
+    caller.
     """
     options = options or PipelineOptions()
     with options.tracer.span(
         "pipeline", template=template.name, k=k, mode="bottom-up"
     ):
-        return _run_bottom_up(graph, template, k, options, prototype_set)
+        return _run_bottom_up(
+            graph, template, k, options, prototype_set, candidate_memo
+        )
 
 
 def _run_bottom_up(
@@ -195,6 +216,7 @@ def _run_bottom_up(
     k: int,
     options: PipelineOptions,
     prototype_set: Optional[PrototypeSet],
+    candidate_memo: Optional["CandidateSetMemo"] = None,
 ) -> PipelineResult:
     """Alg. 1 body; the caller owns the enclosing ``pipeline`` span."""
     tracer = options.tracer
@@ -246,6 +268,7 @@ def _run_bottom_up(
             graph, template, mcs_engine,
             role_kernel=options.role_kernel, delta=options.delta_lcc,
             array_state=options.array_state,
+            memo=candidate_memo,
         )
     else:
         base_state = SearchState.initial(graph, template)
@@ -310,7 +333,8 @@ def _run_bottom_up(
     # starting scope is derived in array form (with a warm-seeded first
     # LCC round when it comes from the union), and the whole search runs
     # on that one array state.
-    array_level = _array_level_eligible(template, options)
+    fallback_reason = array_fallback_reason(template, options)
+    array_level = fallback_reason is None
     base_astate = None
     if array_level:
         from .arraystate import ArraySearchState
@@ -319,6 +343,13 @@ def _run_bottom_up(
         base_astate = ArraySearchState.from_search_state(
             base_state, roles=template_roles
         )
+    else:
+        result.array_fallback_reason = fallback_reason
+        if tracer.enabled:
+            with tracer.span(
+                "array_fallback", reason=fallback_reason
+            ) as fb_span:
+                fb_span.add(dict_path_levels=deepest + 1)
 
     pool = None
     if options.worker_processes > 1:
@@ -397,6 +428,8 @@ def _run_bottom_up(
                                 proto, distance, deepest, base_astate,
                                 union_astate, options,
                             )
+                            if base_astate.csr.parent is not None:
+                                result.aux_view_reuse += 1
                         else:
                             proto_state = _starting_state(
                                 proto, distance, deepest, base_state, union_prev,
@@ -449,6 +482,65 @@ def _run_bottom_up(
                     rebalancing, distance, level_wall, span=level_span,
                 )
                 stored_matches = next_stored
+
+                # GraphMini-style auxiliary graph: once the union has
+                # pruned far enough, pack the surviving adjacency into a
+                # compact CSR sub-view and run the remaining levels on it.
+                # Sound only when every remaining prototype starts from
+                # the union (child-linked + containment on): the view is
+                # vertex-induced, so Obs. 1's readmitted background edges
+                # between surviving vertices are all present and the
+                # restricted scopes are bit-identical to the full-graph
+                # ones.  Views nest as later levels keep pruning.
+                if (
+                    options.aux_views
+                    and array_level
+                    and pool is None
+                    and distance > 0
+                    and options.use_containment
+                    and not rebalancing
+                    and level.union_vertices > 0
+                    and level.union_vertices
+                    <= options.aux_view_ratio * base_astate.csr.num_vertices
+                    and all(
+                        p.child_links
+                        for d in range(distance)
+                        for p in protos.at(d)
+                    )
+                ):
+                    union_arr = ArraySearchState.from_search_state(
+                        union_dict, roles=template_roles
+                    )
+                    view = base_astate.csr.induced_view(
+                        union_arr.vertex_active
+                    )
+                    graph = view.graph
+                    base_astate = base_astate.restrict_to_view(view)
+                    union_aprev = union_arr.restrict_to_view(view)
+                    union_prev = None
+                    search_pgraph = PartitionedGraph(
+                        graph,
+                        deployment_ranks,
+                        assignment=_initial_assignment(
+                            graph, deployment_ranks, options
+                        ),
+                        delegate_degree_threshold=(
+                            options.delegate_degree_threshold
+                        ),
+                        ranks_per_node=options.ranks_per_node,
+                    )
+                    result.aux_views_built += 1
+                    result.aux_view_sizes.append(
+                        (view.num_vertices, view.num_directed_edges // 2)
+                    )
+                    if tracer.enabled:
+                        with tracer.span(
+                            "aux_view", distance=distance
+                        ) as view_span:
+                            view_span.add(
+                                vertices=view.num_vertices,
+                                edges=view.num_directed_edges // 2,
+                            )
     finally:
         if pool is not None:
             pool.close()
@@ -623,25 +715,44 @@ def _pooled_level_array(
     return union
 
 
-def _array_level_eligible(template: PatternTemplate, options: PipelineOptions) -> bool:
-    """Whether the in-process sweep can keep search state in array form.
+def array_fallback_reason(
+    template: PatternTemplate, options: PipelineOptions
+) -> Optional[str]:
+    """Why this run cannot keep level state in array form, or ``None``.
 
-    Requires the full array stack (role kernel + array LCC + array NLCC),
-    the M* scope (the naive per-prototype ``SearchState.initial`` start
-    deliberately pays full-adjacency traffic the array scope derivation
-    would skip), no enumeration optimization (its derived outcomes carry
-    dict states), and a template within the 64-bit role-mask width.
+    The reasons mirror :func:`_array_level_eligible`'s conditions: the
+    full array stack (role kernel + array LCC + array NLCC), the M* scope
+    (the naive per-prototype ``SearchState.initial`` start deliberately
+    pays full-adjacency traffic the array scope derivation would skip),
+    no enumeration optimization (its derived outcomes carry dict states),
+    and a template within the 64-bit role-mask width.  Batched runs
+    surface the returned string per class member so a library compile can
+    report exactly which templates lost the fast path.
     """
     from .arraystate import MAX_ARRAY_ROLES
 
-    return (
-        options.array_state
-        and options.array_nlcc
-        and options.role_kernel
-        and options.use_max_candidate_set
-        and not options.enumeration_optimization
-        and template.graph.num_vertices <= MAX_ARRAY_ROLES
-    )
+    if not options.role_kernel:
+        return "role_kernel disabled"
+    if not options.array_state:
+        return "array_state disabled"
+    if not options.array_nlcc:
+        return "array_nlcc disabled"
+    if not options.use_max_candidate_set:
+        return "use_max_candidate_set disabled (naive per-prototype start)"
+    if options.enumeration_optimization:
+        return "enumeration_optimization carries dict match states"
+    num_roles = template.graph.num_vertices
+    if num_roles > MAX_ARRAY_ROLES:
+        return (
+            f"{num_roles} template roles exceed the "
+            f"{MAX_ARRAY_ROLES}-bit mask width"
+        )
+    return None
+
+
+def _array_level_eligible(template: PatternTemplate, options: PipelineOptions) -> bool:
+    """Whether the in-process sweep can keep search state in array form."""
+    return array_fallback_reason(template, options) is None
 
 
 def _starting_astate(

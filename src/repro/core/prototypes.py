@@ -21,6 +21,7 @@ from ..errors import PrototypeError
 from ..graph.algorithms import is_connected
 from ..graph.graph import Edge, Graph, canonical_edge
 from ..graph.isomorphism import canonical_form, find_subgraph_isomorphisms
+from .kernels import structural_fingerprint
 from .template import PatternTemplate
 
 
@@ -230,3 +231,52 @@ def generate_prototypes(
             break
         levels.append(level)
     return PrototypeSet(template, levels)
+
+
+#: process-wide generated-prototype table, keyed by exact template identity
+_PROTOTYPE_CACHE: Dict[Tuple, PrototypeSet] = {}
+
+#: cumulative cache traffic, surfaced by the batch executor's counters
+_PROTOTYPE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def cached_prototypes(
+    template: PatternTemplate,
+    k: int,
+    max_prototypes: Optional[int] = None,
+) -> PrototypeSet:
+    """Class-keyed :func:`generate_prototypes` memoization.
+
+    A :class:`PrototypeSet` is read-only after generation, so every
+    pipeline run over a structurally-identical template at the same
+    (clamped) ``k`` can share one set.  The key is the exact structural
+    fingerprint of the template graph plus its mandatory edges — strong
+    enough that prototype vertex ids, labels and derivation links apply
+    verbatim to the caller's template.
+    """
+    key = (
+        structural_fingerprint(template.graph),
+        tuple(sorted(template.mandatory_edges)),
+        min(k, template.max_meaningful_distance()) if k >= 0 else k,
+        max_prototypes,
+    )
+    protos = _PROTOTYPE_CACHE.get(key)
+    if protos is None:
+        _PROTOTYPE_CACHE_STATS["misses"] += 1
+        protos = generate_prototypes(template, k, max_prototypes)
+        _PROTOTYPE_CACHE[key] = protos
+    else:
+        _PROTOTYPE_CACHE_STATS["hits"] += 1
+    return protos
+
+
+def prototype_cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-wide prototype-cache hit/miss counters."""
+    return dict(_PROTOTYPE_CACHE_STATS)
+
+
+def clear_prototype_cache() -> None:
+    """Drop cached prototype sets and reset the counters (test hook)."""
+    _PROTOTYPE_CACHE.clear()
+    _PROTOTYPE_CACHE_STATS["hits"] = 0
+    _PROTOTYPE_CACHE_STATS["misses"] = 0

@@ -26,7 +26,7 @@ from .enumeration import (
     state_from_matches,
 )
 from .arraystate import ArraySearchState, supports_array_fixpoint
-from .kernels import compile_role_kernel
+from .kernels import cached_role_kernel
 from .lcc import local_constraint_checking
 from .nlcc import non_local_constraint_checking
 from .prototypes import Prototype
@@ -127,7 +127,7 @@ def _search_prototype_body(
     outcome: PrototypeSearchOutcome,
 ) -> None:
     """Alg. 2 body; fills ``outcome`` (timing is the caller's job)."""
-    kernel = compile_role_kernel(prototype.graph) if role_kernel else None
+    kernel = cached_role_kernel(prototype.graph) if role_kernel else None
     astate = None
     if (
         kernel is not None

@@ -430,3 +430,140 @@ def state_to_payload(state: "SearchState") -> Tuple[List[Any], List[Any]]:
     candidates = [(v, list(state.candidates[v])) for v in state.candidates]
     edges = state.active_edge_list()
     return candidates, edges
+
+
+class BatchJob:
+    """One per-class root pipeline of a template-library batch.
+
+    Plain data: the class representative template, the edit distance the
+    root runs at (the max over its absorbed family members), the shared
+    prototype set, and a scheduling cost estimate.  Built by
+    :mod:`repro.core.batch`, executed by :class:`TemplateBatchScheduler`.
+    """
+
+    __slots__ = ("name", "template", "k", "prototype_set", "cost")
+
+    def __init__(
+        self,
+        name: str,
+        template: "PatternTemplate",
+        k: int,
+        prototype_set: Any,
+        cost: float,
+    ) -> None:
+        self.name = name
+        self.template = template
+        self.k = k
+        self.prototype_set = prototype_set
+        self.cost = cost
+
+
+class TemplateBatchScheduler:
+    """Cost-ordered executor for a batch's per-class root pipelines.
+
+    Jobs run longest-estimate-first (the LPT order the pooled levels
+    already use), each through one :func:`~repro.core.pipeline
+    .run_pipeline` sharing the batch's ``M*`` memo.  When the memoized
+    ``M*`` of a class prunes the background graph below
+    ``options.aux_view_ratio``, the surviving scope is packed into a
+    :meth:`GraphCsr.induced_view` and the whole pipeline runs over the
+    view — and because ``PrototypeSearchPool`` exports ``csr_of(graph)``
+    of whatever graph it is built on, a pooled run over the view ships
+    the *pruned* arrays through the existing shared-memory segment, so
+    workers attach the auxiliary view zero-copy.
+    """
+
+    def __init__(
+        self,
+        graph: "Graph",
+        options: "PipelineOptions",
+        memo: Optional[Any] = None,
+    ) -> None:
+        self.graph = graph
+        self.options = options
+        #: shared :class:`~repro.core.candidate_set.CandidateSetMemo`
+        self.memo = memo
+        #: job names in execution (LPT) order
+        self.order: List[str] = []
+        #: auxiliary M*-views materialized (pooled runs ship them zero-copy)
+        self.views_shipped = 0
+        self.view_sizes: List[Tuple[int, int]] = []
+
+    def run(self, jobs: List[BatchJob]) -> Dict[str, Any]:
+        """Execute every job; returns ``{job name: PipelineResult}``."""
+        results: Dict[str, Any] = {}
+        for job in sorted(jobs, key=lambda j: (-j.cost, j.name)):
+            self.order.append(job.name)
+            results[job.name] = self._run_job(job)
+        return results
+
+    def _run_job(self, job: BatchJob) -> Any:
+        from ..core.pipeline import array_fallback_reason, run_pipeline
+
+        options = self.options
+        run_graph = self.graph
+        run_memo = self.memo
+        if (
+            run_memo is not None
+            and options.aux_views
+            and options.use_max_candidate_set
+            and array_fallback_reason(job.template, options) is None
+        ):
+            view_graph = self._mstar_view(job)
+            if view_graph is not None:
+                run_graph = view_graph
+                # Memoized states live over the full graph; the view's
+                # (identical, see candidate_set) M* recomputes cheaply.
+                run_memo = None
+        return run_pipeline(
+            run_graph, job.template, job.k, options,
+            prototype_set=job.prototype_set, candidate_memo=run_memo,
+        )
+
+    def _mstar_view(self, job: BatchJob) -> Optional["Graph"]:
+        """``G[M*]`` as an induced-view graph when M* prunes enough.
+
+        Rerunning the arc-consistency fixed point on the vertex-induced
+        view converges to the same fixed point (every surviving role's
+        witnesses are surviving candidates, so all derivations carry
+        over), which makes the pipeline-over-view bit-identical to the
+        pipeline-over-``G``.
+        """
+        from ..core.arraystate import ArraySearchState, csr_of
+        from ..core.candidate_set import max_candidate_set
+        from ..core.pipeline import _initial_assignment
+        from .engine import Engine
+        from .messages import MessageStats
+        from .partition import PartitionedGraph
+
+        options = self.options
+        graph = self.graph
+        pgraph = PartitionedGraph(
+            graph,
+            options.num_ranks,
+            assignment=_initial_assignment(graph, options.num_ranks, options),
+            delegate_degree_threshold=options.delegate_degree_threshold,
+            ranks_per_node=options.ranks_per_node,
+        )
+        engine = Engine(
+            pgraph, MessageStats(options.num_ranks), options.batch_size,
+            tracer=options.tracer,
+        )
+        state = max_candidate_set(
+            graph, job.template, engine,
+            role_kernel=options.role_kernel, delta=options.delta_lcc,
+            array_state=options.array_state, memo=self.memo,
+        )
+        vertices, _ = state.active_counts()
+        csr = csr_of(graph)
+        if vertices == 0 or vertices > options.aux_view_ratio * csr.num_vertices:
+            return None
+        astate = ArraySearchState.from_search_state(
+            state, roles=sorted(job.template.graph.vertices())
+        )
+        view = csr.induced_view(astate.vertex_active)
+        self.views_shipped += 1
+        self.view_sizes.append(
+            (view.num_vertices, view.num_directed_edges // 2)
+        )
+        return view.graph

@@ -214,6 +214,11 @@ def attach_shared_csr(handle: SharedCsrHandle, graph: "Graph") -> "GraphCsr":
     csr.label_ids = dict(meta["label_ids"])
     csr.edge_label_ids = dict(meta["edge_label_ids"])
     csr.index_of = {int(v): i for i, v in enumerate(csr.order.tolist())}
+    # View-parentage links never cross the wire: an attached CSR is always
+    # a root snapshot from the worker's perspective.
+    csr.parent = None
+    csr.parent_vertex_index = None
+    csr.parent_edge_index = None
     return csr
 
 

@@ -1,4 +1,4 @@
-"""Fixture-driven tests for the repro-lint framework and its five rules.
+"""Fixture-driven tests for the repro-lint framework and its rules.
 
 Each rule gets at least one seeded-failure snippet (must fire) and one
 corrected snippet (must stay silent); on top of that the suite covers
@@ -34,8 +34,10 @@ def rules_fired(report):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
-        assert set(all_rules()) == {"R1", "R2", "R3", "R4", "R5", "R6"}
+    def test_all_seven_rules_registered(self):
+        assert set(all_rules()) == {
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+        }
 
     def test_rules_carry_rationales(self):
         for rule in all_rules().values():
@@ -316,6 +318,66 @@ class TestR6SharedMemoryLifecycle:
                 return owned, attach_shared_csr(handle, graph)
             """}, rules=["R6"])
         assert report.clean
+
+
+class TestR7BatchedTemplateExecution:
+    def test_pipeline_loop_over_templates_fires(self, tmp_path):
+        report = lint_files(tmp_path, {"census.py": """\
+            def census(graph, templates, options, run_pipeline):
+                results = []
+                for template in templates:
+                    results.append(run_pipeline(graph, template, 0, options))
+                return results
+            """}, rules=["R7"])
+        assert rules_fired(report) == {"R7"}
+        assert "core/batch.py" in report.violations[0].message
+
+    def test_templateish_iterable_fires(self, tmp_path):
+        # the hint can sit on the iterated expression instead of the target
+        report = lint_files(tmp_path, {"sweep.py": """\
+            def sweep(graph, library, options, run_pipeline):
+                for entry in library.motif_queries:
+                    run_pipeline(graph, entry.template, entry.k, options)
+            """}, rules=["R7"])
+        assert rules_fired(report) == {"R7"}
+
+    def test_non_template_loop_is_clean(self, tmp_path):
+        # repeating one search across seeds is not a template sweep
+        report = lint_files(tmp_path, {"repeat.py": """\
+            def repeat(graph, t, options, seeds, run_pipeline):
+                for seed in seeds:
+                    run_pipeline(graph, t, 0, options, seed=seed)
+            """}, rules=["R7"])
+        assert report.clean
+
+    def test_loop_without_run_pipeline_is_clean(self, tmp_path):
+        report = lint_files(tmp_path, {"compile.py": """\
+            def compile_all(templates, compile_role_kernel):
+                return [compile_role_kernel(t.graph) for t in templates]
+
+            def walk(templates, visit):
+                for template in templates:
+                    visit(template)
+            """}, rules=["R7"])
+        assert report.clean
+
+    def test_batch_executor_module_is_exempt(self, tmp_path):
+        report = lint_files(tmp_path, {"batch.py": """\
+            def run_batch(graph, queries, options, run_pipeline):
+                for query in queries:
+                    run_pipeline(graph, query.template, query.k, options)
+            """}, rules=["R7"])
+        assert report.clean
+
+    def test_suppression_comment_is_honored(self, tmp_path):
+        report = lint_files(tmp_path, {"census.py": """\
+            def census(graph, templates, options, run_pipeline):
+                # the sequential baseline the benchmark measures against
+                for template in templates:  # repro-lint: ignore[R7]
+                    run_pipeline(graph, template, 0, options)
+            """}, rules=["R7"])
+        assert report.clean
+        assert report.suppressed == 1
 
 
 class TestSuppression:
