@@ -231,6 +231,53 @@ def nlcc_workloads() -> List[Tuple[str, object, object]]:
     ]
 
 
+#: CASCADE-STRESS workload shape — the semi-naive worklist stressor.
+#: Open label-paths 0-1-2-3 die under the C4 template in a class-by-class
+#: elimination wave: round 1 kills both endpoints of every path at once,
+#: queueing *all* surviving path middles for re-evaluation.  That wave
+#: flows entirely through the fixpoint's witness-loss (``pending``) queue
+#: — the broadcaster set stays empty — so the round-2 worklist covers
+#: ~5/6 of the surviving scope and the adaptive dense/sparse switch has a
+#: workload where running dense is the right call.  The planted true
+#: 4-cycles survive everything and keep the match set non-empty.
+CASCADE_STRESS_PATHS = 1000
+CASCADE_STRESS_CYCLES = 100
+
+
+@lru_cache(maxsize=None)
+def cascade_stress_background():
+    """Disjoint open label-paths plus planted 4-cycles (see above)."""
+    from repro.graph import Graph
+
+    graph = Graph()
+    next_vertex = 0
+    for _ in range(CASCADE_STRESS_PATHS):
+        chain = list(range(next_vertex, next_vertex + 4))
+        for offset, vertex in enumerate(chain):
+            graph.add_vertex(vertex, offset)
+        for u, v in zip(chain, chain[1:]):
+            graph.add_edge(u, v)
+        next_vertex += 4
+    for _ in range(CASCADE_STRESS_CYCLES):
+        ring = list(range(next_vertex, next_vertex + 4))
+        for offset, vertex in enumerate(ring):
+            graph.add_vertex(vertex, offset)
+        for u, v in zip(ring, ring[1:] + ring[:1]):
+            graph.add_edge(u, v)
+        next_vertex += 4
+    return graph
+
+
+@lru_cache(maxsize=None)
+def cascade_stress_template():
+    """A C4 with four distinct labels: open paths fail its closure."""
+    from repro.core.template import PatternTemplate
+
+    labels = {0: 0, 1: 1, 2: 2, 3: 3}
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    return PatternTemplate.from_edges(edges, labels, name="stress-cascade")
+
+
 #: MOTIF-BATCH workload shape — a small unlabeled core surrounded by
 #: "dust": thousands of sub-motif-sized components that no 4-vertex motif
 #: can touch, but that every per-template pipeline must scan end to end

@@ -18,6 +18,12 @@ passing run:
 * ``speedup_batched_census`` (template-library batched motif census over
   the per-template pipeline loop — ``bench_batch.py``).
 
+Each appended entry also records a ``metrics`` block of headline derived
+metrics (NLCC cache hit ratio, dense-round fraction, adaptive dense
+rounds, mean worklist density) from one instrumented CASCADE-STRESS
+pipeline run — informational trend data from the always-on registry, not
+gated.
+
 A tracked ratio regressing by more than ``--tolerance`` (default 25%)
 relative to its baseline value fails the gate; improvements always pass.
 End-to-end pool wall clocks are scheduler-noisy on shared runners, so
@@ -88,6 +94,37 @@ def _git_commit() -> str:
         ).stdout.strip() or "unknown"
     except (OSError, subprocess.CalledProcessError):
         return "unknown"
+
+
+#: headline derived metrics recorded (not gated) with each history entry
+HEADLINE_METRICS = ["nlcc_cache_hit_ratio", "dense_round_fraction",
+                    "adaptive_dense_rounds", "mean_worklist_density"]
+
+
+def headline_metrics() -> dict:
+    """Headline ratios from one instrumented CASCADE-STRESS pipeline run.
+
+    The cascade workload is the dense-round switch's reference workload
+    (see ``common.cascade_stress_background``), so its dense-round
+    fraction moving is the signal this block exists to make visible; the
+    ``k=1`` sweep gives work recycling real NLCC cache traffic too.
+    """
+    from repro.analysis.metricsreport import derived_metrics
+    from repro.core import PipelineOptions
+    from repro.core.pipeline import run_pipeline
+
+    from common import (
+        DEFAULT_RANKS,
+        cascade_stress_background,
+        cascade_stress_template,
+    )
+
+    options = PipelineOptions(num_ranks=DEFAULT_RANKS)
+    run_pipeline(
+        cascade_stress_background(), cascade_stress_template(), 1, options
+    )
+    derived = derived_metrics(options.metrics.snapshot())
+    return {name: derived[name] for name in HEADLINE_METRICS}
 
 
 def history_entry(payload: dict, commit: str = None) -> dict:
@@ -235,6 +272,7 @@ def main(argv):
     print(f"\nregression gate OK (tolerance {args.tolerance:.0%})")
     if not args.no_append:
         entry = history_entry(fresh)
+        entry["metrics"] = headline_metrics()
         append_history(args.history, entry)
         print(f"ratios appended to {args.history} "
               f"(commit {entry['commit']}, {len(history) + 1} entries)")

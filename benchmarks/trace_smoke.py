@@ -3,12 +3,16 @@
 Runs a small traced ``repro search`` through the real CLI, asserts the
 exported Chrome trace parses and contains the expected span taxonomy
 (``pipeline`` → ``level`` → ``prototype`` → ``lcc``/``nlcc`` → ``round``),
-then renders the ``repro trace`` report.  The trace file is left on disk
-so CI can upload it as a build artifact.
+then renders the ``repro trace`` report.  The same run also exports the
+always-on metrics snapshot via ``--metrics-out``, which is sanity-checked
+(the fixpoint counters must be populated) and rendered through ``repro
+metrics``.  Both files are left on disk so CI can upload them as build
+artifacts.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/trace_smoke.py [--out trace.json]
+    PYTHONPATH=src python benchmarks/trace_smoke.py \
+        [--out trace.json] [--metrics-out metrics.json]
 """
 
 import argparse
@@ -18,6 +22,8 @@ import tempfile
 from pathlib import Path
 
 from repro.cli import main as cli_main
+from repro.analysis.metricsreport import derived_metrics, load_snapshot
+from repro.analysis.metricsreport import render_report as render_metrics
 from repro.analysis.tracereport import load_trace, render_report
 from repro.graph import io as graph_io
 from repro.graph.generators import planted_graph
@@ -36,7 +42,7 @@ EXPECTED_NESTING = {
 }
 
 
-def run(out_path: Path) -> int:
+def run(out_path: Path, metrics_path: Path) -> int:
     workdir = Path(tempfile.mkdtemp(prefix="trace_smoke_"))
     graph = planted_graph(
         60, 150, TEMPLATE_EDGES, TEMPLATE_LABELS, copies=3, seed=11
@@ -55,6 +61,7 @@ def run(out_path: Path) -> int:
     rc = cli_main([
         "search", str(graph_path), "--labels", str(labels_path),
         str(template_path), "-k", "1", "--trace", str(out_path),
+        "--metrics-out", str(metrics_path),
     ])
     if rc != 0:
         print(f"traced search failed with exit code {rc}")
@@ -88,6 +95,14 @@ def run(out_path: Path) -> int:
     ):
         problems.append("no 'round' span carries a positive message counter")
 
+    snapshot = load_snapshot(metrics_path)
+    counters = snapshot["counters"]
+    for counter in ("fixpoint.rounds_dense", "engine.rounds_batched"):
+        if counters.get(counter, 0) <= 0:
+            problems.append(f"metrics snapshot has no '{counter}' counts")
+    if derived_metrics(snapshot)["dense_round_fraction"] is None:
+        problems.append("metrics snapshot derives no dense-round fraction")
+
     if problems:
         print("trace smoke FAILED:")
         for problem in problems:
@@ -95,9 +110,11 @@ def run(out_path: Path) -> int:
         return 1
 
     print(f"trace smoke OK: {len(records)} spans, {len(names)} kinds -> "
-          f"{out_path}")
+          f"{out_path}; metrics snapshot -> {metrics_path}")
     print()
     print(render_report(records))
+    print()
+    print(render_metrics(snapshot))
     return 0
 
 
@@ -107,8 +124,12 @@ def main(argv) -> int:
         "--out", type=Path, default=Path("trace.json"),
         help="where to leave the exported trace (default: ./trace.json)",
     )
+    parser.add_argument(
+        "--metrics-out", type=Path, default=Path("metrics.json"),
+        help="where to leave the metrics snapshot (default: ./metrics.json)",
+    )
     args = parser.parse_args(argv)
-    return run(args.out)
+    return run(args.out, args.metrics_out)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,11 @@ Each rule is motivated by a bug class this codebase has actually hit
   ``run_pipeline`` once per template recomputes kernels, prototypes and
   the ``M*`` traversal from scratch every iteration; multi-template
   work belongs in the ``core/batch.py`` executor.
+* **R8** ``metric-accumulation`` — hot-module cache/metric counting via
+  ad-hoc ``stats["hits"] += 1`` dicts (or bare attribute counters) never
+  reaches the always-on :class:`MetricsRegistry`, so the numbers are
+  invisible to ``repro metrics``, cross-process merging and the adaptive
+  consumers; updates must go through registry counter handles.
 
 All rules are pure AST passes — no imports of the checked code, so the
 linter runs on any snapshot of the tree, broken or not.
@@ -43,6 +48,7 @@ __all__ = [
     "BatchedTemplateExecutionRule",
     "FallbackParityRule",
     "HotLoopHygieneRule",
+    "MetricAccumulationRule",
     "OptionalIntTruthinessRule",
     "OptionsThreadingRule",
     "SharedMemoryLifecycleRule",
@@ -819,3 +825,67 @@ class BatchedTemplateExecutionRule(Rule):
                 if any(hint in lowered for hint in cls._HINTS):
                     return True
         return False
+
+
+# ----------------------------------------------------------------------
+# R8 — metric accumulation through the registry
+# ----------------------------------------------------------------------
+@register_rule
+class MetricAccumulationRule(Rule):
+    """Hot-module metric counting must go through registry handles.
+
+    An ad-hoc ``stats["hits"] += 1`` dict (as the kernel cache once
+    kept) or a bare ``self.misses += 1`` attribute counter lives and
+    dies in its own module: it never reaches the always-on
+    :class:`~repro.runtime.metrics.MetricsRegistry`, so the count is
+    invisible to ``repro metrics``, is dropped on the floor by the
+    pooled workers' export/merge path, and can't drive the adaptive
+    consumers.  Hot modules accumulate through a resolved
+    ``metrics.counter(...)``/``histogram(...)`` handle instead.
+    """
+
+    id = "R8"
+    title = "metric accumulation"
+    rationale = (
+        "kernels.py counted cache hits in a module dict that pooled "
+        "workers and the metrics report never saw; registry handles "
+        "merge across processes for free"
+    )
+    hot_modules_only = True
+
+    #: subscript keys / attribute names that mark a metric counter
+    _METRIC_NAMES = frozenset(
+        {"hits", "misses", "hit_count", "miss_count", "evictions"}
+    )
+
+    def check_module(
+        self, project: Project, module: ModuleSource
+    ) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            name = self._metric_target_name(node.target)
+            if name is None:
+                continue
+            yield module.violation(
+                self,
+                node,
+                f"ad-hoc metric accumulation on {name!r} in a hot module; "
+                f"resolve a handle once (`m = metrics.counter(...)`) and "
+                f"`m.inc(...)` so the count reaches snapshots, reports and "
+                f"the pooled export/merge path",
+            )
+
+    @classmethod
+    def _metric_target_name(cls, target: ast.expr) -> Optional[str]:
+        """The metric-ish key/attr an AugAssign accumulates into, if any."""
+        if isinstance(target, ast.Subscript):
+            inner = _subscript_slice(target)
+            if (isinstance(inner, ast.Constant)
+                    and isinstance(inner.value, str)
+                    and inner.value in cls._METRIC_NAMES):
+                return inner.value
+        if (isinstance(target, ast.Attribute)
+                and target.attr in cls._METRIC_NAMES):
+            return target.attr
+        return None

@@ -1,0 +1,253 @@
+"""Metrics snapshots: derived ratios, report rendering, exporters.
+
+Consumes :meth:`repro.runtime.metrics.MetricsRegistry.snapshot` dumps
+(either bare, or embedded as the ``"metrics"`` key of a
+``stats_document``) and renders them three ways:
+
+* :func:`render_report` — the human tables behind ``repro metrics``;
+* :func:`to_prometheus` — Prometheus text exposition format
+  (``repro_``-prefixed, dots mapped to underscores, histograms as
+  cumulative ``_bucket``/``_sum``/``_count`` series with log2 ``le``
+  bounds);
+* :func:`to_json` — the snapshot plus the :func:`derived_metrics` block,
+  which is where the headline ratios live (cache hit ratios, dense-round
+  fraction, pool utilization).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .report import format_seconds, format_table
+
+__all__ = [
+    "derived_metrics",
+    "load_snapshot",
+    "render_report",
+    "to_json",
+    "to_prometheus",
+    "write_snapshot",
+]
+
+
+def load_snapshot(path) -> Dict[str, object]:
+    """Load a metrics snapshot from ``path``.
+
+    Accepts a bare registry snapshot, a ``stats_document`` carrying a
+    ``"metrics"`` key, or a full ``repro search --json`` output document.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    if "metrics" in document and isinstance(document["metrics"], dict):
+        document = document["metrics"]
+    if not any(k in document for k in ("counters", "gauges", "histograms")):
+        raise ValueError(
+            f"{path}: JSON object without counters/gauges/histograms"
+        )
+    document.setdefault("counters", {})
+    document.setdefault("gauges", {})
+    document.setdefault("histograms", {})
+    return document
+
+
+def _ratio(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    if total <= 0:
+        return None
+    return hits / total
+
+
+def derived_metrics(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """The headline ratios computed from a snapshot's raw instruments.
+
+    Every value is ``None`` when its inputs were never recorded, so a
+    consumer can tell "measured as zero" apart from "not applicable".
+    """
+    counters: Dict[str, float] = snapshot.get("counters", {})  # type: ignore[assignment]
+    gauges: Dict[str, float] = snapshot.get("gauges", {})  # type: ignore[assignment]
+    dense = counters.get("fixpoint.rounds_dense", 0.0)
+    sparse = counters.get("fixpoint.rounds_sparse", 0.0)
+    adaptive_dense = counters.get("fixpoint.rounds_adaptive_dense", 0.0)
+    busy = counters.get("pool.busy_seconds", 0.0)
+    idle = counters.get("pool.idle_seconds", 0.0)
+    worklist = counters.get("fixpoint.worklist_vertices", 0.0)
+    evaluated = counters.get("fixpoint.active_vertices", 0.0)
+    derived: Dict[str, object] = {
+        "nlcc_cache_hit_ratio": _ratio(
+            counters.get("cache.nlcc.hits", 0.0),
+            counters.get("cache.nlcc.misses", 0.0),
+        ),
+        "mstar_memo_hit_ratio": _ratio(
+            counters.get("cache.mstar_memo.hits", 0.0),
+            counters.get("cache.mstar_memo.misses", 0.0),
+        ),
+        "kernel_cache_hit_ratio": _ratio(
+            counters.get("cache.kernel.hits", 0.0),
+            counters.get("cache.kernel.misses", 0.0),
+        ),
+        "prototype_cache_hit_ratio": _ratio(
+            counters.get("cache.prototype.hits", 0.0),
+            counters.get("cache.prototype.misses", 0.0),
+        ),
+        "dense_round_fraction": (
+            dense / (dense + sparse) if dense + sparse > 0 else None
+        ),
+        "adaptive_dense_rounds": adaptive_dense,
+        "mean_worklist_density": (
+            worklist / evaluated if evaluated > 0 else None
+        ),
+        "pool_utilization": (
+            busy / (busy + idle) if busy + idle > 0 else None
+        ),
+        "shm_segment_bytes": gauges.get("shm.segment_bytes"),
+    }
+    return derived
+
+
+def to_json(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """Snapshot plus the derived-ratio block, JSON-serializable."""
+    document = dict(snapshot)
+    document["derived"] = derived_metrics(snapshot)
+    return document
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def _bucket_bound(index: int, buckets: int) -> str:
+    """Upper bound label of log2 bucket ``index`` (last bucket = +Inf)."""
+    if index >= buckets - 1:
+        return "+Inf"
+    if index == 0:
+        return "0"
+    return str(1 << index)
+
+
+def to_prometheus(snapshot: Dict[str, object]) -> str:
+    """Prometheus text exposition of a snapshot (counters first)."""
+    lines: List[str] = []
+    counters: Dict[str, float] = snapshot.get("counters", {})  # type: ignore[assignment]
+    for name in sorted(counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {counters[name]:g}")
+    gauges: Dict[str, float] = snapshot.get("gauges", {})  # type: ignore[assignment]
+    for name in sorted(gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {gauges[name]:g}")
+    histograms: Dict[str, Dict[str, object]] = snapshot.get(
+        "histograms", {}
+    )  # type: ignore[assignment]
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        prom = _prom_name(name)
+        buckets: List[int] = histogram.get("buckets", [])  # type: ignore[assignment]
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for index, count in enumerate(buckets):
+            cumulative += int(count)
+            bound = _bucket_bound(index, len(buckets))
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f"{prom}_sum {histogram.get('sum', 0.0):g}")
+        lines.append(f"{prom}_count {cumulative}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_snapshot(path, snapshot: Dict[str, object]) -> None:
+    """Write the JSON snapshot (with derived ratios) to ``path``.
+
+    A ``.prom`` extension selects Prometheus text exposition instead.
+    """
+    text = (
+        to_prometheus(snapshot)
+        if str(path).endswith(".prom")
+        else json.dumps(to_json(snapshot), indent=2) + "\n"
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_value(name: str, value: float) -> str:
+    if name.endswith("_seconds"):
+        return format_seconds(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_report(snapshot: Dict[str, object]) -> str:
+    """The full ``repro metrics`` report: derived ratios + raw tables."""
+    counters: Dict[str, float] = snapshot.get("counters", {})  # type: ignore[assignment]
+    gauges: Dict[str, float] = snapshot.get("gauges", {})  # type: ignore[assignment]
+    histograms: Dict[str, Dict[str, object]] = snapshot.get(
+        "histograms", {}
+    )  # type: ignore[assignment]
+    if not counters and not gauges and not histograms:
+        return "metrics snapshot is empty"
+    sections: List[str] = []
+
+    derived = derived_metrics(snapshot)
+    rows = [
+        [name, "-" if value is None else _format_value(name, float(value))]
+        for name, value in sorted(derived.items())
+        if not (value is None and name.endswith("_ratio"))
+    ]
+    sections.append("== derived ==")
+    sections.append(format_table(["metric", "value"], rows))
+
+    if counters:
+        rows = [
+            [name, _format_value(name, value)]
+            for name, value in sorted(counters.items())
+        ]
+        sections.append("\n== counters ==")
+        sections.append(format_table(["counter", "total"], rows))
+
+    if gauges:
+        rows = [
+            [name, _format_value(name, value)]
+            for name, value in sorted(gauges.items())
+        ]
+        sections.append("\n== gauges ==")
+        sections.append(format_table(["gauge", "value"], rows))
+
+    if histograms:
+        rows = []
+        for name in sorted(histograms):
+            histogram = histograms[name]
+            count = int(histogram.get("count", 0))
+            total = float(histogram.get("sum", 0.0))
+            buckets: List[int] = histogram.get("buckets", [])  # type: ignore[assignment]
+            top = "-"
+            if count:
+                top_index = max(
+                    index for index, c in enumerate(buckets) if c
+                )
+                top = f"<={_bucket_bound(top_index, len(buckets))}"
+            mean = total / count if count else 0.0
+            rows.append([
+                name, count,
+                (format_seconds(mean) if name.endswith("_seconds")
+                 else f"{mean:.4g}"),
+                top,
+            ])
+        sections.append("\n== histograms ==")
+        sections.append(format_table(
+            ["histogram", "observations", "mean", "max bucket"], rows
+        ))
+
+    return "\n".join(sections)

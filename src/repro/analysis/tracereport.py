@@ -6,7 +6,13 @@ attribution tables: where a search spent its time per phase, per
 non-local constraint, and per edit-distance level.
 
 Both exporters embed ``span_id``/``parent_id``, so the tree is
-reconstructed exactly — no interval-nesting heuristics.
+reconstructed exactly for spans recorded live.  The one exception is
+pooled-worker payloads grafted *after* the enclosing spans closed
+(:meth:`Tracer.attach` with an empty span stack): those export as extra
+roots.  Because forked workers share the parent's CLOCK_MONOTONIC
+timebase, the loader re-parents each such worker-tagged root under the
+tightest earlier span whose interval encloses it, so pooled traces
+aggregate identically to sequential ones.
 """
 
 from __future__ import annotations
@@ -80,8 +86,44 @@ def _from_chrome(document: Dict[str, object]) -> List[Dict[str, object]]:
     return _with_depths(records)
 
 
+def _reparent_detached(
+    records: List[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Fold worker payloads that were attached as detached roots.
+
+    A pooled level grafts worker span payloads under its open ``level``
+    span, so they normally export with real parent ids.  Payloads
+    attached after the enclosing spans already closed become extra roots
+    instead — worker-tagged (``attrs["worker"]``), emitted after the main
+    tree.  Every span sits on one shared CLOCK_MONOTONIC timebase, so
+    each such root belongs under the tightest (shortest) earlier span
+    whose ``[ts, ts + dur]`` interval encloses it.
+    """
+    for index, record in enumerate(records):
+        if index == 0 or record.get("parent_id") is not None:
+            continue
+        attrs = record.get("attrs") or {}
+        if not isinstance(attrs, dict) or "worker" not in attrs:
+            continue
+        ts = float(record.get("ts", 0.0))
+        end = ts + float(record.get("dur", 0.0))
+        best: Optional[Dict[str, object]] = None
+        for other in records[:index]:
+            other_ts = float(other.get("ts", 0.0))
+            other_end = other_ts + float(other.get("dur", 0.0))
+            if other_ts <= ts and end <= other_end:
+                if best is None or other_end - other_ts <= float(
+                    best["dur"]  # type: ignore[arg-type]
+                ):
+                    best = other
+        if best is not None:
+            record["parent_id"] = best.get("span_id")
+    return records
+
+
 def _with_depths(records: List[Dict[str, object]]) -> List[Dict[str, object]]:
     """Fill/refresh ``depth`` from the parent chain."""
+    _reparent_detached(records)
     depths: Dict[object, int] = {}
     for record in records:
         parent = record.get("parent_id")

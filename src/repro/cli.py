@@ -11,6 +11,10 @@ Python:
 * ``trace``       — render the per-phase / per-constraint / per-level
   breakdown of a trace written by ``search --trace`` or
   ``explore --trace``;
+* ``metrics``     — render the always-on metrics snapshot written by
+  ``--metrics-out`` (or embedded in ``--json`` output): derived cache
+  hit ratios, dense-round fraction, pool utilization, raw instrument
+  tables; exports JSON or Prometheus text;
 * ``audit``       — run a search and verify its 100% precision/recall
   against brute force (small graphs);
 * ``lint``        — project-specific AST invariant checks (optional-int
@@ -74,6 +78,15 @@ def _write_trace(tracer, path: str) -> None:
     print(f"trace written to {path}", file=sys.stderr)
 
 
+def _write_metrics(result, path: str) -> None:
+    """Export the run's metrics snapshot (``.prom`` → Prometheus text)."""
+    from .analysis.metricsreport import write_snapshot
+
+    snapshot = result.metrics.snapshot() if result.metrics is not None else {}
+    write_snapshot(path, snapshot)
+    print(f"metrics snapshot written to {path}", file=sys.stderr)
+
+
 def load_template(path: str) -> PatternTemplate:
     """Read a template from its JSON description."""
     with open(path, "r", encoding="utf-8") as handle:
@@ -94,6 +107,14 @@ def _add_common_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--ranks", type=int, default=4, help="simulated MPI ranks (default 4)"
+    )
+
+
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        help="write the run's always-on metrics snapshot "
+             "(.prom = Prometheus text, else JSON with derived ratios)",
     )
 
 
@@ -122,6 +143,8 @@ def command_search(args: argparse.Namespace) -> int:
     result = run_pipeline(graph, template, args.k, options)
     if args.trace:
         _write_trace(tracer, args.trace)
+    if args.metrics_out:
+        _write_metrics(result, args.metrics_out)
 
     if args.json:
         print(json.dumps(result.stats_document(), indent=1))
@@ -175,6 +198,8 @@ def command_explore(args: argparse.Namespace) -> int:
     )
     if args.trace:
         _write_trace(tracer, args.trace)
+    if args.metrics_out:
+        _write_metrics(result, args.metrics_out)
     stop = stopping_distance(result)
     rows = [
         [level.distance, level.num_prototypes, level.union_vertices]
@@ -199,6 +224,31 @@ def command_trace(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     print(render_report(records, tree_depth=args.depth))
+    return 0
+
+
+def command_metrics(args: argparse.Namespace) -> int:
+    from .analysis.metricsreport import (
+        load_snapshot,
+        render_report,
+        to_json,
+        write_snapshot,
+    )
+
+    try:
+        snapshot = load_snapshot(args.metrics_file)
+    except (ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot parse metrics {args.metrics_file}: {error}",
+              file=sys.stderr)
+        return 2
+    if args.out:
+        write_snapshot(args.out, snapshot)
+        print(f"metrics snapshot written to {args.out}", file=sys.stderr)
+        return 0
+    if args.json:
+        print(json.dumps(to_json(snapshot), indent=1))
+        return 0
+    print(render_report(snapshot))
     return 0
 
 
@@ -266,6 +316,16 @@ def command_batch(args: argparse.Namespace) -> int:
           f"{document['mstar_memo']['misses']} misses; "
           f"aux views: {aux['built']} built, {aux['reuse']} reused searches, "
           f"{aux['shipped']} shipped")
+    schedule_rows = [
+        [entry["name"], f"{entry['cost_estimate']:.3g}",
+         format_seconds(entry["wall_seconds"])]
+        for entry in document["schedule_costs"]
+    ]
+    if schedule_rows:
+        print("schedule (estimate vs measured):")
+        print(format_table(
+            ["root job", "cost estimate", "wall"], schedule_rows
+        ))
     return 0
 
 
@@ -348,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a span trace (.jsonl = flat records, else Chrome "
              "trace-event JSON for Perfetto)",
     )
+    _add_metrics_argument(search)
     search.set_defaults(func=command_search)
 
     explore = commands.add_parser(
@@ -363,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a span trace (.jsonl = flat records, else Chrome "
              "trace-event JSON for Perfetto)",
     )
+    _add_metrics_argument(explore)
     explore.set_defaults(func=command_explore)
 
     trace = commands.add_parser(
@@ -372,6 +434,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--depth", type=int, default=3,
                        help="span-tree display depth (default 3)")
     trace.set_defaults(func=command_trace)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="render a metrics snapshot written by --metrics-out "
+             "(or embedded in --json output)",
+    )
+    metrics.add_argument(
+        "metrics_file",
+        help="metrics snapshot JSON (bare, or a --json stats document)",
+    )
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="print the snapshot plus derived ratios as JSON",
+    )
+    metrics.add_argument(
+        "--out",
+        help="re-export to a file (.prom = Prometheus text, else JSON)",
+    )
+    metrics.set_defaults(func=command_metrics)
 
     audit = commands.add_parser(
         "audit", help="verify precision/recall against brute force"

@@ -867,6 +867,16 @@ def supports_array_fixpoint(kernel: RoleKernel) -> bool:
     return len(kernel.roles) <= MAX_ARRAY_ROLES
 
 
+#: adaptive dense-round switch floor: below this many role-holding
+#: vertices the sparse bookkeeping is too cheap to be worth replacing
+#: (and unit-test-sized graphs stay on the classic semi-naive schedule)
+ADAPTIVE_MIN_VERTICES = 1024
+
+#: switch to a dense round when the worklist covers at least this
+#: fraction of the surviving role-holding vertices
+ADAPTIVE_DENSITY_THRESHOLD = 0.5
+
+
 def array_kernel_fixpoint(
     astate: ArraySearchState,
     kernel: RoleKernel,
@@ -875,6 +885,7 @@ def array_kernel_fixpoint(
     delta: bool = True,
     mandatory_masks: Optional[Dict[int, int]] = None,
     warm_mask: Optional[np.ndarray] = None,
+    adaptive: bool = False,
 ) -> int:
     """Vectorized :func:`~repro.core.kernels.kernel_fixpoint` over ``astate``.
 
@@ -897,6 +908,22 @@ def array_kernel_fixpoint(
     (every nonzero vertex is still refined in round 1), so the fixed
     point *and* the iteration count are bit-identical to a cold start;
     only the round-1 message/visit charge shrinks.
+
+    ``adaptive`` enables the metrics-driven dense/sparse round switch:
+    when the semi-naive worklist of the *next* round — re-broadcasters
+    plus the ``pending`` vertices forced to re-evaluate by witness loss
+    (elimination cascades flow almost entirely through ``pending``) —
+    would cover at least :data:`ADAPTIVE_DENSITY_THRESHOLD` of the
+    surviving role-holding vertices (and the scope is at least
+    :data:`ADAPTIVE_MIN_VERTICES` large), the round runs dense — evaluating every nonzero vertex, like
+    ``delta=False`` — instead of building the received/pending worklist
+    machinery for a worklist that is most of the graph anyway.  The
+    fixed point is identical by construction (a dense round evaluates a
+    superset of the sparse round's vertices against the same witness
+    fold, exactly the long-standing ``delta=False`` semantics); only the
+    per-round message/visit accounting differs.  The switch itself is
+    driven by exact vertex counts, never wall clock, so it is fully
+    deterministic for a given scope.
     """
     csr = astate.csr
     if astate.roles != kernel.roles:
@@ -952,6 +979,16 @@ def array_kernel_fixpoint(
 
     accounting = _RoundAccounting(engine, csr)
     tracing = engine.tracer.enabled
+
+    # Always-on metrics: handles resolved once, one cell-add each per
+    # round (the <2% overhead budget of the registry's design contract).
+    metrics = engine.metrics
+    m_dense = metrics.counter("fixpoint.rounds_dense")
+    m_sparse = metrics.counter("fixpoint.rounds_sparse")
+    m_adaptive = metrics.counter("fixpoint.rounds_adaptive_dense")
+    m_worklist = metrics.counter("fixpoint.worklist_vertices")
+    m_evaluated = metrics.counter("fixpoint.active_vertices")
+    h_worklist = metrics.histogram("fixpoint.worklist_size")
 
     iterations = 0
     broadcasters: Optional[np.ndarray] = None  # None = full round
@@ -1086,10 +1123,33 @@ def array_kernel_fixpoint(
                 alive[rev] = False
 
         accounting.record_round(seed_idx, sent_idx, round_started)
+        if broadcasters is None:
+            m_dense.inc()
+        else:
+            m_sparse.inc()
+        m_worklist.inc(seed_idx.shape[0])
+        m_evaluated.inc(idx.shape[0])
+        h_worklist.observe(seed_idx.shape[0])
         if not changed:
             break
         if delta:
             broadcasters = changed_vertices & nonzero
+            if adaptive:
+                scope_count = int(np.count_nonzero(nonzero))
+                if scope_count >= ADAPTIVE_MIN_VERTICES:
+                    # The round's true worklist: re-broadcasters plus the
+                    # witness-loss re-evaluations queued in `pending`
+                    # (elimination cascades have *empty* broadcaster sets
+                    # — all their work arrives via `pending`).
+                    worklist_count = int(
+                        np.count_nonzero(broadcasters | (pending & nonzero))
+                    )
+                    if worklist_count >= ADAPTIVE_DENSITY_THRESHOLD * scope_count:
+                        # The worklist is most of the scope: run the next
+                        # round dense (delta=False semantics, a superset
+                        # of the sparse evaluation — same fixed point).
+                        broadcasters = None
+                        m_adaptive.inc()
         else:
             broadcasters = None
     return iterations

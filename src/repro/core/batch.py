@@ -362,6 +362,7 @@ class BatchResult:
         memo: CandidateSetMemo,
         cache_deltas: Dict[str, Dict[str, int]],
         wall_seconds: float,
+        metrics=None,
     ) -> None:
         self.library = library
         self.items = items
@@ -370,6 +371,8 @@ class BatchResult:
         self.memo = memo
         self.cache_deltas = cache_deltas
         self.wall_seconds = wall_seconds
+        #: the registry the batch ran against (None for hand-built results)
+        self.metrics = metrics
 
     def __getitem__(self, name: str) -> BatchItemResult:
         return self.items[name]
@@ -381,6 +384,30 @@ class BatchResult:
         return len(self.items)
 
     # ------------------------------------------------------------------
+    def schedule_costs(self) -> List[Dict[str, object]]:
+        """Scheduler estimate vs measured wall, per root job, in LPT order.
+
+        ``cost_estimate`` is the frequency-model number the scheduler
+        ordered jobs by (:func:`~repro.core.ordering
+        .estimate_prototype_cost`, arbitrary units); ``wall_seconds`` is
+        the root pipeline's measured wall.  Side-by-side they show how
+        faithful the static model's *ordering* was — the units differ, so
+        only the relative shape is meaningful.
+        """
+        scheduler = self.scheduler
+        return [
+            {
+                "name": name,
+                "cost_estimate": scheduler.costs.get(name, 0.0),
+                "wall_seconds": (
+                    self.class_results[name].total_wall_seconds
+                    if name in self.class_results
+                    else 0.0
+                ),
+            }
+            for name in scheduler.order
+        ]
+
     def aux_view_totals(self) -> Dict[str, int]:
         """Auxiliary-view reuse summed over every class pipeline."""
         built = sum(r.aux_views_built for r in self.class_results.values())
@@ -428,6 +455,7 @@ class BatchResult:
                 for family in library.families
             ],
             "schedule": list(self.scheduler.order),
+            "schedule_costs": self.schedule_costs(),
             "mstar_memo": {"hits": self.memo.hits, "misses": self.memo.misses},
             "kernel_cache": dict(self.cache_deltas["kernel"]),
             "prototype_cache": dict(self.cache_deltas["prototype"]),
@@ -447,6 +475,9 @@ class BatchResult:
                 for name, item in sorted(self.items.items())
             },
             "wall_seconds": self.wall_seconds,
+            "metrics": (
+                self.metrics.snapshot() if self.metrics is not None else {}
+            ),
         }
 
     def __repr__(self) -> str:
@@ -516,6 +547,9 @@ def run_batch(
                     query, cls.name, cls.family is not None, result, outcome, iso
                 )
         wall = time.perf_counter() - started
+        metrics = options.metrics
+        metrics.counter("cache.mstar_memo.hits").inc(memo.hits)
+        metrics.counter("cache.mstar_memo.misses").inc(memo.misses)
         if options.tracer.enabled:
             totals = sum(r.aux_views_built for r in class_results.values())
             span.add(
@@ -535,6 +569,7 @@ def run_batch(
             "prototype": _cache_delta(proto_before, prototype_cache_stats()),
         },
         wall,
+        metrics=metrics,
     )
 
 

@@ -84,6 +84,7 @@ def max_candidate_set(
     delta: bool = True,
     array_state: bool = False,
     memo: Optional[CandidateSetMemo] = None,
+    adaptive: bool = False,
 ) -> SearchState:
     """Compute ``M*`` as a :class:`SearchState` over ``graph``.
 
@@ -93,6 +94,10 @@ def max_candidate_set(
     array form and converts to the dict state only at the boundary.
     ``memo`` (batched runs) returns a cached fixed point for a
     structurally-identical template without touching the graph at all.
+    ``adaptive`` (array path only) enables the metrics-driven
+    dense/sparse round switch of :func:`array_kernel_fixpoint` — the
+    full-graph M* fixpoint is where elimination cascades are densest, so
+    this is the switch's main beneficiary.
     """
     if memo is not None:
         cached = memo.get(template)
@@ -107,7 +112,8 @@ def max_candidate_set(
         "max_candidate_set"
     ) as span:
         state = _compute_max_candidate_set(
-            graph, template, engine, role_kernel, delta, array_state
+            graph, template, engine, role_kernel, delta, array_state,
+            adaptive,
         )
     if tracer.enabled:
         vertices, edges = state.active_counts()
@@ -129,6 +135,7 @@ def _compute_max_candidate_set(
     role_kernel: bool,
     delta: bool,
     array_state: bool,
+    adaptive: bool = False,
 ) -> SearchState:
     """Fixpoint body of :func:`max_candidate_set` (caller owns phase/span)."""
     if role_kernel:
@@ -139,6 +146,7 @@ def _compute_max_candidate_set(
             array_kernel_fixpoint(
                 astate, kernel, engine,
                 delta=delta, mandatory_masks=mandatory,
+                adaptive=adaptive,
             )
             return astate.to_search_state()
         state = SearchState.initial(graph, template)

@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..graph.graph import Graph
+from ..runtime.metrics import MetricsRegistry
 from ..runtime.visitor import Visitor
 from .state import SearchState
 
@@ -163,8 +164,11 @@ def structural_fingerprint(graph: Graph) -> Tuple:
 #: process-wide compiled-kernel table, keyed by structural fingerprint
 _KERNEL_CACHE: Dict[Tuple, RoleKernel] = {}
 
-#: cumulative cache traffic, surfaced by the batch executor's counters
-_KERNEL_CACHE_STATS = {"hits": 0, "misses": 0}
+#: cumulative cache traffic (registry counters per lint rule R8),
+#: surfaced by the batch executor's counters and the per-run metrics
+_KERNEL_CACHE_METRICS = MetricsRegistry()
+_M_KERNEL_HITS = _KERNEL_CACHE_METRICS.counter("cache.kernel.hits")
+_M_KERNEL_MISSES = _KERNEL_CACHE_METRICS.counter("cache.kernel.misses")
 
 
 def cached_role_kernel(proto_graph: Graph) -> RoleKernel:
@@ -180,24 +184,29 @@ def cached_role_kernel(proto_graph: Graph) -> RoleKernel:
     key = structural_fingerprint(proto_graph)
     kernel = _KERNEL_CACHE.get(key)
     if kernel is None:
-        _KERNEL_CACHE_STATS["misses"] += 1
+        _M_KERNEL_MISSES.inc()
         kernel = RoleKernel(proto_graph)
         _KERNEL_CACHE[key] = kernel
     else:
-        _KERNEL_CACHE_STATS["hits"] += 1
+        _M_KERNEL_HITS.inc()
     return kernel
 
 
 def kernel_cache_stats() -> Dict[str, int]:
     """Snapshot of the process-wide kernel-cache hit/miss counters."""
-    return dict(_KERNEL_CACHE_STATS)
+    return {
+        "hits": int(_M_KERNEL_HITS.value),
+        "misses": int(_M_KERNEL_MISSES.value),
+    }
 
 
 def clear_kernel_cache() -> None:
     """Drop compiled kernels and reset the counters (test hook)."""
+    global _KERNEL_CACHE_METRICS, _M_KERNEL_HITS, _M_KERNEL_MISSES
     _KERNEL_CACHE.clear()
-    _KERNEL_CACHE_STATS["hits"] = 0
-    _KERNEL_CACHE_STATS["misses"] = 0
+    _KERNEL_CACHE_METRICS = MetricsRegistry()
+    _M_KERNEL_HITS = _KERNEL_CACHE_METRICS.counter("cache.kernel.hits")
+    _M_KERNEL_MISSES = _KERNEL_CACHE_METRICS.counter("cache.kernel.misses")
 
 
 class WalkSchedule:

@@ -40,6 +40,7 @@ def local_constraint_checking(
     array_state: bool = False,
     astate=None,
     warm_mask=None,
+    adaptive: bool = False,
 ) -> int:
     """Prune ``state`` to the LCC fixed point for ``proto_graph``.
 
@@ -61,6 +62,11 @@ def local_constraint_checking(
     state actually differs from the parent scope it was derived from (the
     warm-seeded worklist) — the fixed point and round count are unchanged.
 
+    ``adaptive`` (live-``astate`` path only) enables the metrics-driven
+    dense/sparse round switch in
+    :func:`~repro.core.arraystate.array_kernel_fixpoint`; the fixed point
+    is unchanged by construction.
+
     When the engine carries an enabled tracer, the whole fixpoint runs
     inside an ``lcc`` span counting iterations, pruned vertices/edges and
     message traffic (each round contributes its own child span).
@@ -79,7 +85,7 @@ def local_constraint_checking(
             iterations = array_kernel_fixpoint(
                 astate, kernel, engine,
                 max_iterations=max_iterations, delta=delta,
-                warm_mask=warm_mask,
+                warm_mask=warm_mask, adaptive=adaptive,
             )
         else:
             iterations = _run_fixpoint(

@@ -320,6 +320,12 @@ def _check_dict(
                 cache.mark_satisfied(
                     constraint.key, result.satisfied - result.recycled
                 )
+    if use_cache:
+        metrics = engine.metrics
+        metrics.counter("cache.nlcc.hits").inc(len(result.recycled))
+        metrics.counter("cache.nlcc.misses").inc(
+            len(result.checked) - len(result.recycled)
+        )
     if tracer.enabled:
         span.add(
             checked=len(result.checked),
@@ -441,6 +447,12 @@ def _check_array(
                 cache.mark_satisfied(
                     constraint.key, result.satisfied - result.recycled
                 )
+    if use_cache:
+        metrics = engine.metrics
+        metrics.counter("cache.nlcc.hits").inc(len(result.recycled))
+        metrics.counter("cache.nlcc.misses").inc(
+            len(result.checked) - len(result.recycled)
+        )
     if tracer.enabled:
         span.add(
             checked=len(result.checked),

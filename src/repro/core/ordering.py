@@ -51,15 +51,26 @@ def order_constraints(
     constraints: Sequence[NonLocalConstraint],
     label_frequencies: Optional[Dict[int, int]] = None,
     optimize: bool = True,
+    measured=None,
 ) -> List[NonLocalConstraint]:
     """Checking order for one prototype's non-local constraints.
 
     Cheap kinds first (cycles, then paths, then combined TDS, full walk
-    last — it benefits the most from prior pruning), shorter walks before
-    longer, and with ``optimize`` each walk is oriented rare-labels-first
-    and constraints whose early labels are rare run before frequent ones.
+    last — it benefits the most from prior pruning and exactness relies
+    on it running after everything else), shorter walks before longer,
+    and with ``optimize`` each walk is oriented rare-labels-first and
+    constraints whose early labels are rare run before frequent ones.
     Disabling ``optimize`` preserves only the kind/length order — the
     baseline of the Fig. 9(b) ablation.
+
+    ``measured`` (a :class:`~repro.runtime.metrics.ConstraintCostModel`)
+    supplies per-constraint wall times observed on earlier prototypes of
+    the same template; within a kind, measured-cheap constraints then run
+    before measured-expensive ones, overriding the static length/
+    frequency estimate.  Costs are quantized to coarse log2 buckets
+    (the paper reorders from a *measured* previous run — §5.4), so
+    sub-resolution measurements all land in bucket 0 and the static
+    order is preserved exactly; the kind order is never overridden.
     """
     def base_key(constraint: NonLocalConstraint) -> Tuple:
         return (_KIND_PRIORITY.get(constraint.kind, 9), constraint.length)
@@ -71,9 +82,38 @@ def order_constraints(
 
     def opt_key(constraint: NonLocalConstraint) -> Tuple:
         freqs = tuple(label_frequencies.get(lab, 0) for lab in constraint.labels)
-        return (base_key(constraint), freqs, constraint.key)
+        bucket = measured.bucket(constraint.key) if measured is not None else 0
+        return (
+            _KIND_PRIORITY.get(constraint.kind, 9),
+            bucket,
+            constraint.length,
+            freqs,
+            constraint.key,
+        )
 
     return sorted(oriented, key=opt_key)
+
+
+def reorder_measured(
+    constraints: Sequence[NonLocalConstraint], measured
+) -> List[NonLocalConstraint]:
+    """Stable re-sort of an already-ordered constraint list by measured cost.
+
+    ``measured`` is a :class:`~repro.runtime.metrics.ConstraintCostModel`;
+    within each kind, constraints in cheaper measured log2 buckets move
+    ahead of more expensive ones while ties (including every unmeasured
+    constraint, bucket 0) keep the incoming static order — so an empty or
+    sub-resolution model returns the input order unchanged.  The kind
+    order is never overridden: exactness relies on the full walk running
+    after every other pruning constraint.
+    """
+    ordered = list(constraints)
+    if measured is None or not len(measured):
+        return ordered
+    ordered.sort(
+        key=lambda c: (_KIND_PRIORITY.get(c.kind, 9), measured.bucket(c.key))
+    )
+    return ordered
 
 
 def estimate_prototype_cost(prototype, label_frequencies: Dict[int, int]) -> float:

@@ -25,6 +25,7 @@ from ..errors import PipelineError
 from ..graph.graph import Graph
 from ..runtime.engine import Engine
 from ..runtime.messages import CostModel, MessageStats
+from ..runtime.metrics import ConstraintCostModel, MetricsRegistry
 from ..runtime.partition import PartitionedGraph, balanced_assignment, hash_assignment
 from ..runtime.trace import NULL_TRACER
 from .constraints import generate_constraints
@@ -140,6 +141,19 @@ class PipelineOptions:
     #: every engine of the run; the default NULL_TRACER records nothing
     #: and costs one attribute check per guarded site.
     tracer: object = NULL_TRACER
+    #: always-on metrics registry threaded into every engine of the run
+    #: and merged with pooled workers' exported registries; snapshot
+    #: surfaces as ``stats_document["metrics"]`` and ``repro metrics``
+    metrics: object = field(default_factory=MetricsRegistry)
+    #: metrics-driven adaptive execution: the dense/sparse round switch in
+    #: the array LCC fixpoint and the measured-cost NLCC constraint
+    #: re-sort — both preserve the match set exactly (see
+    #: :func:`repro.core.search.search_prototype`)
+    adaptive: bool = True
+    #: EWMA store of measured per-constraint NLCC wall seconds, recycled
+    #: across prototypes (and across a batch when the executor shares one
+    #: options object); consulted only when ``adaptive`` is on
+    constraint_costs: object = field(default_factory=ConstraintCostModel)
 
     def __post_init__(self) -> None:
         if self.parallel_deployments <= 0:
@@ -219,8 +233,15 @@ def _run_bottom_up(
     candidate_memo: Optional["CandidateSetMemo"] = None,
 ) -> PipelineResult:
     """Alg. 1 body; the caller owns the enclosing ``pipeline`` span."""
+    from .kernels import kernel_cache_stats
+    from .prototypes import prototype_cache_stats
+
     tracer = options.tracer
     wall_start = time.perf_counter()
+    # Process-wide compile caches: this run's traffic is the delta against
+    # the totals at entry, folded into the per-run registry at the end.
+    kernel_cache_before = kernel_cache_stats()
+    prototype_cache_before = prototype_cache_stats()
     protos = prototype_set or generate_prototypes(
         template, k, max_prototypes=options.max_prototypes
     )
@@ -262,13 +283,17 @@ def _run_bottom_up(
         ranks_per_node=options.ranks_per_node,
     )
     mcs_stats = MessageStats(options.num_ranks)
-    mcs_engine = Engine(base_pgraph, mcs_stats, options.batch_size, tracer=tracer)
+    mcs_engine = Engine(
+        base_pgraph, mcs_stats, options.batch_size, tracer=tracer,
+        metrics=options.metrics,
+    )
     if options.use_max_candidate_set:
         base_state = max_candidate_set(
             graph, template, mcs_engine,
             role_kernel=options.role_kernel, delta=options.delta_lcc,
             array_state=options.array_state,
             memo=candidate_memo,
+            adaptive=options.adaptive,
         )
     else:
         base_state = SearchState.initial(graph, template)
@@ -437,7 +462,8 @@ def _run_bottom_up(
                             )
                         stats = MessageStats(deployment_ranks)
                         engine = Engine(
-                            search_pgraph, stats, options.batch_size, tracer=tracer
+                            search_pgraph, stats, options.batch_size,
+                            tracer=tracer, metrics=options.metrics,
                         )
                         outcome = search_prototype(
                             proto_state,
@@ -457,6 +483,8 @@ def _run_bottom_up(
                             array_nlcc=options.array_nlcc,
                             array_scope=array_scope,
                             warm_mask=warm_mask,
+                            adaptive=options.adaptive,
+                            constraint_costs=options.constraint_costs,
                         )
                         outcome.simulated_seconds = cost_model.makespan(stats)
                         outcome.messages = stats.total_messages
@@ -564,6 +592,16 @@ def _run_bottom_up(
             "constraints": constraints,
             "entries": entries,
         }
+    metrics = options.metrics
+    for name, before, after in (
+        ("cache.kernel", kernel_cache_before, kernel_cache_stats()),
+        ("cache.prototype", prototype_cache_before, prototype_cache_stats()),
+    ):
+        for kind in ("hits", "misses"):
+            delta = after[kind] - before[kind]
+            if delta:
+                metrics.counter(f"{name}.{kind}").inc(delta)
+    result.metrics = metrics
     return result
 
 
@@ -658,7 +696,9 @@ def _pooled_level(
     tracer = options.tracer
     for payload in pool.search_level(tasks):
         proto = protos.by_id(payload["proto_id"])
-        outcome = payload_to_outcome(proto, payload, tracer=tracer)
+        outcome = payload_to_outcome(
+            proto, payload, tracer=tracer, metrics=options.metrics
+        )
         level.outcomes.append(outcome)
         for vertex in outcome.solution_vertices:
             result.match_vectors.setdefault(vertex, set()).add(proto.id)
@@ -705,7 +745,9 @@ def _pooled_level_array(
     tracer = options.tracer
     for payload in pool.search_level(tasks):
         proto = protos.by_id(payload["proto_id"])
-        outcome = payload_to_outcome(proto, payload, tracer=tracer)
+        outcome = payload_to_outcome(
+            proto, payload, tracer=tracer, metrics=options.metrics
+        )
         level.outcomes.append(outcome)
         for vertex in outcome.solution_vertices:
             result.match_vectors.setdefault(vertex, set()).add(proto.id)

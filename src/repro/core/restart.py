@@ -108,6 +108,7 @@ def run_pipeline_with_checkpoints(
                 graph, template, engine,
                 role_kernel=options.role_kernel, delta=options.delta_lcc,
                 array_state=options.array_state,
+                adaptive=options.adaptive,
             )
         else:
             base_state = SearchState.initial(graph, template)
@@ -243,7 +244,10 @@ def _sweep(
                     optimize=bool(options.constraint_ordering),
                 )
                 stats = MessageStats(options.num_ranks)
-                engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
+                engine = Engine(
+                    pgraph, stats, options.batch_size, tracer=tracer,
+                    metrics=options.metrics,
+                )
                 outcome = search_prototype(
                     state, proto, constraint_set, engine,
                     cache=cache, recycle=options.work_recycling,
@@ -254,6 +258,8 @@ def _sweep(
                     delta_lcc=options.delta_lcc,
                     array_state=options.array_state,
                     array_nlcc=options.array_nlcc,
+                    adaptive=options.adaptive,
+                    constraint_costs=options.constraint_costs,
                 )
                 outcome.simulated_seconds = options.cost_model.makespan(stats)
                 level.outcomes.append(outcome)

@@ -128,6 +128,10 @@ class PipelineResult:
         self.aux_views_built = 0
         self.aux_view_reuse = 0
         self.aux_view_sizes: List[tuple] = []
+        #: the run's :class:`~repro.runtime.metrics.MetricsRegistry`
+        #: (worker registries already merged in); None until the pipeline
+        #: epilogue attaches it
+        self.metrics: Optional[object] = None
 
     # ------------------------------------------------------------------
     def outcomes(self) -> List[PrototypeSearchOutcome]:
@@ -255,6 +259,9 @@ class PipelineResult:
                 "sizes": [list(size) for size in self.aux_view_sizes],
             },
             "messages": dict(self.message_summary),
+            "metrics": (
+                self.metrics.snapshot() if self.metrics is not None else {}
+            ),
             "totals": {
                 "simulated_seconds": self.total_simulated_seconds,
                 "infrastructure_seconds": self.total_infrastructure_seconds,

@@ -29,6 +29,7 @@ from .arraystate import ArraySearchState, supports_array_fixpoint
 from .kernels import cached_role_kernel
 from .lcc import local_constraint_checking
 from .nlcc import non_local_constraint_checking
+from .ordering import reorder_measured
 from .prototypes import Prototype
 from .results import PrototypeSearchOutcome
 from .state import NlccCache, SearchState
@@ -50,6 +51,8 @@ def search_prototype(
     array_nlcc: bool = False,
     array_scope: Optional[ArraySearchState] = None,
     warm_mask=None,
+    adaptive: bool = False,
+    constraint_costs=None,
 ) -> PrototypeSearchOutcome:
     """Reduce ``state`` to the prototype's solution subgraph, in place.
 
@@ -76,6 +79,17 @@ def search_prototype(
     with ``state`` even through an enumeration-verification reduction.
     ``warm_mask`` warm-seeds the first LCC round's broadcast accounting
     (see :func:`~repro.core.lcc.local_constraint_checking`).
+
+    ``adaptive`` turns on the two metrics-driven consumers: the
+    dense/sparse round switch inside the array LCC fixpoint and — when
+    ``constraint_costs`` (a
+    :class:`~repro.runtime.metrics.ConstraintCostModel`) carries
+    measurements from earlier prototypes — a measured-cost re-sort of the
+    non-local constraint order.  Each NLCC constraint's wall time is fed
+    back into ``constraint_costs`` whenever one is supplied, so costs
+    recycle across the prototypes of a run (and across a batch when the
+    executor shares one options object).  Both consumers preserve the
+    match set exactly; see the respective docstrings.
     """
     outcome = PrototypeSearchOutcome(prototype)
     started = time.perf_counter()
@@ -91,7 +105,7 @@ def search_prototype(
             state, prototype, constraint_set, engine, cache, recycle,
             count_matches, collect_matches, verification, role_kernel,
             delta_lcc, array_state, array_nlcc, array_scope, warm_mask,
-            outcome,
+            adaptive, constraint_costs, outcome,
         )
     if tracer.enabled:
         span.add(
@@ -124,6 +138,8 @@ def _search_prototype_body(
     array_nlcc: bool,
     array_scope: Optional[ArraySearchState],
     warm_mask,
+    adaptive: bool,
+    constraint_costs,
     outcome: PrototypeSearchOutcome,
 ) -> None:
     """Alg. 2 body; fills ``outcome`` (timing is the caller's job)."""
@@ -153,22 +169,36 @@ def _search_prototype_body(
         state, prototype.graph, engine,
         role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
         array_state=array_state, astate=astate, warm_mask=warm_mask,
+        adaptive=adaptive,
     )
     (
         outcome.post_lcc_vertices,
         outcome.post_lcc_edges,
     ) = counter.active_counts()
 
+    non_local = constraint_set.non_local
+    if adaptive and constraint_costs is not None:
+        # Measured-cost re-sort (no-op until earlier prototypes have
+        # contributed above-resolution wall times).
+        non_local = reorder_measured(non_local, constraint_costs)
+    timing = constraint_costs is not None
+    h_constraint = engine.metrics.histogram("nlcc.constraint_seconds")
+
     full_walk_ran = False
     full_walk_completions = 0
     full_walk_result = None
-    for constraint in constraint_set.non_local:
+    for constraint in non_local:
         if not counter.num_active_vertices:
             break
+        constraint_started = time.perf_counter() if timing else 0.0
         result = non_local_constraint_checking(
             state, constraint, engine, cache=cache, recycle=recycle,
             kernel=kernel, astate=astate, array_nlcc=array_nlcc,
         )
+        if timing:
+            wall = time.perf_counter() - constraint_started
+            constraint_costs.observe(constraint.key, wall)
+            h_constraint.observe(wall)
         outcome.nlcc_constraints_checked += 1
         outcome.nlcc_roles_eliminated += result.eliminated_roles
         outcome.nlcc_recycled += len(result.recycled)
@@ -187,7 +217,7 @@ def _search_prototype_body(
             outcome.lcc_iterations += local_constraint_checking(
                 state, prototype.graph, engine,
                 role_kernel=role_kernel, delta=delta_lcc, kernel=kernel,
-                array_state=array_state, astate=astate,
+                array_state=array_state, astate=astate, adaptive=adaptive,
             )
 
     if astate is not None:

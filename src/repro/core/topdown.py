@@ -83,11 +83,15 @@ def _run_exploratory(
         ranks_per_node=options.ranks_per_node,
     )
     mcs_stats = MessageStats(options.num_ranks)
-    mcs_engine = Engine(pgraph, mcs_stats, options.batch_size, tracer=tracer)
+    mcs_engine = Engine(
+        pgraph, mcs_stats, options.batch_size, tracer=tracer,
+        metrics=options.metrics,
+    )
     base_state = max_candidate_set(
         graph, template, mcs_engine,
         role_kernel=options.role_kernel, delta=options.delta_lcc,
         array_state=options.array_state,
+        adaptive=options.adaptive,
     )
 
     result = PipelineResult(template.name, max_k, protos)
@@ -171,6 +175,7 @@ def _run_exploratory(
             "constraints": constraints,
             "entries": entries,
         }
+    result.metrics = options.metrics
     return result
 
 
@@ -207,7 +212,10 @@ def _inline_exploratory_level(
             state = base_state.for_prototype_search(proto)
             array_scope = None
         stats = MessageStats(options.num_ranks)
-        engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
+        engine = Engine(
+            pgraph, stats, options.batch_size, tracer=tracer,
+            metrics=options.metrics,
+        )
         outcome = search_prototype(
             state,
             proto,
@@ -223,6 +231,8 @@ def _inline_exploratory_level(
             array_state=options.array_state,
             array_nlcc=options.array_nlcc,
             array_scope=array_scope,
+            adaptive=options.adaptive,
+            constraint_costs=options.constraint_costs,
         )
         outcome.simulated_seconds = cost_model.makespan(stats)
         outcome.messages = stats.total_messages
@@ -267,7 +277,9 @@ def _pooled_exploratory_level(
     tracer = options.tracer
     for payload in pool.search_level(tasks):
         proto = protos.by_id(payload["proto_id"])
-        outcome = payload_to_outcome(proto, payload, tracer=tracer)
+        outcome = payload_to_outcome(
+            proto, payload, tracer=tracer, metrics=options.metrics
+        )
         level.outcomes.append(outcome)
         for vertex in outcome.solution_vertices:
             result.match_vectors.setdefault(vertex, set()).add(proto.id)

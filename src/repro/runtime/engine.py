@@ -27,6 +27,7 @@ from typing import Callable, Deque, Iterable, List, Optional
 
 from ..errors import EngineError
 from .messages import MessageStats
+from .metrics import MetricsRegistry
 from .partition import PartitionedGraph
 from .quiescence import SafraDetector
 from .trace import NULL_TRACER
@@ -100,6 +101,12 @@ class Engine:
         records a ``round`` span with message/visit/worklist counters
         when tracing is enabled.  Defaults to the zero-overhead
         :data:`~repro.runtime.trace.NULL_TRACER`.
+    metrics:
+        Always-on :class:`~repro.runtime.metrics.MetricsRegistry` the hot
+        modules (array fixpoint, token walks, NLCC) account into; a fresh
+        registry is created if omitted so ``engine.metrics`` is never
+        None.  The pipeline passes its per-run registry here, which is
+        how one run's rounds aggregate across prototypes and levels.
     """
 
     def __init__(
@@ -108,11 +115,13 @@ class Engine:
         stats: Optional[MessageStats] = None,
         batch_size: int = 64,
         tracer=None,
+        metrics=None,
     ) -> None:
         if batch_size <= 0:
             raise EngineError("batch_size must be positive")
         self.pgraph = pgraph
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.stats = stats if stats is not None else MessageStats(pgraph.num_ranks)
         if self.stats.num_ranks != pgraph.num_ranks:
             raise EngineError("stats rank count does not match partitioning")
@@ -133,6 +142,9 @@ class Engine:
         self._visit_counts = [0] * pgraph.num_ranks
         self._zero_row = [0] * pgraph.num_ranks
         self._detector = SafraDetector(pgraph.num_ranks)
+        # Metric handles resolved once (hot paths pay one cell add each).
+        self._m_traversals = self.metrics.counter("engine.traversals")
+        self._m_batched_rounds = self.metrics.counter("engine.rounds_batched")
 
     # ------------------------------------------------------------------
     def _enqueue(self, visitor: Visitor, from_rank: Optional[int]) -> None:
@@ -168,6 +180,7 @@ class Engine:
         if self._running:
             raise EngineError("engine is not reentrant")
         self._running = True
+        self._m_traversals.inc()
         tracing = self.tracer.enabled
         round_started = time.perf_counter() if tracing else 0.0
         try:
@@ -266,6 +279,7 @@ class Engine:
         """
         if self._running:
             raise EngineError("engine is not reentrant")
+        self._m_batched_rounds.inc()
         if round_started is not None and self.tracer.enabled:
             self._record_round_span(
                 round_started, msg_matrix, visit_counts, worklist

@@ -33,6 +33,7 @@ message traces.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -168,6 +169,16 @@ def _search_task(task: PoolTask) -> Dict[str, Any]:
     fresh local :class:`~repro.runtime.trace.Tracer` (span forests never
     cross process boundaries implicitly — pickled tracers arrive empty)
     and returns its closed spans as payloads for the parent to graft.
+
+    Metrics follow the same grafting model but are always on: each task
+    accounts into a fresh per-task
+    :class:`~repro.runtime.metrics.MetricsRegistry` (fresh, not the
+    worker-lifetime options registry, so totals are never double-counted
+    across tasks) whose packed :meth:`export` rides the payload for the
+    parent to :meth:`merge`.  The worker-lifetime
+    ``options.constraint_costs`` model, by contrast, deliberately spans
+    tasks: measured NLCC costs recycle across every prototype this
+    worker serves.
     """
     import os
 
@@ -175,6 +186,7 @@ def _search_task(task: PoolTask) -> Dict[str, Any]:
     from ..core.state import SearchState
     from .engine import Engine
     from .messages import MessageStats
+    from .metrics import MetricsRegistry
     from .partition import PartitionedGraph
     from .trace import NULL_TRACER, Tracer
 
@@ -183,6 +195,7 @@ def _search_task(task: PoolTask) -> Dict[str, Any]:
     proto = _WORKER["prototypes"][task.proto_id]
     tracing = getattr(options.tracer, "enabled", False)
     tracer = Tracer() if tracing else NULL_TRACER
+    registry = MetricsRegistry()
 
     astate: Optional["ArraySearchState"] = None
     warm_mask = None
@@ -213,7 +226,9 @@ def _search_task(task: PoolTask) -> Dict[str, Any]:
         ranks_per_node=options.ranks_per_node,
     )
     stats = MessageStats(options.num_ranks)
-    engine = Engine(pgraph, stats, options.batch_size, tracer=tracer)
+    engine = Engine(
+        pgraph, stats, options.batch_size, tracer=tracer, metrics=registry
+    )
     outcome = search_prototype(
         state,
         proto,
@@ -229,6 +244,8 @@ def _search_task(task: PoolTask) -> Dict[str, Any]:
         array_nlcc=options.array_nlcc,
         array_scope=astate,
         warm_mask=warm_mask,
+        adaptive=options.adaptive,
+        constraint_costs=options.constraint_costs,
     )
     return {
         "proto_id": task.proto_id,
@@ -257,6 +274,7 @@ def _search_task(task: PoolTask) -> Dict[str, Any]:
             [span.to_payload() for span in tracer.roots] if tracing else None
         ),
         "trace_worker": os.getpid() if tracing else None,
+        "metrics": registry.export(),
     }
 
 
@@ -264,18 +282,24 @@ def payload_to_outcome(
     proto: "Prototype",
     payload: Dict[str, Any],
     tracer: Optional["Tracer"] = None,
+    metrics: Optional[Any] = None,
 ) -> "PrototypeSearchOutcome":
     """Rebuild a :class:`PrototypeSearchOutcome` from a worker's payload.
 
     When ``tracer`` is given and the payload carries worker spans, the
     span tree is grafted under the currently open span, labeled with the
     worker pid (``perf_counter`` is CLOCK_MONOTONIC, shared across forked
-    workers, so timestamps line up).
+    workers, so timestamps line up).  When ``metrics`` (the parent run's
+    :class:`~repro.runtime.metrics.MetricsRegistry`) is given, the
+    worker's exported per-task registry is folded in additively — the
+    cross-process half of the bit-exact counter-parity contract.
     """
     from ..core.results import PrototypeSearchOutcome
 
     if tracer is not None and payload.get("trace_spans"):
         tracer.attach(payload["trace_spans"], worker=payload.get("trace_worker"))
+    if metrics is not None:
+        metrics.merge(payload.get("metrics"))
     outcome = PrototypeSearchOutcome(proto)
     outcome.solution_vertices = set(payload["solution_vertices"])
     outcome.solution_edges = {
@@ -331,6 +355,8 @@ class PrototypeSearchPool:
         self.array_payloads: bool = bool(options.shm_pool) and (
             _array_level_eligible(template, options)
         )
+        self._options = options
+        self._processes = processes
         self._shm: Optional[Any] = None
         shm_handle: Optional["SharedCsrHandle"] = None
         if self.array_payloads:
@@ -339,6 +365,9 @@ class PrototypeSearchPool:
 
             self._shm = SharedGraphCsr(csr_of(graph))
             shm_handle = self._shm.handle
+            options.metrics.gauge("shm.segment_bytes").set(
+                float(self._shm.nbytes)
+            )
         self._pool = ProcessPoolExecutor(
             max_workers=processes,
             mp_context=mp.get_context("fork"),
@@ -391,7 +420,14 @@ class PrototypeSearchPool:
         the level's makespan, as round-robin chunking allowed.  Results
         are returned in the original task order regardless, which is what
         makes worker-side iteration order irrelevant to determinism.
+
+        Per-level worker utilization lands in the run's metrics registry:
+        ``pool.busy_seconds`` sums the tasks' measured search walls and
+        ``pool.idle_seconds`` is the remainder of the level's
+        ``wall × processes`` budget — together they put a number on the
+        straggler effect LPT is there to bound.
         """
+        level_started = time.perf_counter()
         order = sorted(
             range(len(tasks)),
             key=lambda i: (-self._task_cost(tasks[i]), i),
@@ -404,6 +440,13 @@ class PrototypeSearchPool:
             result = futures[i].result()
             self._record_result(tasks[i], result)
             results.append(result)
+        busy = sum(r.get("wall_seconds") or 0.0 for r in results)
+        level_wall = time.perf_counter() - level_started
+        metrics = self._options.metrics
+        metrics.counter("pool.busy_seconds").inc(busy)
+        metrics.counter("pool.idle_seconds").inc(
+            max(0.0, level_wall * self._processes - busy)
+        )
         return results
 
     def close(self) -> None:
@@ -485,6 +528,9 @@ class TemplateBatchScheduler:
         self.memo = memo
         #: job names in execution (LPT) order
         self.order: List[str] = []
+        #: per-job scheduling cost estimates, recorded as jobs run — the
+        #: batch report pairs them with measured pipeline walls
+        self.costs: Dict[str, float] = {}
         #: auxiliary M*-views materialized (pooled runs ship them zero-copy)
         self.views_shipped = 0
         self.view_sizes: List[Tuple[int, int]] = []
@@ -494,6 +540,7 @@ class TemplateBatchScheduler:
         results: Dict[str, Any] = {}
         for job in sorted(jobs, key=lambda j: (-j.cost, j.name)):
             self.order.append(job.name)
+            self.costs[job.name] = job.cost
             results[job.name] = self._run_job(job)
         return results
 
@@ -553,6 +600,7 @@ class TemplateBatchScheduler:
             graph, job.template, engine,
             role_kernel=options.role_kernel, delta=options.delta_lcc,
             array_state=options.array_state, memo=self.memo,
+            adaptive=options.adaptive,
         )
         vertices, _ = state.active_counts()
         csr = csr_of(graph)

@@ -130,9 +130,11 @@ class SharedGraphCsr:
             offset = _aligned(offset)
             layout.append((slot, arr.dtype.str, int(arr.shape[0]), offset))
             offset += arr.nbytes
+        #: total bytes of the backing segment (the shm.segment_bytes gauge)
+        self.nbytes: int = max(offset, 1)
         self._shm: Optional[shared_memory.SharedMemory] = (
             shared_memory.SharedMemory(
-                create=True, size=max(offset, 1), name=_segment_name()
+                create=True, size=self.nbytes, name=_segment_name()
             )
         )
         for (slot, dtype, length, start) in layout:

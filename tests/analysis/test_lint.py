@@ -34,9 +34,9 @@ def rules_fired(report):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert set(all_rules()) == {
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7",
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
         }
 
     def test_rules_carry_rationales(self):
@@ -378,6 +378,64 @@ class TestR7BatchedTemplateExecution:
             """}, rules=["R7"])
         assert report.clean
         assert report.suppressed == 1
+
+
+class TestR8MetricAccumulation:
+    def test_dict_counter_augassign_fires(self, tmp_path):
+        # the kernels.py bug class: a module-level stats dict
+        report = lint_files(tmp_path, {"kernels.py": """\
+            _CACHE_STATS = {"hits": 0, "misses": 0}
+
+            def cached(key, cache, build):
+                if key in cache:
+                    _CACHE_STATS["hits"] += 1
+                    return cache[key]
+                _CACHE_STATS["misses"] += 1
+                cache[key] = build(key)
+                return cache[key]
+            """}, rules=["R8"])
+        assert rules_fired(report) == {"R8"}
+        assert len(report.violations) == 2
+        assert "metrics.counter" in report.violations[0].message
+
+    def test_attribute_counter_augassign_fires(self, tmp_path):
+        report = lint_files(tmp_path, {"nlcc.py": """\
+            def check(cache, result):
+                cache.hits += len(result.recycled)
+            """}, rules=["R8"])
+        assert rules_fired(report) == {"R8"}
+
+    def test_registry_handle_is_clean(self, tmp_path):
+        report = lint_files(tmp_path, {"kernels.py": """\
+            def cached(key, cache, build, metrics):
+                hits = metrics.counter("cache.kernel.hits")
+                if key in cache:
+                    hits.inc()
+                    return cache[key]
+                metrics.counter("cache.kernel.misses").inc()
+                cache[key] = build(key)
+                return cache[key]
+            """}, rules=["R8"])
+        assert report.clean
+
+    def test_non_metric_accumulation_is_clean(self, tmp_path):
+        # ordinary accumulators (offsets, degrees) are not metrics
+        report = lint_files(tmp_path, {"arraystate.py": """\
+            def fold(totals, rows):
+                for row in rows:
+                    totals["offset"] += row
+                    totals.seen += 1
+            """}, rules=["R8"])
+        assert report.clean
+
+    def test_only_hot_modules_checked(self, tmp_path):
+        # the dict-state NlccCache (state.py) keeps its plain counters
+        report = lint_files(tmp_path, {"state.py": """\
+            class NlccCache:
+                def record(self, recycled):
+                    self.hits += recycled
+            """}, rules=["R8"])
+        assert report.clean
 
 
 class TestSuppression:

@@ -1,0 +1,151 @@
+"""Tests for metrics-snapshot loading, derived ratios and exporters."""
+
+import json
+
+import pytest
+
+from repro.analysis.metricsreport import (
+    derived_metrics,
+    load_snapshot,
+    render_report,
+    to_json,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+def sample_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("cache.nlcc.hits").inc(3)
+    registry.counter("cache.nlcc.misses").inc(1)
+    registry.counter("fixpoint.rounds_dense").inc(2)
+    registry.counter("fixpoint.rounds_sparse").inc(6)
+    registry.counter("fixpoint.rounds_adaptive_dense").inc(1)
+    registry.counter("fixpoint.worklist_vertices").inc(50)
+    registry.counter("fixpoint.active_vertices").inc(100)
+    registry.counter("pool.busy_seconds").inc(3.0)
+    registry.counter("pool.idle_seconds").inc(1.0)
+    registry.gauge("shm.segment_bytes").set(4096.0)
+    histogram = registry.histogram("fixpoint.worklist_size")
+    for value in (0, 1, 3, 8):
+        histogram.observe(value)
+    return registry.snapshot()
+
+
+class TestLoadSnapshot:
+    def test_loads_bare_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(sample_snapshot()))
+        snapshot = load_snapshot(path)
+        assert snapshot["counters"]["cache.nlcc.hits"] == 3.0
+
+    def test_loads_stats_document_form(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps({"metrics": sample_snapshot()}))
+        snapshot = load_snapshot(path)
+        assert snapshot["gauges"]["shm.segment_bytes"] == 4096.0
+
+    def test_missing_sections_are_defaulted(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps({"counters": {"c": 1.0}}))
+        snapshot = load_snapshot(path)
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+
+    def test_rejects_non_snapshot_objects(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"matched_vertices": 7}))
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+    def test_rejects_non_object_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+
+class TestDerivedMetrics:
+    def test_headline_ratios(self):
+        derived = derived_metrics(sample_snapshot())
+        assert derived["nlcc_cache_hit_ratio"] == pytest.approx(0.75)
+        assert derived["dense_round_fraction"] == pytest.approx(0.25)
+        assert derived["adaptive_dense_rounds"] == 1.0
+        assert derived["mean_worklist_density"] == pytest.approx(0.5)
+        assert derived["pool_utilization"] == pytest.approx(0.75)
+        assert derived["shm_segment_bytes"] == 4096.0
+
+    def test_unrecorded_inputs_yield_none_not_zero(self):
+        derived = derived_metrics({"counters": {}, "gauges": {}})
+        assert derived["nlcc_cache_hit_ratio"] is None
+        assert derived["mstar_memo_hit_ratio"] is None
+        assert derived["dense_round_fraction"] is None
+        assert derived["pool_utilization"] is None
+        assert derived["shm_segment_bytes"] is None
+
+    def test_to_json_embeds_derived_block(self):
+        document = to_json(sample_snapshot())
+        assert document["derived"]["nlcc_cache_hit_ratio"] == pytest.approx(0.75)
+        json.dumps(document)  # round-trippable
+
+
+class TestPrometheus:
+    def test_counters_and_gauges(self):
+        text = to_prometheus(sample_snapshot())
+        assert "# TYPE repro_cache_nlcc_hits counter" in text
+        assert "repro_cache_nlcc_hits 3" in text
+        assert "# TYPE repro_shm_segment_bytes gauge" in text
+        assert "repro_shm_segment_bytes 4096" in text
+
+    def test_histogram_buckets_are_cumulative_log2(self):
+        text = to_prometheus(sample_snapshot())
+        # bucket index = bit_length(v), bound = 1 << index; observations
+        # 0,1,3,8 land at indices 0,1,2,4 (bounds 0, 2, 4, 16)
+        assert 'repro_fixpoint_worklist_size_bucket{le="0"} 1' in text
+        assert 'repro_fixpoint_worklist_size_bucket{le="2"} 2' in text
+        assert 'repro_fixpoint_worklist_size_bucket{le="4"} 3' in text
+        assert 'repro_fixpoint_worklist_size_bucket{le="8"} 3' in text
+        assert 'repro_fixpoint_worklist_size_bucket{le="16"} 4' in text
+        assert 'le="+Inf"} 4' in text
+        assert "repro_fixpoint_worklist_size_count 4" in text
+        assert "repro_fixpoint_worklist_size_sum 12" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus({"counters": {}, "gauges": {}}) == ""
+
+
+class TestWriteSnapshot:
+    def test_json_extension_writes_json_with_derived(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_snapshot(path, sample_snapshot())
+        document = json.loads(path.read_text())
+        assert document["derived"]["dense_round_fraction"] == pytest.approx(0.25)
+
+    def test_prom_extension_writes_exposition(self, tmp_path):
+        path = tmp_path / "out.prom"
+        write_snapshot(path, sample_snapshot())
+        assert "# TYPE repro_pool_busy_seconds counter" in path.read_text()
+
+
+class TestRenderReport:
+    def test_report_sections(self):
+        report = render_report(sample_snapshot())
+        assert "== derived ==" in report
+        assert "dense_round_fraction" in report
+        assert "== counters ==" in report
+        assert "== gauges ==" in report
+        assert "== histograms ==" in report
+        # _seconds counters format as durations, not raw floats
+        assert "pool.busy_seconds" in report
+
+    def test_inapplicable_ratios_are_dropped_from_derived_table(self):
+        report = render_report(
+            {"counters": {"fixpoint.rounds_dense": 1.0}, "gauges": {},
+             "histograms": {}}
+        )
+        assert "kernel_cache_hit_ratio" not in report
+
+    def test_empty_snapshot(self):
+        report = render_report({"counters": {}, "gauges": {}, "histograms": {}})
+        assert report == "metrics snapshot is empty"

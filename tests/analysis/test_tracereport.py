@@ -135,3 +135,86 @@ class TestRendering:
 
     def test_render_empty(self):
         assert render_report([]) == "trace is empty"
+
+
+class TestPooledReparenting:
+    """Worker payloads attached after the tree closed must still nest."""
+
+    def _worker_payload(self, start, end):
+        return {
+            "name": "prototype",
+            "attrs": {"proto": 7, "label": "k1_p7"},
+            "start_s": start,
+            "end_s": end,
+            "counters": {"messages": 40},
+            "children": [{
+                "name": "lcc",
+                "attrs": {},
+                "start_s": start,
+                "end_s": (start + end) / 2,
+                "counters": {"messages": 25},
+                "children": [],
+            }],
+        }
+
+    def _pooled_tracer(self):
+        tracer = Tracer()
+        with tracer.span("pipeline", template="tri", k=1):
+            with tracer.span("level", distance=1) as level:
+                level.add(prototypes=1)
+        level_span = tracer.roots[0].children[0]
+        inner_start = level_span.start_s + (level_span.end_s - level_span.start_s) / 4
+        inner_end = level_span.end_s - (level_span.end_s - level_span.start_s) / 4
+        # The pool collects results after the level span already closed:
+        # the payload lands as a detached root, tagged with its worker.
+        tracer.attach([self._worker_payload(inner_start, inner_end)], worker=123)
+        return tracer
+
+    @pytest.fixture(params=["chrome", "jsonl"])
+    def pooled_records(self, request, tmp_path):
+        tracer = self._pooled_tracer()
+        if request.param == "chrome":
+            path = tmp_path / "pooled.json"
+            tracer.write_chrome_trace(path)
+        else:
+            path = tmp_path / "pooled.jsonl"
+            tracer.write_jsonl(path)
+        return load_trace(path)
+
+    def test_worker_span_reparented_under_enclosing_level(self, pooled_records):
+        by_id = {r["span_id"]: r for r in pooled_records}
+        worker = next(
+            r for r in pooled_records if r["attrs"].get("worker") == 123
+        )
+        assert worker["parent_id"] is not None
+        assert by_id[worker["parent_id"]]["name"] == "level"
+        assert worker["depth"] == 2
+        # the payload's own children keep their subtree
+        lcc = next(r for r in pooled_records if r["name"] == "lcc")
+        assert by_id[lcc["parent_id"]] is worker
+        assert lcc["depth"] == 3
+
+    def test_single_root_after_reparenting(self, pooled_records):
+        roots = [r for r in pooled_records if r["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["pipeline"]
+
+    def test_breakdowns_attribute_worker_time_to_the_tree(self, pooled_records):
+        phases = {b["name"]: b for b in phase_breakdown(pooled_records)}
+        assert phases["prototype"]["counters"]["messages"] == 40
+        assert phases["lcc"]["counters"]["messages"] == 25
+        # level self-time now excludes the grafted prototype span
+        level = phases["level"]
+        prototype = phases["prototype"]
+        assert level["self_s"] <= level["total_s"] - prototype["total_s"] + 1e-9
+
+    def test_non_worker_detached_roots_stay_roots(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("pipeline"):
+            pass
+        with tracer.span("orphan"):  # a second honest top-level span
+            pass
+        path = tmp_path / "two_roots.jsonl"
+        tracer.write_jsonl(path)
+        records = load_trace(path)
+        roots = [r for r in records if r["parent_id"] is None]
+        assert {r["name"] for r in roots} == {"pipeline", "orphan"}

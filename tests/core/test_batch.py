@@ -430,3 +430,54 @@ class TestArrayFallbackReporting:
         assert "enumeration_optimization" in (
             per_class[0]["array_fallback_reason"]
         )
+
+
+class TestScheduleCostEstimates:
+    def test_schedule_costs_pair_estimates_with_measured_wall(self):
+        graph = kernel_stress_graph()
+        queries = [
+            BatchQuery(stress_path_template(), 0, name="path"),
+            BatchQuery(stress_cycle_template(), 0, name="cycle"),
+        ]
+        batch = run_batch(graph, queries, options())
+        document = batch.stats_document()
+        entries = document["schedule_costs"]
+        assert [e["name"] for e in entries] == document["schedule"]
+        for entry in entries:
+            assert entry["cost_estimate"] > 0
+            assert entry["wall_seconds"] > 0
+
+    def test_estimates_follow_lpt_order(self):
+        graph = kernel_stress_graph()
+        queries = [
+            BatchQuery(stress_path_template(), 0, name="path"),
+            BatchQuery(stress_cycle_template(), 0, name="cycle"),
+        ]
+        batch = run_batch(graph, queries, options())
+        estimates = [
+            e["cost_estimate"] for e in batch.stats_document()["schedule_costs"]
+        ]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_batch_folds_mstar_memo_counters_into_metrics(self):
+        graph = kernel_stress_graph()
+        # two label-isomorphic path queries share one class/root run
+        queries = [
+            BatchQuery(stress_path_template("p-a"), 0, name="a"),
+            BatchQuery(stress_path_template("p-b"), 0, name="b"),
+        ]
+        opts = options()
+        batch = run_batch(graph, queries, opts)
+        counters = dict(opts.metrics.counters())
+        memo = batch.stats_document()["mstar_memo"]
+        assert counters["cache.mstar_memo.hits"] == memo["hits"]
+        assert counters["cache.mstar_memo.misses"] == memo["misses"]
+
+    def test_stats_document_embeds_metrics_snapshot(self):
+        graph = kernel_stress_graph()
+        queries = [BatchQuery(stress_path_template(), 0, name="path")]
+        opts = options()
+        batch = run_batch(graph, queries, opts)
+        snapshot = batch.stats_document()["metrics"]
+        assert snapshot == opts.metrics.snapshot()
+        assert snapshot["counters"]["cache.mstar_memo.misses"] > 0

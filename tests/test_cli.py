@@ -286,3 +286,108 @@ class TestAuditCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "overall exact: True" in out
+
+
+class TestMetricsCommand:
+    def _write_snapshot(self, graph_files, tmp_path, capsys):
+        graph_path, labels_path, template_path = graph_files
+        metrics_path = tmp_path / "metrics.json"
+        code = main([
+            "search", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "-k", "1", "--ranks", "2",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"metrics snapshot written to {metrics_path}" in captured.err
+        return metrics_path
+
+    def test_metrics_out_then_report(self, graph_files, tmp_path, capsys):
+        metrics_path = self._write_snapshot(graph_files, tmp_path, capsys)
+        code = main(["metrics", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== derived ==" in out
+        assert "== counters ==" in out
+        assert "fixpoint.rounds_dense" in out
+
+    def test_metrics_json_includes_derived_block(
+        self, graph_files, tmp_path, capsys
+    ):
+        metrics_path = self._write_snapshot(graph_files, tmp_path, capsys)
+        code = main(["metrics", str(metrics_path), "--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "derived" in document
+        assert document["counters"]["fixpoint.rounds_dense"] >= 1
+
+    def test_metrics_out_prom_conversion(self, graph_files, tmp_path, capsys):
+        metrics_path = self._write_snapshot(graph_files, tmp_path, capsys)
+        prom_path = tmp_path / "metrics.prom"
+        code = main(["metrics", str(metrics_path), "--out", str(prom_path)])
+        assert code == 0
+        assert "# TYPE repro_fixpoint_rounds_dense counter" in prom_path.read_text()
+
+    def test_search_json_embeds_metrics(self, graph_files, capsys):
+        graph_path, labels_path, template_path = graph_files
+        code = main([
+            "search", str(graph_path), str(template_path),
+            "--labels", str(labels_path), "--ranks", "2", "--json",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "metrics" in document
+        assert document["metrics"]["counters"]["fixpoint.rounds_dense"] >= 1
+
+    def test_metrics_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = main(["metrics", str(bad)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBatchScheduleOutput:
+    def _template_files(self, tmp_path):
+        paths = []
+        for name, rotate in (("tri-a", 0), ("tri-b", 1)):
+            path = tmp_path / f"{name}.json"
+            labels = [1, 2, 3]
+            labels = labels[rotate:] + labels[:rotate]
+            path.write_text(json.dumps({
+                "edges": [[0, 1], [1, 2], [2, 0]],
+                "labels": {str(i): l for i, l in enumerate(labels)},
+                "name": name,
+            }))
+            paths.append(path)
+        return paths
+
+    def test_batch_json_reports_schedule_costs(
+        self, graph_files, tmp_path, capsys
+    ):
+        graph_path, labels_path, _ = graph_files
+        templates = self._template_files(tmp_path)
+        code = main([
+            "batch", str(graph_path), *map(str, templates),
+            "--labels", str(labels_path), "--ranks", "2", "--count",
+        ] + ["--json"])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        entries = document["schedule_costs"]
+        assert [e["name"] for e in entries] == document["schedule"]
+        assert all(e["cost_estimate"] > 0 for e in entries)
+        assert all(e["wall_seconds"] >= 0 for e in entries)
+
+    def test_batch_human_output_prints_schedule_table(
+        self, graph_files, tmp_path, capsys
+    ):
+        graph_path, labels_path, _ = graph_files
+        templates = self._template_files(tmp_path)
+        code = main([
+            "batch", str(graph_path), *map(str, templates),
+            "--labels", str(labels_path), "--ranks", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule (estimate vs measured):" in out
+        assert "cost estimate" in out
