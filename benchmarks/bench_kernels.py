@@ -19,17 +19,35 @@ on every workload, so a speedup can never come from doing less pruning.
 The ``array`` timing includes the dict->CSR->dict conversions at the
 boundaries, exactly as the pipeline pays them.
 
+Two additions guard the array-takeover PR:
+
+* the WIDE-STRESS workload (72-role path, two-word role masks) pins the
+  multi-word mask branches; its array-over-kernel+delta ratio is tracked
+  as ``speedup_wide_mask`` so the wide path can never silently fall off
+  the vectorized cliff;
+* the ENUM-STRESS row times verification enumeration — dict backtracking
+  (``enumerate_matches``) vs the vectorized frontier
+  (``enumerate_matches_array``) — on the NLCC-STRESS LCC fixed point,
+  asserting a >=3x ``speedup_array_enum`` with identical mapping sets.
+
 Methodology: best-of-``REPEATS`` wall time via ``time.perf_counter``
 around the fixpoint call only (graph/template construction excluded), a
 fresh ``SearchState``/``Engine``/``MessageStats`` per run, all variants on
 the same cached graph objects, single process, no warmup beyond the
-repeats themselves.
+repeats themselves.  Each timed region runs with the ambient heap
+frozen (``gc.collect()`` + ``gc.freeze()``): collector pauses scale
+with the whole live heap, so without this a variant's wall time depends
+on what else the process imported or cached — the CSR-STRESS array
+variant measurably doubled when other bench modules were loaded first.
+Each run still pays for its own allocation churn.
 
 Run directly (``python benchmarks/bench_kernels.py``) for the full suite,
 ``--smoke`` for the CI-sized subset, or via pytest-benchmark as part of
 the harness session.
 """
 
+import contextlib
+import gc
 import json
 import platform
 import sys
@@ -41,7 +59,13 @@ import pytest
 from repro.analysis import format_table, speedup
 from repro.core import SearchState, local_constraint_checking
 from repro.runtime import Engine, MessageStats, PartitionedGraph
-from common import DEFAULT_RANKS, kernel_workloads, print_header
+from common import (
+    DEFAULT_RANKS,
+    kernel_workloads,
+    nlcc_stress_background,
+    nlcc_stress_template,
+    print_header,
+)
 
 REPEATS = 3
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_KERNELS.json"
@@ -56,17 +80,45 @@ VARIANTS = [
 #: the workload both acceptance bars are pinned to
 ACCEPTANCE_WORKLOAD = "KERNEL-STRESS"
 
+#: the multi-word role-mask workload (``speedup_wide_mask``)
+WIDE_WORKLOAD = "WIDE-STRESS"
+
+#: the enumeration comparison row (``speedup_array_enum``)
+ENUM_WORKLOAD = "ENUM-STRESS"
+
+
+@contextlib.contextmanager
+def _ambient_heap_frozen():
+    """Exclude pre-existing live objects from GC walks while timing.
+
+    Collector pauses inside a timed region scale with the *whole* live
+    heap, so a variant's wall time would otherwise depend on what the
+    process happens to have imported or cached (earlier workloads, other
+    bench modules) — measured as a reproducible ~2x swing on the
+    CSR-STRESS array variant.  Collecting then freezing the ambient heap
+    first means any collection triggered inside the region only walks
+    the run's own allocations: each variant still pays for its own
+    churn, but not for the bystanders.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
+
 
 def _run_once(graph, template, config):
     """One timed LCC fixpoint run; returns (wall, counters, fixpoint)."""
     state = SearchState.initial(graph, template)
     stats = MessageStats(DEFAULT_RANKS)
     engine = Engine(PartitionedGraph(graph, DEFAULT_RANKS), stats)
-    start = time.perf_counter()
-    iterations = local_constraint_checking(
-        state, template.graph, engine, **config
-    )
-    wall = time.perf_counter() - start
+    with _ambient_heap_frozen():
+        start = time.perf_counter()
+        iterations = local_constraint_checking(
+            state, template.graph, engine, **config
+        )
+        wall = time.perf_counter() - start
     counters = {
         "iterations": iterations,
         "messages": stats.total_messages,
@@ -77,6 +129,73 @@ def _run_once(graph, template, config):
         frozenset(state.active_edge_list()),
     )
     return wall, counters, fixpoint
+
+
+def _enumeration_row(repeats):
+    """Time verification enumeration: dict backtracking vs array frontier.
+
+    Mirrors ``search.py``'s verification tail: both sides enumerate the
+    distance-0 prototype on the LCC fixed point of NLCC-STRESS (the
+    two-label hub-storm workload, whose repeated labels give the
+    backtracker a wide branching factor).  The dict side pays
+    ``state.to_graph()`` inside the timed region and the array side pays
+    nothing but the frontier walk — exactly the costs the two pipeline
+    tails pay.  Mapping-*set* equality is asserted by the caller.
+    """
+    from repro.core.arraystate import ArraySearchState
+    from repro.core.enumeration import (
+        enumerate_matches,
+        enumerate_matches_array,
+    )
+    from repro.core.kernels import cached_role_kernel
+    from repro.core.prototypes import generate_prototypes
+
+    graph = nlcc_stress_background()
+    template = nlcc_stress_template()
+    prototype = generate_prototypes(template, 0).all()[0]
+    state = SearchState.initial(graph, template)
+    engine = Engine(
+        PartitionedGraph(graph, DEFAULT_RANKS), MessageStats(DEFAULT_RANKS)
+    )
+    local_constraint_checking(state, template.graph, engine, array_state=True)
+    kernel = cached_role_kernel(template.graph)
+    astate = ArraySearchState.from_search_state(state, roles=kernel.roles)
+
+    best_dict = best_array = None
+    dict_matches = array_matches = None
+    for _ in range(repeats):
+        with _ambient_heap_frozen():
+            start = time.perf_counter()
+            matches = list(enumerate_matches(prototype, state))
+            wall = time.perf_counter() - start
+        if best_dict is None or wall < best_dict:
+            best_dict, dict_matches = wall, matches
+        with _ambient_heap_frozen():
+            start = time.perf_counter()
+            match_set = enumerate_matches_array(prototype, astate)
+            wall = time.perf_counter() - start
+        if best_array is None or wall < best_array:
+            best_array, array_matches = wall, match_set.mappings()
+
+    def mapping_set(mappings):
+        return {frozenset(m.items()) for m in mappings}
+
+    return {
+        "name": ENUM_WORKLOAD,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "template_roles": template.graph.num_vertices,
+        "enum": {
+            "dict": dict(wall_seconds=best_dict, matches=len(dict_matches)),
+            "array": dict(
+                wall_seconds=best_array, matches=len(array_matches)
+            ),
+        },
+        "speedup_array_enum": speedup(best_dict, best_array),
+        "mappings_equal": (
+            mapping_set(dict_matches) == mapping_set(array_matches)
+        ),
+    }
 
 
 def run_suite(repeats=REPEATS, workloads=None):
@@ -100,7 +219,7 @@ def run_suite(repeats=REPEATS, workloads=None):
             variants[label] = dict(wall_seconds=best, **counters)
             fixpoints[label] = fixpoint
         base = variants["baseline"]
-        rows.append({
+        row = {
             "name": name,
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -126,10 +245,17 @@ def run_suite(repeats=REPEATS, workloads=None):
             "fixpoint_equal": all(
                 fp == fixpoints["baseline"] for fp in fixpoints.values()
             ),
-        })
+        }
+        if name == WIDE_WORKLOAD:
+            # The wide row's array-over-kernel+delta ratio gets its own
+            # tracked name so the multi-word branches are gated
+            # independently of the single-word acceptance workload.
+            row["speedup_wide_mask"] = row["speedup_array_vs_delta"]
+        rows.append(row)
     largest = max(rows, key=lambda row: row["vertices"])
     for row in rows:
         row["largest"] = row is largest
+    rows.append(_enumeration_row(repeats))
     return {
         "experiment": "E-K1 kernel LCC fixpoint microbenchmark",
         "methodology": {
@@ -142,8 +268,9 @@ def run_suite(repeats=REPEATS, workloads=None):
             "acceptance": (
                 ">=2x kernel+delta speedup over baseline, a further >=2x "
                 "array speedup over kernel+delta, and a reduced visitor "
-                "count, all on KERNEL-STRESS; identical fixed points "
-                "everywhere"
+                "count, all on KERNEL-STRESS; >=3x array enumeration "
+                "speedup over dict backtracking on ENUM-STRESS with "
+                "identical mapping sets; identical fixed points everywhere"
             ),
         },
         "workloads": rows,
@@ -153,7 +280,22 @@ def run_suite(repeats=REPEATS, workloads=None):
 def check_acceptance(payload):
     """Assert the perf bars; returns the acceptance workload's row."""
     for row in payload["workloads"]:
-        assert row["fixpoint_equal"], f"{row['name']}: fixed points diverge"
+        if "variants" in row:
+            assert row["fixpoint_equal"], (
+                f"{row['name']}: fixed points diverge"
+            )
+        else:
+            assert row["mappings_equal"], (
+                f"{row['name']}: mapping sets diverge"
+            )
+    enum_row = next(
+        (r for r in payload["workloads"] if r["name"] == ENUM_WORKLOAD), None
+    )
+    if enum_row is not None:
+        assert enum_row["speedup_array_enum"] >= 3.0, (
+            f"{enum_row['name']}: array enumeration speedup "
+            f"{enum_row['speedup_array_enum']:.2f}x < 3x"
+        )
     target = next(
         r for r in payload["workloads"] if r["name"] == ACCEPTANCE_WORKLOAD
     )
@@ -187,6 +329,7 @@ def report(payload):
             "yes" if row["fixpoint_equal"] else "NO",
         ]
         for row in payload["workloads"]
+        if "variants" in row
     ]
     print(format_table(
         ["workload", "V/E", "baseline", "kernel", "k+delta", "array",
@@ -194,6 +337,19 @@ def report(payload):
         rows,
     ))
     print("* acceptance workload (both speedup bars)")
+    enum_row = next(
+        (r for r in payload["workloads"] if r["name"] == ENUM_WORKLOAD), None
+    )
+    if enum_row is not None:
+        enum = enum_row["enum"]
+        print(
+            f"{enum_row['name']}: dict "
+            f"{enum['dict']['wall_seconds']:.3f}s vs array "
+            f"{enum['array']['wall_seconds']:.3f}s -> "
+            f"{enum_row['speedup_array_enum']:.1f}x "
+            f"({enum['array']['matches']} mappings, equal: "
+            f"{'yes' if enum_row['mappings_equal'] else 'NO'})"
+        )
 
 
 @pytest.mark.benchmark(group="kernels")
@@ -210,8 +366,12 @@ def test_kernel_fixpoint_speedup(benchmark):
 
 
 def smoke_suite():
-    """The CI-sized subset: the acceptance workload plus the CSR stress."""
-    names = {ACCEPTANCE_WORKLOAD, "CSR-STRESS"}
+    """The CI-sized subset: acceptance, CSR and wide-mask workloads.
+
+    ``run_suite`` always appends the ENUM-STRESS row, so the smoke gate
+    also covers ``speedup_array_enum``.
+    """
+    names = {ACCEPTANCE_WORKLOAD, "CSR-STRESS", WIDE_WORKLOAD}
     workloads = [w for w in kernel_workloads() if w[0] in names]
     return run_suite(repeats=2, workloads=workloads)
 

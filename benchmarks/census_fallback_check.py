@@ -1,0 +1,64 @@
+"""CI guard: the motif census never leaves the array path.
+
+The array takeover removed every capability-based dict fallback — the
+only remaining ``array_fallback_reason`` values are the explicit option
+switches (role kernel / array state / array NLCC off).  This script runs
+the batched 4-motif census with default options on a MOTIF-BATCH-core
+shaped graph and fails if any template class reports a fallback reason:
+a non-None reason here means a code change silently re-introduced a dict
+detour into the census's hot path.
+
+The graph is the G(n, m) core of the MOTIF-BATCH workload without the
+triangle dust — the fallback decision is per-template, not per-scale, so
+the small graph gives the same verdict in a fraction of the bench gate's
+budget.
+
+Run from the repo root::
+
+    PYTHONPATH=src:benchmarks python benchmarks/census_fallback_check.py
+"""
+
+import sys
+
+from repro.core import PipelineOptions, count_motifs
+from repro.graph.generators.random_labeled import gnm_graph
+
+from common import (
+    DEFAULT_RANKS,
+    MOTIF_BATCH_CORE_EDGES,
+    MOTIF_BATCH_CORE_VERTICES,
+)
+
+#: census size — the six connected 4-vertex motifs of §5.6
+MOTIF_SIZE = 4
+
+
+def main() -> int:
+    graph = gnm_graph(
+        MOTIF_BATCH_CORE_VERTICES, MOTIF_BATCH_CORE_EDGES,
+        num_labels=1, seed=23,
+    )
+    counts = count_motifs(
+        graph, MOTIF_SIZE, PipelineOptions(num_ranks=DEFAULT_RANKS),
+        batched=True,
+    )
+    per_class = counts.batch.stats_document()["per_class"]
+    failures = []
+    for entry in per_class:
+        reason = entry["array_fallback_reason"]
+        verdict = "array" if reason is None else f"DICT ({reason})"
+        print(f"  {entry['name']:<24} {verdict}")
+        if reason is not None:
+            failures.append(f"{entry['name']}: {reason}")
+    if failures:
+        print("census fallback check FAILED — dict detours in the census:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"census fallback check OK ({len(per_class)} template classes, "
+          "all on the array path)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -154,6 +154,48 @@ def csr_stress_background():
     )
 
 
+#: WIDE-STRESS workload shape — the multi-word role-mask stressor.
+#: The template is a 72-role star (center plus 71 leaves whose labels
+#: cycle through 8 classes), so role masks need two uint64 words and the
+#: array kernels take the wide (n, n_words) branches everywhere.  Over a
+#: dense 9-label G(n, m) graph every leaf-labeled vertex holds ~9 leaf
+#: roles — live bits in *both* words — and the star's radius-1 structure
+#: converges in a handful of rounds that each touch most of the graph:
+#: the dense-round regime where vectorized wide masks beat the per-vertex
+#: dict worklist.  Centers survive only where one vertex's neighborhood
+#: covers all eight leaf labels, so the fixed point is a non-trivial
+#: subset of the graph.
+WIDE_STRESS_ROLES = 72
+WIDE_STRESS_LEAF_LABELS = 8
+WIDE_STRESS_VERTICES = 6000
+WIDE_STRESS_EDGES = 60000
+
+
+@lru_cache(maxsize=None)
+def wide_stress_background():
+    """Dense 9-label G(n, m) graph (8 leaf labels + the center label)."""
+    from repro.graph.generators.random_labeled import gnm_graph
+
+    return gnm_graph(
+        WIDE_STRESS_VERTICES, WIDE_STRESS_EDGES,
+        num_labels=WIDE_STRESS_LEAF_LABELS + 1, seed=19,
+    )
+
+
+@lru_cache(maxsize=None)
+def wide_stress_template():
+    """A 72-vertex star with cycling leaf labels: masks span two words."""
+    from repro.core.template import PatternTemplate
+
+    labels = {0: WIDE_STRESS_LEAF_LABELS}
+    labels.update(
+        {v: (v - 1) % WIDE_STRESS_LEAF_LABELS
+         for v in range(1, WIDE_STRESS_ROLES)}
+    )
+    edges = [(0, v) for v in range(1, WIDE_STRESS_ROLES)]
+    return PatternTemplate.from_edges(edges, labels, name="stress-wide72")
+
+
 def kernel_workloads() -> List[Tuple[str, object, object]]:
     """(name, graph factory, template factory) rows for the kernel bench."""
     return [
@@ -161,6 +203,7 @@ def kernel_workloads() -> List[Tuple[str, object, object]]:
         ("WDC-1", wdc_background, wdc1_template),
         ("KERNEL-STRESS", kernel_stress_background, kernel_stress_template),
         ("CSR-STRESS", csr_stress_background, kernel_stress_template),
+        ("WIDE-STRESS", wide_stress_background, wide_stress_template),
     ]
 
 

@@ -16,7 +16,11 @@ passing run:
 * ``speedup_shm_pool``       (shm-bitmap pool over dict-payload pool,
   end to end — ``bench_parallel.py``),
 * ``speedup_batched_census`` (template-library batched motif census over
-  the per-template pipeline loop — ``bench_batch.py``).
+  the per-template pipeline loop — ``bench_batch.py``),
+* ``speedup_wide_mask``      (multi-word-mask array fixpoint over
+  kernel+delta on the 72-role WIDE-STRESS workload),
+* ``speedup_array_enum``     (vectorized match enumeration over dict
+  backtracking on the ENUM-STRESS row).
 
 Each appended entry also records a ``metrics`` block of headline derived
 metrics (NLCC cache hit ratio, dense-round fraction, adaptive dense
@@ -72,7 +76,8 @@ from bench_batch import (
 #: row-level ratio fields the gate tracks (higher is better for all)
 TRACKED = ["speedup_kernel_delta", "speedup_array_vs_delta",
            "visit_reduction_delta", "speedup_array_nlcc",
-           "speedup_shm_pool", "speedup_batched_census"]
+           "speedup_shm_pool", "speedup_batched_census",
+           "speedup_wide_mask", "speedup_array_enum"]
 
 #: per-field minimum tolerance overrides for noise-dominated ratios
 RELAXED_TOLERANCE = {"speedup_shm_pool": 0.60,

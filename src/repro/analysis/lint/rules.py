@@ -14,8 +14,11 @@ Each rule is motivated by a bug class this codebase has actually hit
   modules must sit behind a ``tracer.enabled`` check so untraced runs
   stay zero-overhead.
 * **R4** ``fallback-parity`` — every array fast-path dispatch must keep
-  a reachable dict fallback branch next to it; the array kernels step
-  aside (>64 roles, kernel off) rather than fail.
+  a reachable dict fallback branch next to it (the array kernels step
+  aside when the role kernel is off rather than fail), and the array
+  branch itself must route enumeration through
+  ``enumerate_matches_array`` — a dict ``enumerate_matches`` call there
+  silently re-pays the per-vertex backtracker the array path replaced.
 * **R5** ``hot-loop-hygiene`` — per-element Python loops over CSR
   arrays, ``np.append`` inside loops, and object-dtype arrays undo the
   vectorization the hot modules exist for.
@@ -545,17 +548,30 @@ class FallbackParityRule(Rule):
     ``if`` has an ``else``/``elif`` branch, or its body leaves the
     function (return/raise/continue/break) with further statements
     following in the same block.
+
+    Second check: on the *array* side of a dispatch (an ``if`` testing a
+    dispatch flag or an array-state name like ``astate``), enumeration
+    must go through ``enumerate_matches_array`` — a dict
+    ``enumerate_matches`` call there drops back to the per-vertex
+    backtracker while holding a live array state, defeating the takeover
+    the dispatch exists for.  Dict calls in the ``else`` branch are the
+    fallback and stay legal.
     """
 
     id = "R4"
     title = "fallback parity"
     rationale = (
-        "the array kernels must step aside (>64 roles, kernel off) rather "
-        "than fail; a dispatch without a dict branch strands those inputs"
+        "the array kernels must step aside (role kernel off) rather than "
+        "fail, and the array branch must not quietly re-enter the dict "
+        "backtracker it replaced"
     )
 
     _FLAG_NAMES = frozenset({"array_state", "array_nlcc"})
     _DISPATCH_CALLS = frozenset({"supports_array_fixpoint"})
+    #: array-side state names: an ``if`` testing one of these selects the
+    #: array branch, where only the array enumerator may run
+    _ARRAY_STATE_NAMES = frozenset({"astate", "array_scope"})
+    _DICT_ENUMERATOR = "enumerate_matches"
     _TERMINAL = (ast.Return, ast.Raise, ast.Continue, ast.Break)
 
     def check_module(
@@ -564,6 +580,8 @@ class FallbackParityRule(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.If):
                 continue
+            if self._is_array_branch_test(node.test):
+                yield from self._check_enum_bypass(module, node)
             if not self._is_dispatch_test(node.test):
                 continue
             if node.orelse:
@@ -588,6 +606,35 @@ class FallbackParityRule(Rule):
                     and _call_name(sub) in self._DISPATCH_CALLS):
                 return True
         return False
+
+    def _is_array_branch_test(self, test: ast.expr) -> bool:
+        if self._is_dispatch_test(test):
+            return True
+        for sub in ast.walk(test):
+            if (isinstance(sub, ast.Name)
+                    and sub.id in self._ARRAY_STATE_NAMES):
+                return True
+            if (isinstance(sub, ast.Attribute)
+                    and sub.attr in self._ARRAY_STATE_NAMES):
+                return True
+        return False
+
+    def _check_enum_bypass(
+        self, module: ModuleSource, node: ast.If
+    ) -> Iterator[Violation]:
+        """Dict ``enumerate_matches`` calls on the array branch body."""
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and _call_name(sub) == self._DICT_ENUMERATOR):
+                    yield module.violation(
+                        self,
+                        sub,
+                        "array-dispatch branch calls the dict backtracker "
+                        "enumerate_matches(...); with a live array state, "
+                        "enumeration must route through "
+                        "enumerate_matches_array",
+                    )
 
     def _body_exits_with_following_code(
         self, module: ModuleSource, node: ast.If

@@ -46,7 +46,7 @@ may differ slightly from the object path; fixed points never do).
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -56,9 +56,56 @@ from .state import SearchState, _label_pair
 
 _U64 = np.uint64
 _ZERO = np.uint64(0)
+_WORD_FULL = (1 << 64) - 1
 
-#: role masks are one machine word, as in the bit-vector tables of §4
+#: bits per role-mask word, as in the bit-vector tables of §4.  Templates
+#: with at most this many roles keep the historical 1-D uint64 mask array;
+#: wider templates switch to an ``(n, n_words)`` uint64 matrix with the
+#: same :class:`RoleKernel` bit order spread across words (bit ``i`` lives
+#: in word ``i // 64`` at position ``i % 64``).
 MAX_ARRAY_ROLES = 64
+
+
+def _num_words(num_roles: int) -> int:
+    """Words of a role mask holding ``num_roles`` bits (at least one)."""
+    return max(1, (num_roles + MAX_ARRAY_ROLES - 1) // MAX_ARRAY_ROLES)
+
+
+def _mask_words(int_mask: int, n_words: int) -> np.ndarray:
+    """Split an arbitrary-width Python-int mask into uint64 words."""
+    return np.fromiter(
+        ((int_mask >> (64 * w)) & _WORD_FULL for w in range(n_words)),
+        dtype=_U64, count=n_words,
+    )
+
+
+def _mask_nonzero(mask: np.ndarray) -> np.ndarray:
+    """Per-row non-empty test for 1-D (single-word) or 2-D mask arrays."""
+    if mask.ndim == 1:
+        return mask != _ZERO
+    return (mask != _ZERO).any(axis=1)
+
+
+def _zero_masks(n: int, n_words: int) -> np.ndarray:
+    """A zeroed mask array in the layout ``n_words`` selects."""
+    if n_words == 1:
+        return np.zeros(n, dtype=_U64)
+    return np.zeros((n, n_words), dtype=_U64)
+
+
+def _widen_masks(mask_arr: np.ndarray, n_words: int) -> np.ndarray:
+    """Re-layout a mask array to ``n_words`` words (same bit content)."""
+    current = 1 if mask_arr.ndim == 1 else mask_arr.shape[1]
+    if current == n_words:
+        return mask_arr
+    if current > n_words:
+        raise ValueError("cannot narrow a role-mask array")
+    out = _zero_masks(mask_arr.shape[0], n_words)
+    if mask_arr.ndim == 1:
+        out[:, 0] = mask_arr
+    else:
+        out[:, :current] = mask_arr
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -282,31 +329,39 @@ def csr_of(graph: Graph) -> GraphCsr:
 
 
 def _role_bits(roles: Sequence[int]) -> Dict[int, int]:
-    if len(roles) > MAX_ARRAY_ROLES:
-        raise ValueError(
-            f"{len(roles)} roles exceed the {MAX_ARRAY_ROLES}-bit mask width"
-        )
+    """Role → bit map in kernel order (Python ints, arbitrary width)."""
     return {role: 1 << i for i, role in enumerate(roles)}
 
 
 def _label_mask_table(
-    csr: GraphCsr, template, roles: Sequence[int], role_bit: Dict[int, int]
+    csr: GraphCsr,
+    template,
+    roles: Sequence[int],
+    role_bit: Dict[int, int],
+    n_words: Optional[int] = None,
 ) -> np.ndarray:
     """Per-label-code union of the role bits carrying that label.
 
     Indexing the table by ``csr.label_codes`` seeds every vertex with all
     roles of its label — the common core of ``initial``,
     ``for_prototype_search`` and the pooled scope-payload reconstruction.
+    Single-word layouts get a ``(num_labels,)`` uint64 table; wider
+    layouts a ``(num_labels, n_words)`` matrix.
     """
+    if n_words is None:
+        n_words = _num_words(len(roles))
     by_label: Dict[int, int] = {}
     for role in roles:
         lab = template.label(role)
         by_label[lab] = by_label.get(lab, 0) | role_bit[role]
-    mask_by_code = np.zeros(csr.num_labels, dtype=_U64)
+    mask_by_code = _zero_masks(csr.num_labels, n_words)
     for lab, mask in by_label.items():
         code = csr.label_ids.get(lab)
         if code is not None:
-            mask_by_code[code] = mask
+            if n_words == 1:
+                mask_by_code[code] = mask
+            else:
+                mask_by_code[code] = _mask_words(mask, n_words)
     return mask_by_code
 
 
@@ -322,13 +377,19 @@ def unpack_bits(data: bytes, count: int) -> np.ndarray:
 
 
 def _segment_or(contrib: np.ndarray, csr: GraphCsr) -> np.ndarray:
-    """Per-vertex OR of a per-edge uint64 array over CSR row segments."""
+    """Per-vertex OR of a per-edge uint64 array over CSR row segments.
+
+    ``contrib`` may be 1-D (single-word masks) or 2-D ``(edges, n_words)``;
+    the fold runs along axis 0 either way.
+    """
     if contrib.shape[0] == 0:
-        return np.zeros(csr.num_vertices, dtype=_U64)
+        return np.zeros((csr.num_vertices,) + contrib.shape[1:], dtype=_U64)
     # The sentinel keeps reduceat in bounds for empty trailing rows; empty
     # segments yield a neighbor's garbage value, zeroed via zero_degree.
-    padded = np.concatenate([contrib, np.zeros(1, dtype=_U64)])
-    out = np.bitwise_or.reduceat(padded, csr.indptr[:-1])
+    padded = np.concatenate(
+        [contrib, np.zeros((1,) + contrib.shape[1:], dtype=_U64)]
+    )
+    out = np.bitwise_or.reduceat(padded, csr.indptr[:-1], axis=0)
     out[csr.zero_degree] = _ZERO
     return out
 
@@ -340,12 +401,15 @@ class ArraySearchState:
     """Bit-vector search state over a :class:`GraphCsr`.
 
     ``role_mask[i]`` packs the candidate roles of vertex ``order[i]`` in
-    :class:`RoleKernel` bit order; ``vertex_active`` tracks candidacy
-    separately because the dict state allows active vertices with *empty*
-    role sets (the pooled-level union creates them); ``edge_alive[e]``
-    tracks the directed edge ``src[e] -> indices[e]`` — aliveness is
-    per-direction because the dict's initial state only activates the
-    candidate-side direction of edges toward non-candidate neighbors.
+    :class:`RoleKernel` bit order — a 1-D uint64 array for templates of
+    at most :data:`MAX_ARRAY_ROLES` roles (the fast single-word layout),
+    an ``(n, n_words)`` uint64 matrix beyond that (bit ``i`` in word
+    ``i // 64``); ``vertex_active`` tracks candidacy separately because
+    the dict state allows active vertices with *empty* role sets (the
+    pooled-level union creates them); ``edge_alive[e]`` tracks the
+    directed edge ``src[e] -> indices[e]`` — aliveness is per-direction
+    because the dict's initial state only activates the candidate-side
+    direction of edges toward non-candidate neighbors.
     """
 
     __slots__ = (
@@ -370,22 +434,34 @@ class ArraySearchState:
         self.vertex_active = vertex_active
         self.edge_alive = edge_alive
 
+    @property
+    def n_words(self) -> int:
+        """Words per role mask (1 = the historical single-word layout)."""
+        return 1 if self.role_mask.ndim == 1 else int(self.role_mask.shape[1])
+
     # ------------------------------------------------------------------
     @classmethod
-    def initial(cls, graph: Graph, template) -> "ArraySearchState":
+    def initial(
+        cls, graph: Graph, template, min_words: int = 1
+    ) -> "ArraySearchState":
         """Vectorized label seeding, matching ``SearchState.initial``.
 
         Every vertex whose label a template role carries becomes a
         candidate for all roles of that label; each candidate's *full*
         adjacency row starts alive (including edges to non-candidates —
         their reverse directions start dead, as in the dict state).
+        ``min_words`` forces the multi-word layout even for <=64-role
+        templates (the parity suite exercises the wide kernels this way).
         """
         csr = csr_of(graph)
         roles = sorted(template.vertices())
         role_bit = _role_bits(roles)
-        mask_by_code = _label_mask_table(csr, template, roles, role_bit)
+        n_words = max(_num_words(len(roles)), min_words)
+        mask_by_code = _label_mask_table(
+            csr, template, roles, role_bit, n_words=n_words
+        )
         role_mask = mask_by_code[csr.label_codes]
-        vertex_active = role_mask != _ZERO
+        vertex_active = _mask_nonzero(role_mask)
         edge_alive = vertex_active[csr.src].copy()
         return cls(graph, csr, roles, role_mask, vertex_active, edge_alive)
 
@@ -402,13 +478,17 @@ class ArraySearchState:
 
     @classmethod
     def from_search_state(
-        cls, state: SearchState, roles: Optional[Sequence[int]] = None
+        cls,
+        state: SearchState,
+        roles: Optional[Sequence[int]] = None,
+        min_words: int = 1,
     ) -> "ArraySearchState":
         """Lossless import of a dict :class:`SearchState`.
 
         ``roles`` fixes the bit layout (pass ``kernel.roles`` so masks
         line up with the kernel tables); by default the roles present in
-        the state are used.
+        the state are used.  ``min_words`` forces the multi-word layout
+        (parity testing of the wide kernels on narrow templates).
         """
         csr = csr_of(state.graph)
         if roles is None:
@@ -418,16 +498,26 @@ class ArraySearchState:
             roles = sorted(seen)
         role_bit = _role_bits(roles)
         n = csr.num_vertices
-        role_mask = np.zeros(n, dtype=_U64)
+        n_words = max(_num_words(len(roles)), min_words)
+        role_mask = _zero_masks(n, n_words)
         vertex_active = np.zeros(n, dtype=bool)
         index_of = csr.index_of
+        encode_cache: Dict[FrozenSet[int], np.ndarray] = {}
         for v, role_set in state.candidates.items():
             i = index_of[v]
             vertex_active[i] = True
             mask = 0
             for role in role_set:
                 mask |= role_bit[role]
-            role_mask[i] = mask
+            if n_words == 1:
+                role_mask[i] = mask
+            else:
+                key = frozenset(role_set)
+                words = encode_cache.get(key)
+                if words is None:
+                    words = _mask_words(mask, n_words)
+                    encode_cache[key] = words
+                role_mask[i] = words
         edge_alive = np.zeros(csr.num_directed_edges, dtype=bool)
         indptr = csr.indptr
         indices = csr.indices
@@ -467,7 +557,9 @@ class ArraySearchState:
         vertex_active = unpack_bits(vertex_bits, csr.num_vertices)
         edge_alive = unpack_bits(edge_bits, csr.num_directed_edges)
         mask_by_code = _label_mask_table(csr, prototype.graph, roles, role_bit)
-        role_mask = np.where(vertex_active, mask_by_code[csr.label_codes], _ZERO)
+        seeded = mask_by_code[csr.label_codes]
+        keep = vertex_active if seeded.ndim == 1 else vertex_active[:, None]
+        role_mask = np.where(keep, seeded, _ZERO)
         return cls(graph, csr, roles, role_mask, vertex_active, edge_alive)
 
     def scope_payload(self) -> Tuple[bytes, bytes]:
@@ -501,7 +593,15 @@ class ArraySearchState:
         indptr = csr.indptr
         indices = csr.indices
         order_list = csr.order.tolist()
-        mask_list = self.role_mask.tolist()
+        if self.role_mask.ndim == 1:
+            mask_list = self.role_mask.tolist()
+        else:
+            # Explicit .tolist() crossing back into dict-land: combine the
+            # words of each row into one arbitrary-width Python int.
+            mask_list = [
+                sum(word << (64 * w) for w, word in enumerate(row))
+                for row in self.role_mask.tolist()
+            ]
         alive = self.edge_alive
         roles = self.roles
         decode_cache: Dict[int, Tuple[int, ...]] = {}
@@ -543,7 +643,9 @@ class ArraySearchState:
         verification replaced the dict state's candidates/edges, so the
         array copy feeding the level union stays in sync.
         """
-        fresh = ArraySearchState.from_search_state(state, roles=self.roles)
+        fresh = ArraySearchState.from_search_state(
+            state, roles=self.roles, min_words=self.n_words
+        )
         self.role_mask = fresh.role_mask
         self.vertex_active = fresh.vertex_active
         self.edge_alive = fresh.edge_alive
@@ -650,10 +752,19 @@ class ArraySearchState:
         if not self.vertex_active[i]:
             return
         bit = self.role_bit.get(role)
-        if bit is not None:
-            self.role_mask[i] = self.role_mask[i] & ~_U64(bit)
-        if self.role_mask[i] == _ZERO:
-            self.deactivate_vertex(vertex)
+        if self.role_mask.ndim == 1:
+            if bit is not None:
+                self.role_mask[i] = self.role_mask[i] & ~_U64(bit)
+            if self.role_mask[i] == _ZERO:
+                self.deactivate_vertex(vertex)
+        else:
+            if bit is not None:
+                word, offset = divmod(bit.bit_length() - 1, 64)
+                self.role_mask[i, word] = self.role_mask[i, word] & ~_U64(
+                    1 << offset
+                )
+            if not self.role_mask[i].any():
+                self.deactivate_vertex(vertex)
 
     # ------------------------------------------------------------------
     def for_prototype_search(
@@ -673,10 +784,13 @@ class ArraySearchState:
         roles = sorted(proto_graph.vertices())
         role_bit = _role_bits(roles)
         mask_by_code = _label_mask_table(csr, proto_graph, roles, role_bit)
-        new_mask = np.where(
-            self.vertex_active, mask_by_code[csr.label_codes], _ZERO
+        seeded = mask_by_code[csr.label_codes]
+        keep = (
+            self.vertex_active if seeded.ndim == 1
+            else self.vertex_active[:, None]
         )
-        new_active = new_mask != _ZERO
+        new_mask = np.where(keep, seeded, _ZERO)
+        new_active = _mask_nonzero(new_mask)
 
         adjacent_codes = set()
         for u, v in proto_graph.edges():
@@ -716,15 +830,21 @@ class ArraySearchState:
         if other.roles != self.roles:
             merged = sorted(set(self.roles) | set(other.roles))
             to_bit = _role_bits(merged)
-            if merged != self.roles:
+            n_words = max(_num_words(len(merged)), self.n_words)
+            if merged != self.roles or n_words != self.n_words:
                 self.role_mask = _translate_masks(
-                    self.role_mask, self.roles, to_bit
+                    self.role_mask, self.roles, to_bit, n_words
                 )
                 self.roles = merged
                 self.role_bit = to_bit
-            other_mask = _translate_masks(other.role_mask, other.roles, to_bit)
+            other_mask = _translate_masks(
+                other.role_mask, other.roles, to_bit, n_words
+            )
         else:
             other_mask = other.role_mask
+            wider = max(self.n_words, other.n_words)
+            self.role_mask = _widen_masks(self.role_mask, wider)
+            other_mask = _widen_masks(other_mask, wider)
         self.role_mask = np.bitwise_or(self.role_mask, other_mask)
         self.vertex_active |= other.vertex_active
         self.edge_alive |= other.edge_alive
@@ -738,14 +858,31 @@ class ArraySearchState:
 
 
 def _translate_masks(
-    mask_arr: np.ndarray, from_roles: Sequence[int], to_bit: Dict[int, int]
+    mask_arr: np.ndarray,
+    from_roles: Sequence[int],
+    to_bit: Dict[int, int],
+    n_words: Optional[int] = None,
 ) -> np.ndarray:
-    """Re-encode a mask array from one role/bit layout into another."""
-    out = np.zeros_like(mask_arr)
+    """Re-encode a mask array from one role/bit layout into another.
+
+    Handles every layout transition (1-D <-> 2-D, growing word counts):
+    each source bit is read from its word/offset and OR-ed into the
+    target bit's word/offset.
+    """
+    if n_words is None:
+        n_words = _num_words(len(to_bit))
+    out = _zero_masks(mask_arr.shape[0], n_words)
     for i, role in enumerate(from_roles):
-        bit_from = _U64(1 << i)
-        bit_to = _U64(to_bit[role])
-        out |= np.where((mask_arr & bit_from) != _ZERO, bit_to, _ZERO)
+        word_from, off_from = divmod(i, 64)
+        src_col = mask_arr if mask_arr.ndim == 1 else mask_arr[:, word_from]
+        has = (src_col & _U64(1 << off_from)) != _ZERO
+        bit_to = to_bit[role]
+        word_to, off_to = divmod(bit_to.bit_length() - 1, 64)
+        dst_bit = _U64(1 << off_to)
+        if out.ndim == 1:
+            out |= np.where(has, dst_bit, _ZERO)
+        else:
+            out[:, word_to] |= np.where(has, dst_bit, _ZERO)
     return out
 
 
@@ -863,8 +1000,13 @@ class _RoundAccounting:
 # Vectorized fixpoint
 # ----------------------------------------------------------------------
 def supports_array_fixpoint(kernel: RoleKernel) -> bool:
-    """True if the kernel's role set fits the uint64 mask width."""
-    return len(kernel.roles) <= MAX_ARRAY_ROLES
+    """Always true: the array path is total over role counts.
+
+    Historically false beyond 64 roles; the multi-word ``(n, n_words)``
+    mask layout lifted that limit, so every kernel now runs vectorized.
+    Kept for API compatibility with older dispatch sites.
+    """
+    return True
 
 
 #: adaptive dense-round switch floor: below this many role-holding
@@ -928,6 +1070,15 @@ def array_kernel_fixpoint(
     csr = astate.csr
     if astate.roles != kernel.roles:
         raise ValueError("array state and kernel must share one role layout")
+    if astate.role_mask.ndim > 1:
+        # Multi-word layout (>64 roles or a forced-width parity run): the
+        # single-word body below is preserved verbatim as the fast path.
+        return _array_kernel_fixpoint_wide(
+            astate, kernel, engine,
+            max_iterations=max_iterations, delta=delta,
+            mandatory_masks=mandatory_masks, warm_mask=warm_mask,
+            adaptive=adaptive,
+        )
     n = csr.num_vertices
     indptr = csr.indptr
     indices = csr.indices
@@ -1155,6 +1306,250 @@ def array_kernel_fixpoint(
     return iterations
 
 
+def _array_kernel_fixpoint_wide(
+    astate: ArraySearchState,
+    kernel: RoleKernel,
+    engine,
+    max_iterations: Optional[int] = None,
+    delta: bool = True,
+    mandatory_masks: Optional[Dict[int, int]] = None,
+    warm_mask: Optional[np.ndarray] = None,
+    adaptive: bool = False,
+) -> int:
+    """Multi-word body of :func:`array_kernel_fixpoint`.
+
+    Identical round structure, accounting and adaptive switch; the only
+    differences are the ``(n, n_words)`` mask layout (role ``b`` lives in
+    word ``b // 64``), per-word bit tables, and the subset/intersection
+    checks folding across words with ``.all(axis=1)`` / ``.any(axis=1)``.
+    """
+    csr = astate.csr
+    n = csr.num_vertices
+    indptr = csr.indptr
+    indices = csr.indices
+    src = csr.src
+    mirror = csr.mirror
+    mask = astate.role_mask
+    active = astate.vertex_active
+    alive = astate.edge_alive
+    n_words = astate.n_words
+
+    nbits = len(kernel.roles)
+    #: per-role (bit index, word, in-word bit value) addressing
+    bit_addr = [
+        (b, b // 64, _U64(1 << (b % 64))) for b in range(nbits)
+    ]
+    nm = (
+        np.stack([
+            _mask_words(kernel.neighbor_masks[1 << b], n_words)
+            for b in range(nbits)
+        ])
+        if nbits else np.zeros((0, n_words), dtype=_U64)
+    )
+    mcs_mode = mandatory_masks is not None
+    if mcs_mode:
+        mand = (
+            np.stack([
+                _mask_words(mandatory_masks[1 << b], n_words)
+                for b in range(nbits)
+            ])
+            if nbits else np.zeros((0, n_words), dtype=_U64)
+        )
+    edge_labeled = kernel.edge_labeled and not mcs_mode
+    if edge_labeled:
+        ecode = csr.edge_label_codes
+        if ecode is None:
+            ecode = np.zeros(csr.num_directed_edges, dtype=np.int64)
+        any_nm = np.stack([
+            _mask_words(kernel.any_neighbor_masks[1 << b], n_words)
+            for b in range(nbits)
+        ])
+        #: per-bit list of (edge-label code or None, required word vector)
+        labeled_req: List[List[Tuple[Optional[int], np.ndarray]]] = []
+        wanted_codes: Set[int] = set()
+        for b in range(nbits):
+            reqs = []
+            for wanted, required in kernel.labeled_neighbor_masks[1 << b].items():
+                code = csr.edge_label_ids.get(wanted)
+                if code is not None:
+                    wanted_codes.add(code)
+                reqs.append((code, _mask_words(required, n_words)))
+            labeled_req.append(reqs)
+        #: per-bit acceptable-neighbor words by graph edge-label code
+        lab_nm = np.zeros(
+            (nbits, len(csr.edge_label_ids) + 1, n_words), dtype=_U64
+        )
+        for b in range(nbits):
+            for wanted, required in kernel.labeled_neighbor_masks[1 << b].items():
+                code = csr.edge_label_ids.get(wanted)
+                if code is not None:
+                    lab_nm[b, code] = _mask_words(required, n_words)
+
+    accounting = _RoundAccounting(engine, csr)
+    tracing = engine.tracer.enabled
+
+    metrics = engine.metrics
+    m_dense = metrics.counter("fixpoint.rounds_dense")
+    m_sparse = metrics.counter("fixpoint.rounds_sparse")
+    m_adaptive = metrics.counter("fixpoint.rounds_adaptive_dense")
+    m_worklist = metrics.counter("fixpoint.worklist_vertices")
+    m_evaluated = metrics.counter("fixpoint.active_vertices")
+    h_worklist = metrics.histogram("fixpoint.worklist_size")
+
+    iterations = 0
+    broadcasters: Optional[np.ndarray] = None  # None = full round
+    pending = np.zeros(n, dtype=bool)
+    received = np.zeros(n, dtype=bool)
+    while max_iterations is None or iterations < max_iterations:
+        iterations += 1
+        round_started = time.perf_counter() if tracing else None
+
+        # ------------------------------------------------- broadcast
+        nonzero = (mask != _ZERO).any(axis=1)
+        if broadcasters is None:
+            seeds = active
+            sending = nonzero
+            if iterations == 1 and warm_mask is not None:
+                seeds = active & warm_mask
+                sending = nonzero & warm_mask
+        else:
+            seeds = broadcasters
+            sending = broadcasters
+        sent = alive & sending[src]
+        sent_idx = np.nonzero(sent)[0]
+        seed_idx = np.nonzero(seeds)[0]
+        received.fill(False)
+        delivered = indices[sent_idx]
+        received[delivered[active[delivered]]] = True
+
+        # ------------------------------------------------- witness fold
+        contrib = np.where(alive[mirror][:, None], mask[indices], _ZERO)
+        witnessed = _segment_or(contrib, csr)
+        if edge_labeled:
+            witnessed_label = {
+                code: _segment_or(
+                    np.where((ecode == code)[:, None], contrib, _ZERO), csr
+                )
+                for code in wanted_codes
+            }
+
+        # ---------------------------------------------- role refinement
+        if broadcasters is None:
+            evaluate = nonzero
+        else:
+            evaluate = (received | pending) & nonzero
+        pending = np.zeros(n, dtype=bool)
+        idx = np.nonzero(evaluate)[0]
+        m_eval = mask[idx]
+        w_eval = witnessed[idx]
+        surviving = np.zeros((idx.shape[0], n_words), dtype=_U64)
+        for b, word, bitval in bit_addr:
+            has = (m_eval[:, word] & bitval) != _ZERO
+            if not has.any():
+                continue
+            if mcs_mode:
+                required = nm[b]
+                if not required.any():
+                    ok = True  # isolated role: label match suffices
+                else:
+                    ok = ((mand[b] & ~w_eval) == _ZERO).all(axis=1) & (
+                        (required & w_eval) != _ZERO
+                    ).any(axis=1)
+            elif edge_labeled:
+                ok = ((any_nm[b] & ~w_eval) == _ZERO).all(axis=1)
+                for code, required in labeled_req[b]:
+                    if code is None:
+                        # the wanted edge label never occurs in the graph
+                        if required.any():
+                            ok = np.zeros(idx.shape[0], dtype=bool)
+                    else:
+                        wl = witnessed_label[code][idx]
+                        ok = ok & ((wl & required) == required).all(axis=1)
+            else:
+                required = nm[b]
+                ok = ((w_eval & required) == required).all(axis=1)
+            surviving[:, word] |= np.where(has & ok, bitval, _ZERO)
+        changed_eval = (surviving != m_eval).any(axis=1)
+        mask[idx] = surviving
+        changed_vertices = np.zeros(n, dtype=bool)
+        changed_vertices[idx[changed_eval]] = True
+        surv_zero = ~(surviving != _ZERO).any(axis=1)
+        elim_idx = idx[changed_eval & surv_zero]
+
+        if elim_idx.shape[0]:
+            active[elim_idx] = False
+            elim_bool = np.zeros(n, dtype=bool)
+            elim_bool[elim_idx] = True
+            out_idx = np.nonzero(elim_bool[src] & alive)[0]
+            # neighbors losing an inbox witness re-evaluate next round
+            pending[indices[out_idx]] = True
+            alive[mirror[out_idx]] = False
+            alive[out_idx] = False
+
+        # ---------------------------------------------- edge elimination
+        changed = bool(changed_vertices.any())
+        nonzero = (mask != _ZERO).any(axis=1)
+        if broadcasters is None:
+            scope = nonzero
+            cand = alive & scope[src]
+            # pair handled from the smaller-id side when both are candidates
+            cand &= csr.vid_gt | ~active[indices]
+        else:
+            scope = changed_vertices & nonzero
+            cand = alive & scope[src]
+        cand_idx = np.nonzero(cand)[0]
+        if cand_idx.shape[0]:
+            ms = mask[src[cand_idx]]
+            md = mask[indices[cand_idx]]
+            viable = np.zeros(cand_idx.shape[0], dtype=bool)
+            if edge_labeled:
+                codes = ecode[cand_idx]
+            for b, word, bitval in bit_addr:
+                has = (ms[:, word] & bitval) != _ZERO
+                if not has.any():
+                    continue
+                if edge_labeled:
+                    acceptable = any_nm[b] | lab_nm[b][codes]
+                else:
+                    acceptable = nm[b]
+                viable |= has & ((acceptable & md) != _ZERO).any(axis=1)
+            drop_idx = cand_idx[~viable]
+            if drop_idx.shape[0]:
+                changed = True
+                dst_t = indices[drop_idx]
+                pending[dst_t[active[dst_t]]] = True
+                rev = mirror[drop_idx]
+                src_t = src[drop_idx]
+                pending[src_t[alive[rev]]] = True
+                alive[drop_idx] = False
+                alive[rev] = False
+
+        accounting.record_round(seed_idx, sent_idx, round_started)
+        if broadcasters is None:
+            m_dense.inc()
+        else:
+            m_sparse.inc()
+        m_worklist.inc(seed_idx.shape[0])
+        m_evaluated.inc(idx.shape[0])
+        h_worklist.observe(seed_idx.shape[0])
+        if not changed:
+            break
+        if delta:
+            broadcasters = changed_vertices & nonzero
+            if adaptive:
+                scope_count = int(np.count_nonzero(nonzero))
+                if scope_count >= ADAPTIVE_MIN_VERTICES:
+                    worklist_count = int(
+                        np.count_nonzero(broadcasters | (pending & nonzero))
+                    )
+                    if worklist_count >= ADAPTIVE_DENSITY_THRESHOLD * scope_count:
+                        broadcasters = None
+                        m_adaptive.inc()
+        else:
+            broadcasters = None
+    return iterations
+
+
 class ArrayWalkOutcome:
     """Raw product of one :func:`array_token_walk` (dense vertex indices).
 
@@ -1230,11 +1625,18 @@ def array_token_walk(
     indptr = csr.indptr
     indices = csr.indices
     role_mask = astate.role_mask
+    wide = role_mask.ndim > 1
     alive = astate.edge_alive
     role_bit = kernel.role_bit
-    hop_bits = [
-        _U64(role_bit[walk[hop]]) for hop in range(walk_len)
-    ]
+    # Per-hop (word, in-word bit) addressing; single-word layouts always
+    # address word 0 and read the 1-D mask array directly.
+    hop_words: List[int] = []
+    hop_bits: List[np.uint64] = []
+    for hop in range(walk_len):
+        bit = role_bit[walk[hop]]
+        word, offset = divmod(bit.bit_length() - 1, 64)
+        hop_words.append(word)
+        hop_bits.append(_U64(1 << offset))
 
     hop_codes: Optional[List[Optional[int]]] = None
     ecodes = None
@@ -1256,7 +1658,8 @@ def array_token_walk(
     # dequeued seed is one visit.
     accounting.add_seed_visits(np.nonzero(astate.vertex_active)[0])
 
-    holders = np.nonzero((role_mask & hop_bits[0]) != _ZERO)[0]
+    mask_col0 = role_mask[:, hop_words[0]] if wide else role_mask
+    holders = np.nonzero((mask_col0 & hop_bits[0]) != _ZERO)[0]
     out.checked_idx = holders
     if recycled_mask is not None and holders.shape[0]:
         rec = recycled_mask[holders]
@@ -1291,7 +1694,8 @@ def array_token_walk(
         accounting.add_edge_traffic(edge)
 
         dst = indices[edge]
-        ok = (role_mask[dst] & hop_bits[hop]) != _ZERO
+        dst_col = role_mask[dst, hop_words[hop]] if wide else role_mask[dst]
+        ok = (dst_col & hop_bits[hop]) != _ZERO
         if hop_codes is not None and hop_codes[hop] is not None:
             ok &= ecodes[edge] == hop_codes[hop]
         for position in schedule.same_positions[hop]:

@@ -26,7 +26,6 @@ from ..graph.graph import canonical_edge
 from .arraystate import (
     ArraySearchState,
     array_kernel_fixpoint,
-    supports_array_fixpoint,
 )
 from .kernels import (
     cached_role_kernel,
@@ -141,7 +140,7 @@ def _compute_max_candidate_set(
     if role_kernel:
         kernel = cached_role_kernel(template.graph)
         mandatory = kernel.mandatory_masks(template.mandatory_edges)
-        if array_state and supports_array_fixpoint(kernel):
+        if array_state:
             astate = ArraySearchState.initial(graph, template)
             array_kernel_fixpoint(
                 astate, kernel, engine,

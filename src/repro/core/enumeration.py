@@ -19,11 +19,17 @@ the prototype's automorphism count.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import PipelineError
 from ..graph.graph import Graph
-from ..graph.isomorphism import automorphism_count, find_subgraph_isomorphisms
+from ..graph.isomorphism import (
+    _match_order,
+    automorphism_count,
+    find_subgraph_isomorphisms,
+)
 from .prototypes import Prototype
 from .state import SearchState
 
@@ -54,6 +60,208 @@ def enumerate_matches(
 def count_match_mappings(prototype: Prototype, state: SearchState) -> int:
     """Number of match mappings of ``prototype`` in the active state."""
     return sum(1 for _ in enumerate_matches(prototype, state))
+
+
+class ArrayMatchSet:
+    """Dense match table produced by :func:`enumerate_matches_array`.
+
+    ``rows[p][col]`` is the *dense CSR index* of the vertex the ``p``-th
+    match assigns to pattern vertex ``order[col]``; :meth:`mappings`
+    materializes the same per-match dicts :func:`enumerate_matches`
+    yields.  Keeping the dense matrix as the stored form lets array
+    consumers (:func:`astate_from_matches`) stay in array land.
+    """
+
+    __slots__ = ("order", "rows", "csr", "_mappings")
+
+    def __init__(self, order: Tuple[int, ...], rows: np.ndarray, csr) -> None:
+        self.order = order
+        self.rows = rows
+        self.csr = csr
+        self._mappings: Optional[List[Mapping]] = None
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+    def mappings(self) -> List[Mapping]:
+        """Materialize the per-match dicts (cached)."""
+        if self._mappings is None:
+            if self.rows.shape[1]:
+                vid_rows = self.csr.order[self.rows].tolist()
+            else:
+                vid_rows = [[] for _ in range(self.rows.shape[0])]
+            self._mappings = matches_from_paths(self.order, vid_rows)
+        return self._mappings
+
+    def __iter__(self) -> Iterator[Mapping]:
+        return iter(self.mappings())
+
+
+def enumerate_matches_array(
+    prototype: Prototype,
+    astate,
+    limit: Optional[int] = None,
+) -> ArrayMatchSet:
+    """Array form of :func:`enumerate_matches` (vectorized backtracking).
+
+    Runs the same VF2-ordered search as the dict backtracker, but carries
+    the whole candidate frontier as one dense matrix per pattern position:
+    each extension step is a batched CSR neighbor gather plus vectorized
+    role-mask / degree / injectivity / edge-label tests, never touching
+    per-vertex dict state.  Emits exactly the mapping *set* the dict
+    matcher emits on the written-back state (enumeration order differs, so
+    ``limit`` truncates an unspecified order).
+    """
+    pattern = prototype.graph
+    csr = astate.csr
+    n = csr.num_vertices
+    order = _match_order(pattern)
+    if not order:
+        return ArrayMatchSet((), np.zeros((1, 0), dtype=np.int64), csr)
+    col_of = {pv: col for col, pv in enumerate(order)}
+    back_neighbors: List[List[int]] = []
+    for idx, pv in enumerate(order):
+        placed = order[:idx]
+        back_neighbors.append(
+            [q for q in placed if q in pattern.neighbors(pv)]
+        )
+
+    empty = ArrayMatchSet(
+        tuple(order), np.zeros((0, len(order)), dtype=np.int64), csr
+    )
+    role_bit = astate.role_bit
+    if any(pv not in role_bit for pv in order):
+        return empty
+
+    role_mask = astate.role_mask
+    wide = role_mask.ndim > 1
+
+    def role_column(pv: int) -> Tuple[np.ndarray, np.uint64]:
+        """The uint64 mask column holding ``pv``'s bit, plus that bit."""
+        bit = role_bit[pv]
+        if wide:
+            word, offset = divmod(bit.bit_length() - 1, 64)
+            return role_mask[:, word], np.uint64(1 << offset)
+        return role_mask, np.uint64(bit)
+
+    # Pruned view: an edge exists iff its smaller->larger slot is alive
+    # with both endpoints active (the same asymmetric-aliveness rule
+    # SearchState.to_graph applies); ``sym`` is its symmetric closure for
+    # neighbor gathers.
+    active = astate.vertex_active
+    canon = (
+        astate.edge_alive
+        & csr.vid_gt
+        & active[csr.src]
+        & active[csr.indices]
+    )
+    sym = canon | canon[csr.mirror]
+    deg = np.bincount(csr.src[sym], minlength=n).astype(np.int64)
+
+    check_edge_labels = pattern.has_edge_labels
+    sel_idx = np.nonzero(sym)[0]
+    codes_sorted = None
+    elab_sorted = None
+    if len(order) > 1:
+        codes = csr.src[sel_idx] * np.int64(n) + csr.indices[sel_idx]
+        sort = np.argsort(codes)
+        codes_sorted = codes[sort]
+        if check_edge_labels and csr.edge_label_codes is not None:
+            elab_sorted = csr.edge_label_codes[sel_idx][sort]
+
+    def required_code(pv: int, anchor: int) -> Optional[int]:
+        """CSR code the (pv, anchor) pattern edge demands; None = any."""
+        required = pattern.edge_label(pv, anchor)
+        if required is None:
+            return None
+        return csr.edge_label_ids.get(required, -1)
+
+    def slot_labels(slots: np.ndarray) -> np.ndarray:
+        if csr.edge_label_codes is None:
+            return np.zeros(slots.shape[0], dtype=np.int64)
+        return csr.edge_label_codes[slots]
+
+    pv0 = order[0]
+    mask_col, bitval = role_column(pv0)
+    start = np.nonzero(
+        ((mask_col & bitval) != np.uint64(0))
+        & (deg >= pattern.degree(pv0))
+    )[0]
+    rows = start.reshape(-1, 1)
+
+    for idx in range(1, len(order)):
+        if not rows.shape[0]:
+            return empty
+        pv = order[idx]
+        anchors = back_neighbors[idx]
+        pdeg = pattern.degree(pv)
+        mask_col, bitval = role_column(pv)
+        if anchors:
+            av = rows[:, col_of[anchors[0]]]
+            starts = csr.indptr[av]
+            counts = csr.indptr[av + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                return empty
+            row_id = np.repeat(np.arange(rows.shape[0]), counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            slots = np.repeat(starts, counts) + offsets
+            cand = csr.indices[slots]
+            ok = sym[slots]
+            ok &= (mask_col[cand] & bitval) != np.uint64(0)
+            ok &= deg[cand] >= pdeg
+            if check_edge_labels:
+                code = required_code(pv, anchors[0])
+                if code is not None:
+                    ok &= slot_labels(slots) == code
+            for col in range(idx):
+                ok &= cand != rows[row_id, col]
+            for anchor in anchors[1:]:
+                if not codes_sorted.shape[0]:
+                    ok &= False
+                    break
+                aimg = rows[row_id, col_of[anchor]]
+                query = cand * np.int64(n) + aimg
+                pos = np.searchsorted(codes_sorted, query)
+                pos_c = np.minimum(pos, codes_sorted.shape[0] - 1)
+                found = codes_sorted[pos_c] == query
+                ok &= found
+                if check_edge_labels:
+                    code = required_code(pv, anchor)
+                    if code is not None:
+                        lab = np.where(
+                            found, elab_sorted[pos_c]
+                            if elab_sorted is not None
+                            else np.int64(0), np.int64(-1),
+                        )
+                        ok &= lab == code
+            keep = np.nonzero(ok)[0]
+            rows = np.concatenate(
+                [rows[row_id[keep]], cand[keep][:, None]], axis=1
+            )
+        else:
+            # Disconnected pattern component: fresh cross product.
+            cand = np.nonzero(
+                ((mask_col & bitval) != np.uint64(0)) & (deg >= pdeg)
+            )[0]
+            if not cand.shape[0]:
+                return empty
+            k, m = rows.shape[0], cand.shape[0]
+            row_id = np.repeat(np.arange(k), m)
+            tiled = np.tile(cand, k)
+            ok = np.ones(k * m, dtype=bool)
+            for col in range(idx):
+                ok &= tiled != rows[row_id, col]
+            keep = np.nonzero(ok)[0]
+            rows = np.concatenate(
+                [rows[row_id[keep]], tiled[keep][:, None]], axis=1
+            )
+
+    if limit is not None and rows.shape[0] > limit:
+        rows = rows[:limit]
+    return ArrayMatchSet(tuple(order), rows, csr)
 
 
 def matches_from_paths(
@@ -123,6 +331,63 @@ def extend_from_child_matches(
     return matches
 
 
+def extend_from_child_matches_array(
+    parent: Prototype,
+    child: Prototype,
+    child_set: ArrayMatchSet,
+) -> ArrayMatchSet:
+    """Array form of :func:`extend_from_child_matches`.
+
+    The child's dense match table is permuted through the recorded
+    isomorphism onto the parent's vertex order, then the removed edge is
+    probed for every match at once with one batched CSR row gather
+    (plus the edge-label test when the parent edge carries one).
+    """
+    link = next(
+        (l for l in parent.child_links if l.child is child),
+        None,
+    )
+    if link is None:
+        raise PipelineError(
+            f"{child.name} is not a derivation child of {parent.name}"
+        )
+    a, b = link.removed_edge
+    required_label = parent.graph.edge_label(a, b)
+    iso = link.iso
+    csr = child_set.csr
+    child_col = {pv: col for col, pv in enumerate(child_set.order)}
+    order = tuple(sorted(iso))
+    k = child_set.rows.shape[0]
+    if not k:
+        return ArrayMatchSet(
+            order, np.zeros((0, len(order)), dtype=np.int64), csr
+        )
+    rows = np.stack(
+        [child_set.rows[:, child_col[iso[w]]] for w in order], axis=1
+    )
+    pa = rows[:, order.index(a)]
+    pb = rows[:, order.index(b)]
+    starts = csr.indptr[pa]
+    counts = csr.indptr[pa + 1] - starts
+    total = int(counts.sum())
+    ok = np.zeros(k, dtype=bool)
+    if total:
+        row_id = np.repeat(np.arange(k), counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        slots = np.repeat(starts, counts) + offsets
+        hit = csr.indices[slots] == pb[row_id]
+        if required_label is not None:
+            if csr.edge_label_codes is None:
+                hit &= False
+            else:
+                code = csr.edge_label_ids.get(required_label, -1)
+                hit &= csr.edge_label_codes[slots] == code
+        np.logical_or.at(ok, row_id, hit)
+    return ArrayMatchSet(order, rows[ok], csr)
+
+
 def state_from_matches(
     state: SearchState, prototype: Prototype, matches: Sequence[Mapping]
 ) -> SearchState:
@@ -144,3 +409,61 @@ def state_from_matches(
     for vertex in candidates:
         active_edges.setdefault(vertex, set())
     return SearchState(state.graph, candidates, active_edges)
+
+
+def astate_from_matches(astate, prototype: Prototype, match_set):
+    """Array form of :func:`state_from_matches`.
+
+    Rebuilds ``astate``'s role mask and edge aliveness in place so the
+    state contains exactly the vertices/edges of ``match_set`` — the
+    array-native enumeration-based verification step.  ``match_set`` is
+    an :class:`ArrayMatchSet` over the same CSR.
+    """
+    csr = astate.csr
+    n = csr.num_vertices
+    role_bit = astate.role_bit
+    role_mask = astate.role_mask
+    wide = role_mask.ndim > 1
+    new_mask = np.zeros_like(role_mask)
+    rows = match_set.rows
+    col_of = {pv: col for col, pv in enumerate(match_set.order)}
+    for col, pv in enumerate(match_set.order):
+        bit = role_bit[pv]
+        if wide:
+            word, offset = divmod(bit.bit_length() - 1, 64)
+            np.bitwise_or.at(
+                new_mask[:, word], rows[:, col], np.uint64(1 << offset)
+            )
+        else:
+            np.bitwise_or.at(new_mask, rows[:, col], np.uint64(bit))
+
+    alive = np.zeros_like(astate.edge_alive)
+    proto_edges = list(prototype.graph.edges())
+    if rows.shape[0] and proto_edges and csr.num_directed_edges:
+        heads = []
+        tails = []
+        for u, v in proto_edges:
+            heads.append(rows[:, col_of[u]])
+            tails.append(rows[:, col_of[v]])
+        head = np.concatenate(heads)
+        tail = np.concatenate(tails)
+        wanted = np.unique(
+            np.concatenate(
+                [head * np.int64(n) + tail, tail * np.int64(n) + head]
+            )
+        )
+        all_codes = csr.src * np.int64(n) + csr.indices
+        sort = np.argsort(all_codes)
+        pos = np.searchsorted(all_codes[sort], wanted)
+        pos = np.minimum(pos, sort.shape[0] - 1)
+        hit = all_codes[sort][pos] == wanted
+        alive[sort[pos[hit]]] = True
+
+    astate.role_mask = new_mask
+    astate.vertex_active = (
+        (new_mask != np.uint64(0)).any(axis=1)
+        if wide
+        else new_mask != np.uint64(0)
+    )
+    astate.edge_alive = alive
+    return astate

@@ -23,7 +23,6 @@ from ..runtime.visitor import Visitor
 from .arraystate import (
     array_kernel_fixpoint,
     run_array_fixpoint,
-    supports_array_fixpoint,
 )
 from .kernels import RoleKernel, compile_role_kernel, kernel_fixpoint
 from .state import SearchState
@@ -51,9 +50,9 @@ def local_constraint_checking(
     compiling ``proto_graph`` unless a prepared ``kernel`` is supplied;
     ``delta`` additionally enables the semi-naive worklist mode, and
     ``array_state`` the vectorized CSR fixpoint
-    (:mod:`~repro.core.arraystate` — falls back to the dict kernel when
-    the role set exceeds the mask width).  All variants reach the same
-    fixed point in the same number of rounds.
+    (:mod:`~repro.core.arraystate` — multi-word role masks cover any
+    template width).  All variants reach the same fixed point in the same
+    number of rounds.
 
     Passing a live ``astate`` (level-persistent array mode) runs the
     vectorized fixpoint directly on it — no dict round trip; ``state`` is
@@ -115,7 +114,7 @@ def _run_fixpoint(
 ) -> int:
     """Dispatch to the array / kernel / set-based fixpoint variant."""
     if kernel is not None:
-        if array_state and supports_array_fixpoint(kernel):
+        if array_state:
             return run_array_fixpoint(
                 state, kernel, engine,
                 max_iterations=max_iterations, delta=delta,

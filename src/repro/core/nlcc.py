@@ -150,13 +150,7 @@ def non_local_constraint_checking(
     state is treated as authoritative, mutated in place, and ``state`` is
     left untouched (the caller owns the final ``write_back``).
     """
-    from .arraystate import supports_array_fixpoint
-
-    if (
-        kernel is not None
-        and (astate is not None or array_nlcc)
-        and supports_array_fixpoint(kernel)
-    ):
+    if kernel is not None and (astate is not None or array_nlcc):
         return _check_array(
             state, constraint, engine, cache, recycle, kernel, astate
         )
@@ -437,9 +431,23 @@ def _check_array(
                 ~satisfied[walk_out.checked_idx]
             ]
             if elim_idx.shape[0]:
-                bit = np.uint64(kernel.role_bit[constraint.source])
-                astate.role_mask[elim_idx] &= ~bit
-                dead = elim_idx[astate.role_mask[elim_idx] == np.uint64(0)]
+                src_bit = kernel.role_bit[constraint.source]
+                if astate.role_mask.ndim == 1:
+                    bit = np.uint64(src_bit)
+                    astate.role_mask[elim_idx] &= ~bit
+                    dead = elim_idx[
+                        astate.role_mask[elim_idx] == np.uint64(0)
+                    ]
+                else:
+                    word, offset = divmod(src_bit.bit_length() - 1, 64)
+                    astate.role_mask[elim_idx, word] &= ~np.uint64(
+                        1 << offset
+                    )
+                    dead = elim_idx[
+                        ~(
+                            astate.role_mask[elim_idx] != np.uint64(0)
+                        ).any(axis=1)
+                    ]
                 if dead.shape[0]:
                     astate.deactivate_indices(dead)
                 result.eliminated_roles = int(elim_idx.shape[0])
@@ -484,13 +492,27 @@ def _reduce_to_confirmed_array(
     paths = walk_out.full_paths
     before = astate.num_active_vertices
 
-    confirmed_mask = np.zeros(n, dtype=np.uint64)
-    for position in range(walk_len):
-        np.bitwise_or.at(
-            confirmed_mask,
-            paths[:, position],
-            np.uint64(kernel.role_bit[walk[position]]),
-        )
+    n_words = astate.n_words
+    wide = n_words > 1
+    if wide:
+        confirmed_mask = np.zeros((n, n_words), dtype=np.uint64)
+        for position in range(walk_len):
+            word, offset = divmod(
+                kernel.role_bit[walk[position]].bit_length() - 1, 64
+            )
+            np.bitwise_or.at(
+                confirmed_mask[:, word],
+                paths[:, position],
+                np.uint64(1 << offset),
+            )
+    else:
+        confirmed_mask = np.zeros(n, dtype=np.uint64)
+        for position in range(walk_len):
+            np.bitwise_or.at(
+                confirmed_mask,
+                paths[:, position],
+                np.uint64(kernel.role_bit[walk[position]]),
+            )
 
     # Match evidence, identical to the dict walk's _record_match output.
     # Per-match dicts are NOT built here: the dense vid matrix is the
@@ -517,10 +539,20 @@ def _reduce_to_confirmed_array(
     else:
         confirmed_codes = np.zeros(0, dtype=np.int64)
     roles_of = kernel.roles_of
-    for i in np.nonzero(confirmed_mask != np.uint64(0))[0].tolist():
-        result.confirmed_roles[int(order[i])] = roles_of(
-            int(confirmed_mask[i])
-        )
+    if wide:
+        nz = np.nonzero(
+            (confirmed_mask != np.uint64(0)).any(axis=1)
+        )[0]
+        for i, row in zip(nz.tolist(), confirmed_mask[nz].tolist()):
+            combined = sum(
+                word << (64 * w) for w, word in enumerate(row)
+            )
+            result.confirmed_roles[int(order[i])] = roles_of(combined)
+    else:
+        for i in np.nonzero(confirmed_mask != np.uint64(0))[0].tolist():
+            result.confirmed_roles[int(order[i])] = roles_of(
+                int(confirmed_mask[i])
+            )
 
     # Reduction, mirroring the dict loop exactly: unconfirmed candidates
     # deactivate (killing their edges both ways); survivors' roles are
@@ -528,14 +560,15 @@ def _reduce_to_confirmed_array(
     # when examined from its smaller-id endpoint's side with that endpoint
     # still a candidate — the same asymmetric-aliveness quirk the dict
     # state preserves.
-    drop_idx = np.nonzero(
-        astate.vertex_active & (confirmed_mask == np.uint64(0))
-    )[0]
+    if wide:
+        confirmed_any = (confirmed_mask != np.uint64(0)).any(axis=1)
+    else:
+        confirmed_any = confirmed_mask != np.uint64(0)
+    drop_idx = np.nonzero(astate.vertex_active & ~confirmed_any)[0]
     if drop_idx.shape[0]:
         astate.deactivate_indices(drop_idx)
-    astate.role_mask = np.where(
-        astate.vertex_active, confirmed_mask, np.uint64(0)
-    )
+    keep = astate.vertex_active[:, None] if wide else astate.vertex_active
+    astate.role_mask = np.where(keep, confirmed_mask, np.uint64(0))
     alive = astate.edge_alive
     examined = alive & csr.vid_gt & astate.vertex_active[csr.src]
     edge_codes = csr.src * np.int64(n) + csr.indices

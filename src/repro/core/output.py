@@ -28,7 +28,8 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import PipelineError
 from ..graph.graph import Edge, Graph
-from .enumeration import enumerate_matches
+from .arraystate import ArraySearchState
+from .enumeration import enumerate_matches_array
 from .results import PipelineResult
 from .state import SearchState
 
@@ -78,11 +79,26 @@ def enumerate_all_matches(
             for mapping in matches:
                 yield outcome.name, mapping
             continue
-        state = _solution_state(graph, outcome)
-        for mapping in enumerate_matches(
-            outcome.prototype, state, limit=limit_per_prototype
-        ):
+        astate = _solution_astate(graph, outcome)
+        match_set = enumerate_matches_array(
+            outcome.prototype, astate, limit=limit_per_prototype
+        )
+        for mapping in match_set.mappings():
             yield outcome.name, mapping
+
+
+def _solution_astate(graph: Graph, outcome) -> ArraySearchState:
+    """Array view of one outcome's exact solution subgraph.
+
+    The CSR of ``graph`` is memoized (:func:`~repro.core.arraystate.csr_of`),
+    so re-enumeration after a pipeline run reuses the run's own CSR.
+    """
+    from .kernels import cached_role_kernel
+
+    kernel = cached_role_kernel(outcome.prototype.graph)
+    return ArraySearchState.from_search_state(
+        _solution_state(graph, outcome), roles=kernel.roles
+    )
 
 
 def _solution_state(graph: Graph, outcome) -> SearchState:

@@ -344,7 +344,10 @@ def _run_bottom_up(
 
     # ------------------------------------------------------ level sweep
     want_matches = options.count_matches or options.collect_matches
-    stored_matches: Dict[int, List[Dict[int, int]]] = {}
+    # Per-child stored matches for the enumeration optimization: dense
+    # ArrayMatchSet tables on the array path, per-match dict lists
+    # otherwise (full-walk collections, dict-path searches).
+    stored_matches: Dict[int, Any] = {}
     # The previous level's union lives in whichever form the level that
     # produced it used — dict (in-process / legacy pooled) or array
     # (shm-pooled).  Exactly one of the two is non-None after a level;
@@ -391,7 +394,7 @@ def _run_bottom_up(
                 level_wall = time.perf_counter()
                 level = LevelReport(distance)
                 level_states: List[SearchState] = []
-                next_stored: Dict[int, List[Dict[int, int]]] = {}
+                next_stored: Dict[int, Any] = {}
 
                 if pool is not None and len(protos.at(distance)) > 1:
                     if pool.array_payloads:
@@ -442,7 +445,11 @@ def _run_bottom_up(
                         extended = _try_extension(proto, stored_matches, graph)
                     if extended is not None:
                         outcome, proto_state = extended
-                        next_stored[proto.id] = outcome.matches
+                        next_stored[proto.id] = (
+                            outcome.match_set
+                            if outcome.match_set is not None
+                            else outcome.matches
+                        )
                     else:
                         array_scope = warm_mask = None
                         if array_level:
@@ -491,7 +498,11 @@ def _run_bottom_up(
                         outcome.remote_messages = stats.total_remote_messages
                         all_stats.append(stats)
                         if outcome.matches is not None and options.enumeration_optimization:
-                            next_stored[proto.id] = outcome.matches
+                            next_stored[proto.id] = (
+                                outcome.match_set
+                                if outcome.match_set is not None
+                                else outcome.matches
+                            )
                     if not options.collect_matches:
                         outcome.matches = None
                     level.outcomes.append(outcome)
@@ -762,33 +773,21 @@ def array_fallback_reason(
 ) -> Optional[str]:
     """Why this run cannot keep level state in array form, or ``None``.
 
-    The reasons mirror :func:`_array_level_eligible`'s conditions: the
-    full array stack (role kernel + array LCC + array NLCC), the M* scope
-    (the naive per-prototype ``SearchState.initial`` start deliberately
-    pays full-adjacency traffic the array scope derivation would skip),
-    no enumeration optimization (its derived outcomes carry dict states),
-    and a template within the 64-bit role-mask width.  Batched runs
+    Only the explicit option switches remain: the array path is total —
+    multi-word role masks cover any template width, naive mode starts
+    from ``ArraySearchState.initial``, and the enumeration optimization
+    chains dense :class:`~repro.core.enumeration.ArrayMatchSet` tables —
+    so a run leaves array form only when the caller turned a stage of the
+    array stack off (role kernel + array LCC + array NLCC).  Batched runs
     surface the returned string per class member so a library compile can
     report exactly which templates lost the fast path.
     """
-    from .arraystate import MAX_ARRAY_ROLES
-
     if not options.role_kernel:
         return "role_kernel disabled"
     if not options.array_state:
         return "array_state disabled"
     if not options.array_nlcc:
         return "array_nlcc disabled"
-    if not options.use_max_candidate_set:
-        return "use_max_candidate_set disabled (naive per-prototype start)"
-    if options.enumeration_optimization:
-        return "enumeration_optimization carries dict match states"
-    num_roles = template.graph.num_vertices
-    if num_roles > MAX_ARRAY_ROLES:
-        return (
-            f"{num_roles} template roles exceed the "
-            f"{MAX_ARRAY_ROLES}-bit mask width"
-        )
     return None
 
 
@@ -817,6 +816,8 @@ def _starting_astate(
     """
     import numpy as np
 
+    from .arraystate import ArraySearchState
+
     use_union = (
         options.use_containment
         and distance < deepest
@@ -824,6 +825,14 @@ def _starting_astate(
         and proto.child_links
     )
     if not use_union:
+        if not options.use_max_candidate_set:
+            # Naive mode: a fresh, fully-unpruned array state per
+            # prototype — the same full-adjacency start the dict path's
+            # ``SearchState.initial`` pays, in array form.
+            return (
+                ArraySearchState.initial(base_astate.graph, proto.graph),
+                None,
+            )
         return base_astate.for_prototype_search(proto), None
     link = proto.child_links[0]
     a, b = link.removed_edge
@@ -868,18 +877,37 @@ def _starting_state(
 
 def _try_extension(
     proto: Prototype,
-    stored_matches: Dict[int, List[Dict[int, int]]],
+    stored_matches: Dict[int, Any],
     graph: Graph,
 ) -> Optional[Tuple[PrototypeSearchOutcome, SearchState]]:
-    """Derive this prototype's result from a child's stored matches (§4)."""
+    """Derive this prototype's result from a child's stored matches (§4).
+
+    Children searched on the array path store dense
+    :class:`~repro.core.enumeration.ArrayMatchSet` tables; those extend
+    through the batched array probe and keep the chain in array form.
+    Dict match lists (full-walk collections, dict-path searches) use the
+    per-match probe.
+    """
+    from .enumeration import ArrayMatchSet, extend_from_child_matches_array
+
     for link in proto.child_links:
-        child_matches = stored_matches.get(link.child.id)
-        if child_matches is None:
+        stored = stored_matches.get(link.child.id)
+        if stored is None:
             continue
         started = time.perf_counter()
-        matches = extend_from_child_matches(proto, link.child, child_matches, graph)
+        if isinstance(stored, ArrayMatchSet):
+            match_set = extend_from_child_matches_array(
+                proto, link.child, stored
+            )
+            matches = match_set.mappings()
+        else:
+            match_set = None
+            matches = extend_from_child_matches(
+                proto, link.child, stored, graph
+            )
         outcome = PrototypeSearchOutcome(proto)
         outcome.matches = matches
+        outcome.match_set = match_set
         outcome.match_mappings = len(matches)
         outcome.distinct_matches = distinct_match_count(proto, len(matches))
         state = state_from_matches(SearchState.empty(graph), proto, matches)
@@ -888,7 +916,7 @@ def _try_extension(
         outcome.exact = True
         outcome.wall_seconds = time.perf_counter() - started
         # Simulated cost: one edge probe per child match.
-        outcome.simulated_seconds = 1.0e-7 * max(len(child_matches), 1)
+        outcome.simulated_seconds = 1.0e-7 * max(len(stored), 1)
         return outcome, state
     return None
 

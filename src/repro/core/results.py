@@ -27,6 +27,11 @@ class PrototypeSearchOutcome:
         self.distinct_matches: Optional[int] = None
         #: enumerated match mappings, if collected
         self.matches: Optional[List[Dict[int, int]]] = None
+        #: dense array match table (ArrayMatchSet) when the array
+        #: enumerator produced the matches; lets the enumeration
+        #: optimization chain stay in array form across levels.  Never
+        #: serialized.
+        self.match_set = None
         self.lcc_iterations = 0
         #: active (vertices, edges) right after the initial LCC fixpoint —
         #: attributes how much pruning LCC did before the NLCC walks ran

@@ -20,12 +20,14 @@ from typing import Optional
 from ..runtime.engine import Engine
 from .constraints import FULL_WALK_KIND, ConstraintSet
 from .enumeration import (
+    astate_from_matches,
     count_match_mappings,
     distinct_match_count,
     enumerate_matches,
+    enumerate_matches_array,
     state_from_matches,
 )
-from .arraystate import ArraySearchState, supports_array_fixpoint
+from .arraystate import ArraySearchState
 from .kernels import cached_role_kernel
 from .lcc import local_constraint_checking
 from .nlcc import non_local_constraint_checking
@@ -145,12 +147,7 @@ def _search_prototype_body(
     """Alg. 2 body; fills ``outcome`` (timing is the caller's job)."""
     kernel = cached_role_kernel(prototype.graph) if role_kernel else None
     astate = None
-    if (
-        kernel is not None
-        and array_state
-        and array_nlcc
-        and supports_array_fixpoint(kernel)
-    ):
+    if kernel is not None and array_state and array_nlcc:
         # Persistent array mode: LCC and NLCC share one array state for
         # the whole search, written back to the dict state exactly once.
         if array_scope is not None:
@@ -220,14 +217,39 @@ def _search_prototype_body(
                 array_state=array_state, astate=astate, adaptive=adaptive,
             )
 
-    if astate is not None:
-        astate.write_back(state)
-
     constraints_exact = full_walk_ran or constraint_set.exact_without_full_walk
     need_enumeration = verification == "enumeration" or (
         verification == "auto" and not constraints_exact
     )
-    if collect_matches and not need_enumeration:
+    if astate is not None:
+        # Array-native tail: enumeration (when needed) runs the vectorized
+        # frontier backtracker on the array state directly and reduces it
+        # in place, so the single write_back below is the only dict
+        # materialization of the whole search.
+        if need_enumeration:
+            match_set = enumerate_matches_array(prototype, astate)
+            astate_from_matches(astate, prototype, match_set)
+            outcome.match_mappings = len(match_set)
+            if collect_matches:
+                outcome.matches = match_set.mappings()
+                outcome.match_set = match_set
+        elif collect_matches:
+            if full_walk_ran:
+                # Each completed full-walk token already is an exact match.
+                outcome.matches = full_walk_result.completed_mappings
+            else:
+                match_set = enumerate_matches_array(prototype, astate)
+                outcome.matches = match_set.mappings()
+                outcome.match_set = match_set
+            outcome.match_mappings = len(outcome.matches)
+        elif full_walk_ran:
+            outcome.match_mappings = full_walk_completions
+        elif count_matches:
+            outcome.match_mappings = len(
+                enumerate_matches_array(prototype, astate)
+            )
+        astate.write_back(state)
+    elif collect_matches and not need_enumeration:
         if full_walk_ran:
             # Each completed full-walk token already is an exact match.
             outcome.matches = full_walk_result.completed_mappings
@@ -242,11 +264,6 @@ def _search_prototype_body(
         outcome.match_mappings = len(matches)
         if collect_matches:
             outcome.matches = matches
-        if array_scope is not None and astate is not None:
-            # The caller keeps using the array state after this search
-            # (level-persistent mode) — resync it with the enumeration-
-            # reduced dict state.
-            astate.reimport(state)
     elif full_walk_ran:
         outcome.match_mappings = full_walk_completions
     elif count_matches:

@@ -146,14 +146,24 @@ class SearchState:
 
     # ------------------------------------------------------------------
     def to_graph(self) -> Graph:
-        """Materialize the active subgraph (labels from the background)."""
+        """Materialize the active subgraph (labels from the background).
+
+        Vertex *and* edge labels carry over, so edge-labeled prototypes
+        can be enumerated against the pruned view directly.
+        """
         pruned = Graph()
+        edge_label = (
+            self.graph.edge_label if self.graph.has_edge_labels else None
+        )
         for v in self.candidates:
             pruned.add_vertex(v, self.graph.label(v))
         for u, nbrs in self.active_edges.items():
             for v in nbrs:
                 if u < v and v in self.candidates and u in self.candidates:
-                    pruned.add_edge(u, v)
+                    pruned.add_edge(
+                        u, v,
+                        None if edge_label is None else edge_label(u, v),
+                    )
         return pruned
 
     def for_prototype_search(

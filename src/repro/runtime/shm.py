@@ -41,12 +41,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..graph.graph import Graph
 
 __all__ = [
+    "PAYLOAD_VERSION",
     "SharedCsrHandle",
     "SharedGraphCsr",
     "attach_shared_csr",
     "detach_all",
     "owned_segment_names",
 ]
+
+#: Wire-format version stamped into every :class:`SharedCsrHandle` and
+#: checked on attach.  Version 2: the multi-word role-mask era — scope
+#: and solution payloads stay bitmap-only (and therefore mask-width
+#: independent; workers re-derive masks from labels), but owner and
+#: workers must agree on that contract, so mixed-version pools refuse to
+#: attach instead of silently misreading the segment.
+PAYLOAD_VERSION = 2
 
 #: GraphCsr array slots exported into the segment (edge_label_codes is
 #: appended only when the graph carries edge labels)
@@ -146,6 +155,7 @@ class SharedGraphCsr:
             self._shm.name,
             layout,
             {
+                "payload_version": PAYLOAD_VERSION,
                 "num_vertices": csr.num_vertices,
                 "num_directed_edges": csr.num_directed_edges,
                 "num_labels": csr.num_labels,
@@ -195,6 +205,13 @@ def attach_shared_csr(handle: SharedCsrHandle, graph: "Graph") -> "GraphCsr":
     """
     from ..core.arraystate import GraphCsr
 
+    version = handle.meta.get("payload_version")
+    if version != PAYLOAD_VERSION:
+        raise ValueError(
+            f"shared CSR payload version {version!r} does not match this "
+            f"process's version {PAYLOAD_VERSION}; owner and workers must "
+            "run the same build"
+        )
     shm = _ATTACHED.get(handle.name)
     if shm is None:
         shm = shared_memory.SharedMemory(name=handle.name)

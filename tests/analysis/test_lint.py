@@ -228,6 +228,27 @@ class TestR4FallbackParity:
             """}, rules=["R4"])
         assert report.clean
 
+    def test_dict_enumeration_on_array_branch_fires(self, tmp_path):
+        report = lint_files(tmp_path, {"search.py": """\
+            def verify(prototype, state, astate, enumerate_matches):
+                if astate is not None:
+                    matches = list(enumerate_matches(prototype, state))
+                    return matches
+                return []
+            """}, rules=["R4"])
+        assert rules_fired(report) == {"R4"}
+
+    def test_array_enumerator_on_array_branch_is_clean(self, tmp_path):
+        report = lint_files(tmp_path, {"search.py": """\
+            def verify(prototype, state, astate, enumerate_matches,
+                       enumerate_matches_array):
+                if astate is not None:
+                    return enumerate_matches_array(prototype, astate)
+                return list(enumerate_matches(prototype, state))
+            """}, rules=["R4"])
+        # the dict call sits on the fallback side of the dispatch
+        assert report.clean
+
 
 class TestR5HotLoopHygiene:
     def test_python_loop_over_csr_array_fires(self, tmp_path):

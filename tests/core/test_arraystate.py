@@ -259,12 +259,19 @@ class TestLccEquivalence:
             assert not state.is_active(9)
             assert state.is_active(2)
 
-    def test_oversized_role_set_falls_back_to_dict_kernel(self):
+    def test_oversized_role_set_runs_multi_word_array_kernel(self):
+        # Regression for the removed ">64 roles" dict fallback: the wide
+        # template now runs the multi-word array kernel and must match the
+        # dict fixpoint bit-for-bit.
         path = [(v, v + 1) for v in range(MAX_ARRAY_ROLES)]
         labels = {v: 1 for v in range(MAX_ARRAY_ROLES + 1)}
         template = PatternTemplate.from_edges(path, labels, name="wide")
         kernel = compile_role_kernel(template.graph)
-        assert not supports_array_fixpoint(kernel)
+        assert supports_array_fixpoint(kernel)
+        graph_probe = Graph()
+        graph_probe.add_vertex(0, 1)
+        wide_state = ArraySearchState.initial(graph_probe, template)
+        assert wide_state.n_words == 2
         graph = Graph()
         for v in range(6):
             graph.add_vertex(v, 1)

@@ -384,14 +384,43 @@ class TestArrayFallbackReporting:
         graph, template = self.case()
         result = run_pipeline(
             graph, template, 0,
-            options(enumeration_optimization=True, count_matches=False),
+            options(array_nlcc=False, count_matches=False),
         )
         assert result.array_fallback_reason is not None
-        assert "enumeration_optimization" in result.array_fallback_reason
+        assert "array_nlcc" in result.array_fallback_reason
         stats = result.stats_document()
         assert (
             stats["array_fallback_reason"] == result.array_fallback_reason
         )
+
+    def test_enumeration_optimization_stays_on_array_path(self):
+        # Regression for a removed fallback reason: the enumeration
+        # optimization chains dense array match tables, so it no longer
+        # forces the dict path — and the answers still match a run
+        # without the optimization.
+        graph, template = self.case()
+        optimized = run_pipeline(
+            graph, template, 1, options(enumeration_optimization=True)
+        )
+        assert optimized.array_fallback_reason is None
+        plain = run_pipeline(graph, template, 1, options())
+        assert optimized.matched_vertices() == plain.matched_vertices()
+        assert (
+            optimized.total_match_mappings() == plain.total_match_mappings()
+        )
+
+    def test_naive_mode_stays_on_array_path(self):
+        # Regression for a removed fallback reason: naive mode starts
+        # each prototype from ArraySearchState.initial instead of
+        # dropping the whole run to dict form.
+        graph, template = self.case()
+        naive = run_pipeline(
+            graph, template, 0, options(use_max_candidate_set=False)
+        )
+        assert naive.array_fallback_reason is None
+        pruned = run_pipeline(graph, template, 0, options())
+        assert naive.matched_vertices() == pruned.matched_vertices()
+        assert naive.total_match_mappings() == pruned.total_match_mappings()
 
     def test_array_path_reports_no_reason(self):
         graph, template = self.case()
@@ -405,7 +434,7 @@ class TestArrayFallbackReporting:
         run_pipeline(
             graph, template, 0,
             options(
-                enumeration_optimization=True, count_matches=False,
+                array_nlcc=False, count_matches=False,
                 tracer=tracer,
             ),
         )
@@ -417,19 +446,15 @@ class TestArrayFallbackReporting:
             stack.extend(span.children)
         fallback = [s for s in spans if s.name == "array_fallback"]
         assert len(fallback) == 1
-        assert "enumeration_optimization" in fallback[0].attrs["reason"]
+        assert "array_nlcc" in fallback[0].attrs["reason"]
 
     def test_batch_stats_surface_per_class_reasons(self):
         graph, template = self.case()
-        opts = options(
-            enumeration_optimization=True, count_matches=False
-        )
+        opts = options(array_nlcc=False, count_matches=False)
         batch = run_batch(graph, [BatchQuery(template, 0)], opts)
         per_class = batch.stats_document()["per_class"]
         assert len(per_class) == 1
-        assert "enumeration_optimization" in (
-            per_class[0]["array_fallback_reason"]
-        )
+        assert "array_nlcc" in per_class[0]["array_fallback_reason"]
 
 
 class TestScheduleCostEstimates:
