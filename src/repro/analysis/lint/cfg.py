@@ -1,0 +1,221 @@
+"""Intraprocedural control-flow graphs for the dataflow rules.
+
+One :class:`Cfg` per function: basic blocks of consecutive simple
+statements, edges for the branching constructs.  The granularity is what
+the flow-sensitive rules need — *which statements can execute after
+which* — not a compiler-grade IR:
+
+* ``if``/``while``/``for`` produce the usual diamond / loop shapes
+  (conditions are recorded as :class:`BranchMarker` pseudo-statements so
+  transfer functions can inspect them);
+* ``break``/``continue``/``return``/``raise`` terminate their block and
+  edge to the loop exit / function exit;
+* ``try`` is conservative: every handler is reachable from the block
+  preceding the body *and* from the body's end (any statement may
+  raise), ``finally`` joins all of it;
+* ``with`` bodies run sequentially; a :class:`WithExit` pseudo-statement
+  after the body marks the context managers' ``__exit__`` point (the
+  release event R9 cares about).
+
+Blocks hold a mix of real ``ast.stmt`` nodes and the pseudo-statement
+markers; dataflow transfer functions dispatch on type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+__all__ = ["BasicBlock", "Cfg", "BranchMarker", "WithExit", "build_cfg"]
+
+
+class BranchMarker:
+    """Pseudo-statement: a branch condition evaluated at block end."""
+
+    __slots__ = ("test",)
+
+    def __init__(self, test: ast.expr) -> None:
+        self.test = test
+
+
+class WithExit:
+    """Pseudo-statement: ``with`` context managers released here."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[ast.withitem]) -> None:
+        self.items = items
+
+
+class BasicBlock:
+    """A straight-line run of statements."""
+
+    __slots__ = ("id", "statements", "successors", "predecessors")
+
+    def __init__(self, block_id: int) -> None:
+        self.id = block_id
+        self.statements: List[object] = []
+        self.successors: List[int] = []
+        self.predecessors: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<block {self.id} [{len(self.statements)} stmts] "
+            f"-> {self.successors}>"
+        )
+
+
+class Cfg:
+    """The block graph of one function body."""
+
+    def __init__(self) -> None:
+        self.blocks: List[BasicBlock] = []
+        self.entry: int = self.new_block().id
+        self.exit: int = self.new_block().id
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].successors:
+            self.blocks[src].successors.append(dst)
+            self.blocks[dst].predecessors.append(src)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = Cfg()
+        #: (break target, continue target) stack of enclosing loops
+        self.loops: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def build(self, body: List[ast.stmt]) -> Cfg:
+        cfg = self.cfg
+        end = self._sequence(cfg.entry, body)
+        if end is not None:
+            cfg.add_edge(end, cfg.exit)
+        return cfg
+
+    def _sequence(
+        self, current: Optional[int], body: List[ast.stmt]
+    ) -> Optional[int]:
+        """Thread ``body`` from block ``current``; None = unreachable."""
+        for stmt in body:
+            if current is None:
+                # unreachable code still gets blocks (rules may want
+                # them) but no incoming edges
+                current = self.cfg.new_block().id
+            current = self._statement(current, stmt)
+        return current
+
+    # ------------------------------------------------------------------
+    def _statement(self, current: int, stmt: ast.stmt) -> Optional[int]:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cfg.blocks[current].statements.append(BranchMarker(stmt.test))
+            then_block = cfg.new_block().id
+            cfg.add_edge(current, then_block)
+            then_end = self._sequence(then_block, stmt.body)
+            if stmt.orelse:
+                else_block = cfg.new_block().id
+                cfg.add_edge(current, else_block)
+                else_end = self._sequence(else_block, stmt.orelse)
+            else:
+                else_end = current
+            join = cfg.new_block().id
+            for end in (then_end, else_end):
+                if end is not None:
+                    cfg.add_edge(end, join)
+            return join if cfg.blocks[join].predecessors else None
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg.new_block().id
+            cfg.add_edge(current, header)
+            if isinstance(stmt, ast.While):
+                cfg.blocks[header].statements.append(BranchMarker(stmt.test))
+            else:
+                # the loop target assignment happens in the header
+                cfg.blocks[header].statements.append(stmt)
+            exit_block = cfg.new_block().id
+            cfg.add_edge(header, exit_block)  # zero-iteration path
+            body_block = cfg.new_block().id
+            cfg.add_edge(header, body_block)
+            self.loops.append((exit_block, header))
+            body_end = self._sequence(body_block, stmt.body)
+            self.loops.pop()
+            if body_end is not None:
+                cfg.add_edge(body_end, header)
+            if stmt.orelse:
+                else_end = self._sequence(exit_block, stmt.orelse)
+                if else_end is not None and else_end != exit_block:
+                    return else_end
+            return exit_block
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.blocks[current].statements.append(stmt)
+            body_end = self._sequence(current, stmt.body)
+            if body_end is None:
+                return None
+            cfg.blocks[body_end].statements.append(WithExit(stmt.items))
+            return body_end
+        if isinstance(stmt, ast.Try):
+            pre = current
+            body_block = cfg.new_block().id
+            cfg.add_edge(pre, body_block)
+            body_end = self._sequence(body_block, stmt.body)
+            join = cfg.new_block().id
+            handler_ends: List[Optional[int]] = []
+            for handler in stmt.handlers:
+                handler_block = cfg.new_block().id
+                # a handler can be entered before any body statement ran
+                # or after any of them — approximate with both endpoints
+                cfg.add_edge(body_block, handler_block)
+                if body_end is not None:
+                    cfg.add_edge(body_end, handler_block)
+                handler_ends.append(
+                    self._sequence(handler_block, handler.body)
+                )
+            if stmt.orelse and body_end is not None:
+                body_end = self._sequence(body_end, stmt.orelse)
+            for end in [body_end] + handler_ends:
+                if end is not None:
+                    cfg.add_edge(end, join)
+            if not cfg.blocks[join].predecessors:
+                if not stmt.finalbody:
+                    return None
+                join_opt: Optional[int] = None
+            else:
+                join_opt = join
+            if stmt.finalbody:
+                if join_opt is None:
+                    join_opt = join  # finally runs even on the raise path
+                    cfg.add_edge(body_block, join_opt)
+                return self._sequence(join_opt, stmt.finalbody)
+            return join_opt
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.blocks[current].statements.append(stmt)
+            cfg.add_edge(current, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            cfg.blocks[current].statements.append(stmt)
+            if self.loops:
+                cfg.add_edge(current, self.loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Continue):
+            cfg.blocks[current].statements.append(stmt)
+            if self.loops:
+                cfg.add_edge(current, self.loops[-1][1])
+            return None
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # nested definitions are opaque statements at this level
+            cfg.blocks[current].statements.append(stmt)
+            return current
+        cfg.blocks[current].statements.append(stmt)
+        return current
+
+
+def build_cfg(func: ast.AST) -> Cfg:
+    """The CFG of a function's body."""
+    return _Builder().build(list(func.body))

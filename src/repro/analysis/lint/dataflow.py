@@ -1,0 +1,127 @@
+"""Generic worklist dataflow solving over :mod:`.cfg` graphs.
+
+The deep rules phrase their properties as classic gen/kill analyses —
+"which shared-memory names are released on *some* path reaching this
+statement" (forward, may, union join), "which facts hold on *every*
+path" (must, intersection join).  :class:`Analysis` is the strategy
+object: a rule subclasses it with a per-statement transfer function and
+:func:`solve` iterates to the fixed point.
+
+Facts are ``frozenset`` instances throughout — cheap to hash, compare
+and join, and plenty for the set-shaped properties the rules track.
+The solver is direction-agnostic: ``backward=True`` walks predecessor
+edges with the same machinery (successors/predecessors and the
+statement iteration order swap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Tuple
+
+from .cfg import Cfg
+
+__all__ = ["Analysis", "solve", "statement_facts"]
+
+Fact = FrozenSet[object]
+
+
+class Analysis:
+    """Strategy for one dataflow problem.
+
+    Subclasses set :attr:`backward` / :attr:`may` and implement
+    :meth:`transfer`; :meth:`initial` is the entry fact (exit fact for
+    backward analyses).  ``may=True`` joins with union (fact holds on
+    some path), ``may=False`` with intersection (holds on all paths).
+    """
+
+    backward: bool = False
+    may: bool = True
+
+    def initial(self) -> Fact:
+        return frozenset()
+
+    def boundary(self) -> Fact:
+        """The fact for blocks not yet visited (identity of the join)."""
+        return frozenset() if self.may else None  # type: ignore[return-value]
+
+    def transfer(self, fact: Fact, statement: object) -> Fact:
+        """Fact after (before, when backward) one statement."""
+        raise NotImplementedError
+
+    def join(self, facts: List[Fact]) -> Fact:
+        if not facts:
+            return frozenset()
+        result = facts[0]
+        for fact in facts[1:]:
+            result = result | fact if self.may else result & fact
+        return result
+
+
+def _block_statements(cfg: Cfg, block_id: int, backward: bool) -> List[object]:
+    statements = cfg.blocks[block_id].statements
+    return list(reversed(statements)) if backward else list(statements)
+
+
+def solve(cfg: Cfg, analysis: Analysis) -> Dict[int, Fact]:
+    """Fixed-point in-facts per block (out-facts for backward problems).
+
+    Returns the fact at each block's *entry* in execution order — i.e.
+    the fact that holds before its first statement runs (after its last,
+    for backward analyses).
+    """
+    if analysis.backward:
+        start = cfg.exit
+        edges_in: Callable[[int], List[int]] = (
+            lambda b: cfg.blocks[b].successors
+        )
+        edges_out: Callable[[int], List[int]] = (
+            lambda b: cfg.blocks[b].predecessors
+        )
+    else:
+        start = cfg.entry
+        edges_in = lambda b: cfg.blocks[b].predecessors  # noqa: E731
+        edges_out = lambda b: cfg.blocks[b].successors   # noqa: E731
+
+    in_facts: Dict[int, Fact] = {start: analysis.initial()}
+    out_facts: Dict[int, Fact] = {}
+    worklist: List[int] = [start]
+    while worklist:
+        block_id = worklist.pop(0)
+        fact = in_facts.get(block_id, frozenset())
+        for statement in _block_statements(cfg, block_id, analysis.backward):
+            fact = analysis.transfer(fact, statement)
+        if out_facts.get(block_id) == fact and block_id in out_facts:
+            continue
+        out_facts[block_id] = fact
+        for succ in edges_out(block_id):
+            incoming = [
+                out_facts[p] for p in edges_in(succ) if p in out_facts
+            ]
+            joined = analysis.join(incoming)
+            if succ not in in_facts or in_facts[succ] != joined:
+                in_facts[succ] = joined
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_facts
+
+
+def statement_facts(
+    cfg: Cfg, analysis: Analysis, in_facts: Dict[int, Fact]
+) -> List[Tuple[object, Fact]]:
+    """(statement, fact holding *before* it) pairs, from solved in-facts.
+
+    The per-statement expansion rules use to anchor violations: after
+    :func:`solve` fixes the block boundaries, one more pass through each
+    block replays the transfer function statement by statement.
+    """
+    pairs: List[Tuple[object, Fact]] = []
+    for block in cfg.blocks:
+        if block.id not in in_facts:
+            continue  # unreachable
+        fact = in_facts[block.id]
+        for statement in _block_statements(
+            cfg, block.id, analysis.backward
+        ):
+            pairs.append((statement, fact))
+            fact = analysis.transfer(fact, statement)
+    return pairs

@@ -26,7 +26,14 @@ Pieces:
 
 Suppression: append ``# repro-lint: ignore[R3]`` (or a comma-separated
 list, or no bracket for all rules) to the offending line or place it
-alone on the line directly above.
+alone on the line directly above.  For a multi-line statement the
+comment may sit on the statement's *first* line (or alone above it) and
+covers violations anchored to any of its continuation lines.
+
+Rules come in two tiers: the per-file AST rules (R1–R8) always run;
+rules marked ``deep = True`` (R9–R13, the interprocedural call-graph /
+CFG / dataflow pass behind ``repro analyze``) join only when
+``run_lint(..., deep=True)`` or an explicit ``rule_ids`` selects them.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ __all__ = [
     "Violation",
     "all_rules",
     "register_rule",
+    "rule_sort_key",
     "run_lint",
 ]
 
@@ -111,6 +119,20 @@ class ModuleSource:
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
                 self.parents[child] = parent
+        #: line -> first line of the innermost statement spanning it, so a
+        #: suppression comment on a multi-line call's first line covers
+        #: violations anchored to its continuation lines
+        self.stmt_start: Dict[int, int] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            for lineno in range(node.lineno, end + 1):
+                # later statement starts are innermost (body statements of
+                # a compound statement re-map their own lines)
+                current = self.stmt_start.get(lineno, 0)
+                if node.lineno > current:
+                    self.stmt_start[lineno] = node.lineno
 
     # ------------------------------------------------------------------
     @property
@@ -149,14 +171,22 @@ class ModuleSource:
     def suppressed_rules(self, lineno: int) -> Optional[frozenset]:
         """Rules suppressed at ``lineno``; empty frozenset = all rules.
 
-        Returns ``None`` when no suppression comment applies.  Both the
-        line itself and a dedicated comment line directly above count.
+        Returns ``None`` when no suppression comment applies.  Accepted
+        placements: trailing on the line itself, alone on the line
+        directly above, and — for violations anchored to a continuation
+        line of a multi-line statement — trailing on the statement's
+        first line or alone directly above it.
         """
-        for candidate in (lineno, lineno - 1):
+        start = self.stmt_start.get(lineno, lineno)
+        #: (line to inspect, whether a trailing comment counts there)
+        candidates = [(lineno, True), (lineno - 1, False)]
+        if start != lineno:
+            candidates += [(start, True), (start - 1, False)]
+        for candidate, trailing_ok in candidates:
             if not (1 <= candidate <= len(self.lines)):
                 continue
             text = self.lines[candidate - 1]
-            if candidate != lineno and not text.lstrip().startswith("#"):
+            if not trailing_ok and not text.lstrip().startswith("#"):
                 continue
             match = _SUPPRESS_RE.search(text)
             if match is None:
@@ -183,6 +213,9 @@ class Project:
         self.root = root
         self.modules = list(modules)
         self.by_rel_path = {m.rel_path: m for m in self.modules}
+        #: shared per-project analysis artifacts (call graph, effect
+        #: summaries) memoized across the deep rules — built once per run
+        self.cache: Dict[str, object] = {}
 
     @classmethod
     def load(
@@ -230,6 +263,15 @@ class Rule:
     rationale: str = ""
     #: restrict the per-module pass to the hot kernel modules
     hot_modules_only: bool = False
+    #: interprocedural rules (call graph / CFG / dataflow) run only under
+    #: ``repro analyze`` / ``repro lint --deep`` or an explicit --rule
+    deep: bool = False
+    #: the enforced contract, printed by ``repro lint --explain`` (falls
+    #: back to the class docstring when empty)
+    contract: str = ""
+    #: minimal failing / corrected snippet pair for ``--explain``
+    example_bad: str = ""
+    example_good: str = ""
 
     def check_project(self, project: Project) -> Iterator[Violation]:
         for module in project.modules:
@@ -258,10 +300,16 @@ def register_rule(rule_cls: type) -> type:
 
 
 def all_rules() -> Dict[str, Rule]:
-    """The registry (importing ``rules`` populates it)."""
-    from . import rules  # noqa: F401  (registration side effect)
+    """The registry (importing the rule modules populates it)."""
+    from . import deep_rules, rules  # noqa: F401  (registration side effect)
 
     return dict(_REGISTRY)
+
+
+def rule_sort_key(rule_id: str) -> Tuple[int, str]:
+    """Natural order for rule ids: R2 before R10 (lexicographic fails)."""
+    digits = "".join(ch for ch in rule_id if ch.isdigit())
+    return (int(digits) if digits else 0, rule_id)
 
 
 # ----------------------------------------------------------------------
@@ -309,8 +357,11 @@ class Baseline:
             for (rule, rel, snippet), count in sorted(self.entries.items())
         ]
         document = {"version": self.VERSION, "entries": entries}
+        # sort_keys on top of the sorted entry list: byte-stable output,
+        # so regenerating the baseline produces reviewable diffs
         Path(path).write_text(
-            json.dumps(document, indent=1) + "\n", encoding="utf-8"
+            json.dumps(document, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
         )
 
     def split(
@@ -372,12 +423,15 @@ def run_lint(
     rule_ids: Optional[Sequence[str]] = None,
     baseline: Optional[Baseline] = None,
     paths: Optional[Sequence[Path]] = None,
+    deep: bool = False,
 ) -> LintReport:
     """Check every python file under ``root`` against the registered rules.
 
     ``rule_ids`` restricts the pass; ``baseline`` partitions findings
     into new vs accepted.  Suppression comments are honored before the
-    baseline is consulted.
+    baseline is consulted.  ``deep=True`` adds the interprocedural rules
+    (``Rule.deep``) to the default set; an explicit ``rule_ids`` always
+    runs exactly what it names.
     """
     registry = all_rules()
     if rule_ids:
@@ -385,11 +439,14 @@ def run_lint(
         if unknown:
             raise ValueError(
                 f"unknown rule id(s) {', '.join(unknown)}; "
-                f"known: {', '.join(sorted(registry))}"
+                f"known: {', '.join(sorted(registry, key=rule_sort_key))}"
             )
         rules = [registry[r] for r in rule_ids]
     else:
-        rules = [registry[r] for r in sorted(registry)]
+        rules = [
+            registry[r] for r in sorted(registry, key=rule_sort_key)
+            if deep or not registry[r].deep
+        ]
 
     project = Project.load(Path(root), paths=paths)
     found: List[Violation] = list(project.parse_errors)

@@ -11,7 +11,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .framework import Baseline, LintReport, all_rules, run_lint
+from .framework import (
+    Baseline,
+    LintReport,
+    all_rules,
+    rule_sort_key,
+    run_lint,
+)
 
 __all__ = ["add_lint_arguments", "lint_from_args", "main"]
 
@@ -53,6 +59,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="include the interprocedural rules (R9+: call graph / CFG / "
+             "dataflow — what `repro analyze` runs)",
+    )
+    parser.add_argument(
+        "--explain", metavar="ID",
+        help="print a rule's contract and a minimal bad/good example "
+             "pair, then exit",
     )
 
 
@@ -98,10 +114,45 @@ def _render_text(report: LintReport, baseline_used: bool) -> str:
     return "\n".join(lines)
 
 
+def _explain_rule(rule_id: str) -> int:
+    registry = all_rules()
+    rule = registry.get(rule_id.upper())
+    if rule is None:
+        known = ", ".join(sorted(registry, key=rule_sort_key))
+        print(
+            f"error: unknown rule id {rule_id!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    tier = " [deep: repro analyze / lint --deep]" if rule.deep else ""
+    print(f"{rule.id}  {rule.title}{tier}")
+    print(f"why: {rule.rationale}")
+    contract = rule.contract or (rule.__doc__ or "").strip()
+    print()
+    print("contract:")
+    print(f"  {contract}")
+    if rule.example_bad:
+        print()
+        print("bad:")
+        for line in rule.example_bad.rstrip("\n").splitlines():
+            print(f"  {line}")
+    if rule.example_good:
+        print()
+        print("good:")
+        for line in rule.example_good.rstrip("\n").splitlines():
+            print(f"  {line}")
+    return 0
+
+
 def lint_from_args(args: argparse.Namespace) -> int:
+    if getattr(args, "explain", None):
+        return _explain_rule(args.explain)
     if args.list_rules:
-        for rule_id, rule in sorted(all_rules().items()):
-            print(f"{rule_id}  {rule.title} — {rule.rationale}")
+        registry = all_rules()
+        for rule_id in sorted(registry, key=rule_sort_key):
+            rule = registry[rule_id]
+            tier = " [deep]" if rule.deep else ""
+            print(f"{rule_id}{tier}  {rule.title} — {rule.rationale}")
         return 0
 
     try:
@@ -133,7 +184,8 @@ def lint_from_args(args: argparse.Namespace) -> int:
 
     try:
         report = run_lint(
-            root, rule_ids=args.rules, baseline=baseline, paths=files
+            root, rule_ids=args.rules, baseline=baseline, paths=files,
+            deep=getattr(args, "deep", False),
         )
     except ValueError as error:  # unknown rule id
         print(f"error: {error}", file=sys.stderr)

@@ -21,6 +21,10 @@ Python:
   truthiness, options threading, tracer guards, array/dict fallback
   parity, hot-loop hygiene, batched template execution —
   docs/INTERNALS.md §11);
+* ``analyze``     — interprocedural static analysis: the lint pass plus
+  the call-graph/CFG/dataflow rules (shm use-after-release, resident
+  immutability, pickles-empty export, dtype contract, options
+  threading — docs/INTERNALS.md §16);
 * ``batch``       — template-library batch search: several template JSON
   files run through one compiled library sharing kernels, prototypes,
   the ``M*`` traversal and auxiliary pruned views (docs/INTERNALS.md
@@ -470,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=command_lint)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="interprocedural static analysis — call-graph/CFG/dataflow "
+             "rules R9+ on top of the lint pass (INTERNALS.md §16)",
+    )
+    add_lint_arguments(analyze)
+    analyze.set_defaults(func=command_lint, deep=True)
 
     batch = commands.add_parser(
         "batch",

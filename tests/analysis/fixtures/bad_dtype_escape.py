@@ -1,0 +1,33 @@
+"""Known-bad input for R12 (dtype-contract).
+
+Float/object escapes into integer CSR slots, including one that only a
+call-graph walk can see (the helper's float return feeding a slot).
+Never import this module.
+"""
+
+import numpy as np
+
+from repro.core.arraystate import GraphCsr
+
+
+def make_degrees(n):
+    return np.zeros(n)  # float64 by default — the silent upcast source
+
+
+def build(n, indices, indptr):
+    degrees = make_degrees(n)  # interprocedural: float via helper return
+    boxes = np.empty(n, dtype=object)  # R12: object-dtype escape
+    csr = GraphCsr(
+        indptr=indptr,
+        indices=indices,
+        degrees=degrees,  # R12: float into an integer slot
+    )
+    mid = n / 2
+    return csr, boxes, indices[mid]  # R12: float-inferred index
+
+
+def ok_explicit_dtypes(n, indices, indptr):
+    degrees = np.zeros(n, dtype=np.int64)
+    csr = GraphCsr(indptr=indptr, indices=indices, degrees=degrees)
+    mid = n // 2
+    return csr, indices[mid]

@@ -1,0 +1,23 @@
+"""Known-bad input for R13 (options-threading-interprocedural).
+
+A driver drops its PipelineOptions argument when calling into a chain
+whose leaf reads options fields.  Never import this module.
+"""
+
+
+def leaf(graph, options=None):
+    if options is not None and options.budget is not None:
+        return options.budget
+    return 0
+
+
+def middle(graph, options=None):
+    return leaf(graph, options=options)
+
+
+def driver(graph, options):
+    return middle(graph)  # R13: options silently reset to defaults
+
+
+def ok_driver(graph, options):
+    return middle(graph, options=options)

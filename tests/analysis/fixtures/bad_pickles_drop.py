@@ -1,0 +1,23 @@
+"""Known-bad input for R11 (pickles-empty-export).
+
+A worker task mutates a MetricsRegistry and returns without exporting
+it; the submitting side never merges payloads.  Never import this
+module.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.runtime.metrics import MetricsRegistry
+
+
+def _task(payload):
+    registry = MetricsRegistry()
+    registry.incr("steps", len(payload))
+    return {"ok": True}  # R11: registry state pickles to empty, dropped
+
+
+def run(payloads):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_task, p) for p in payloads]
+        # R11 (parent side): worker metrics never merged back
+    return [f.result() for f in futures]

@@ -1,0 +1,53 @@
+"""Known-bad input for R9 (shm-use-after-release).
+
+Every function here violates (or deliberately skirts) the shared-memory
+lifetime contract; the analyzer self-check asserts R9 fires on this
+file.  Never import this module.
+"""
+
+from repro.runtime.shm import share_csr
+
+
+def helper_close(segment):
+    segment.close()
+
+
+def use_after_direct_close(csr):
+    shared = share_csr(csr)
+    view = shared.view
+    shared.close()
+    return view.indptr[-1]  # R9: view derived from a closed segment
+
+
+def use_after_helper_close(csr):
+    shared = share_csr(csr)
+    helper_close(shared)
+    return shared.handle  # R9: helper released it on the caller's behalf
+
+
+def use_after_with_exit(csr):
+    with share_csr(csr) as shared:
+        handle = shared.handle
+    return shared.nbytes  # R9: __exit__ released the segment
+
+
+def release_on_one_branch(csr, early):
+    shared = share_csr(csr)
+    if early:
+        shared.close()
+    return shared.handle  # R9: released on the `early` path
+
+
+def ok_scalar_copy_then_close(csr):
+    shared = share_csr(csr)
+    total = shared.nbytes  # scalar copy, safe to use later
+    shared.close()
+    shared.close()  # ok: close is idempotent
+    return total
+
+
+def ok_rebind_restarts_lifetime(csr):
+    shared = share_csr(csr)
+    shared.close()
+    shared = share_csr(csr)  # fresh segment under the same name
+    return shared.handle

@@ -1,0 +1,472 @@
+"""Unit tests for the interprocedural analysis engine.
+
+Covers the four layers the deep rules stand on: call-graph resolution
+(:mod:`repro.analysis.lint.callgraph`), CFG shapes
+(:mod:`repro.analysis.lint.cfg`), the worklist dataflow solver
+(:mod:`repro.analysis.lint.dataflow`) and the per-function effect
+summaries (:mod:`repro.analysis.lint.effects`).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.lint.callgraph import CallGraph, callgraph_of
+from repro.analysis.lint.cfg import BranchMarker, build_cfg
+from repro.analysis.lint.dataflow import Analysis, solve, statement_facts
+from repro.analysis.lint.effects import (
+    EffectsIndex,
+    dtype_label,
+    effects_of,
+    infer_call_dtype,
+    map_arguments,
+)
+from repro.analysis.lint.framework import Project
+
+
+def project_of(tmp_path, files):
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return Project.load(tmp_path)
+
+
+def func_node(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return tree.body[0]
+
+
+# ----------------------------------------------------------------------
+# call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_local_and_imported_calls_resolve(self, tmp_path):
+        project = project_of(tmp_path, {
+            "a.py": """\
+                from b import helper as h
+
+                def caller():
+                    local()
+                    h()
+
+                def local():
+                    pass
+                """,
+            "b.py": """\
+                def helper():
+                    pass
+                """,
+        })
+        graph = callgraph_of(project)
+        sites = graph.calls_from["a.py::caller"]
+        callees = {c for s in sites for c in s.callees}
+        assert callees == {"a.py::local", "b.py::helper"}
+        assert not any(s.external for s in sites)
+        assert "a.py::caller" in graph.callers_of["b.py::helper"]
+
+    def test_self_method_and_constructor_dispatch(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                class Widget:
+                    def __init__(self):
+                        self.reset()
+
+                    def reset(self):
+                        pass
+
+                def build():
+                    w = Widget()
+                    w.reset()
+                    return w
+                """,
+        })
+        graph = callgraph_of(project)
+        init_sites = graph.calls_from["m.py::Widget.__init__"]
+        assert init_sites[0].callees == ("m.py::Widget.reset",)
+        build_callees = {
+            c for s in graph.calls_from["m.py::build"] for c in s.callees
+        }
+        # Widget() dispatches to __init__, w.reset() by receiver class
+        assert build_callees == {
+            "m.py::Widget.__init__", "m.py::Widget.reset",
+        }
+
+    def test_annotation_receiver_dispatch(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                class Store:
+                    def get(self):
+                        return 1
+
+                def read(store: "Store"):
+                    return store.get()
+                """,
+        })
+        graph = callgraph_of(project)
+        sites = graph.calls_from["m.py::read"]
+        assert sites[0].callees == ("m.py::Store.get",)
+        assert not sites[0].external
+
+    def test_unknown_callee_is_external(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                import numpy as np
+
+                def f(x):
+                    return np.zeros(x)
+                """,
+        })
+        graph = callgraph_of(project)
+        sites = graph.calls_from["m.py::f"]
+        assert sites[0].external
+        assert sites[0].callees == ()
+
+    def test_base_class_method_resolution(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                class Base:
+                    def shared(self):
+                        pass
+
+                class Child(Base):
+                    def run(self):
+                        self.shared()
+                """,
+        })
+        graph = callgraph_of(project)
+        sites = graph.calls_from["m.py::Child.run"]
+        assert sites[0].callees == ("m.py::Base.shared",)
+
+    def test_reachable_from_is_transitive(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                def a():
+                    b()
+
+                def b():
+                    c()
+
+                def c():
+                    pass
+
+                def unrelated():
+                    pass
+                """,
+        })
+        graph = callgraph_of(project)
+        reached = graph.reachable_from({"m.py::a"})
+        assert reached == {"m.py::a", "m.py::b", "m.py::c"}
+
+    def test_resolve_name_follows_import_alias(self, tmp_path):
+        project = project_of(tmp_path, {
+            "a.py": "from b import worker as w\n",
+            "b.py": "def worker():\n    pass\n",
+        })
+        graph = callgraph_of(project)
+        module = project.by_rel_path["a.py"]
+        assert graph.resolve_name(module, "w") == ("b.py::worker",)
+
+    def test_memoized_on_project_cache(self, tmp_path):
+        project = project_of(tmp_path, {"m.py": "def f():\n    pass\n"})
+        assert callgraph_of(project) is callgraph_of(project)
+        assert isinstance(project.cache["callgraph"], CallGraph)
+
+
+# ----------------------------------------------------------------------
+# CFG
+# ----------------------------------------------------------------------
+def block_map(cfg):
+    return {b.id: b for b in cfg.blocks}
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        cfg = build_cfg(func_node("""\
+            def f():
+                a = 1
+                b = 2
+                return a + b
+            """))
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.statements) == 3
+        assert entry.successors == [cfg.exit]
+
+    def test_if_else_diamond(self):
+        cfg = build_cfg(func_node("""\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """))
+        entry = cfg.blocks[cfg.entry]
+        assert isinstance(entry.statements[-1], BranchMarker)
+        assert len(entry.successors) == 2
+        # both arms join before the return
+        joins = {
+            succ
+            for arm in entry.successors
+            for succ in cfg.blocks[arm].successors
+        }
+        assert len(joins) == 1
+
+    def test_while_loop_back_edge(self):
+        cfg = build_cfg(func_node("""\
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """))
+        headers = [
+            b for b in cfg.blocks
+            if any(isinstance(s, BranchMarker) for s in b.statements)
+        ]
+        assert len(headers) == 1
+        header = headers[0]
+        # some block loops back to the header
+        assert any(
+            header.id in cfg.blocks[p].successors
+            for p in header.predecessors
+            if p != cfg.entry
+        )
+
+    def test_return_edges_to_exit(self):
+        cfg = build_cfg(func_node("""\
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """))
+        returners = [
+            b.id for b in cfg.blocks
+            if any(isinstance(s, ast.Return) for s in b.statements)
+        ]
+        assert len(returners) == 2
+        for block_id in returners:
+            assert cfg.exit in cfg.blocks[block_id].successors
+
+    def test_try_handler_reachable_from_body(self):
+        cfg = build_cfg(func_node("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                return 1
+            """))
+        handler_blocks = [
+            b for b in cfg.blocks
+            if any(
+                isinstance(s, ast.Expr)
+                and isinstance(s.value, ast.Call)
+                and getattr(s.value.func, "id", "") == "handle"
+                for s in b.statements
+            )
+        ]
+        assert handler_blocks
+        assert handler_blocks[0].predecessors  # reachable
+
+
+# ----------------------------------------------------------------------
+# dataflow solver
+# ----------------------------------------------------------------------
+class _AssignedNames(Analysis):
+    """Forward may-analysis: names assigned on some path so far."""
+
+    may = True
+
+    def transfer(self, fact, statement):
+        names = set(fact)
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return frozenset(names)
+
+
+class _MustAssigned(_AssignedNames):
+    """Must-variant: names assigned on *every* path."""
+
+    may = False
+
+
+class TestDataflow:
+    def test_may_union_across_branches(self):
+        cfg = build_cfg(func_node("""\
+            def f(c):
+                if c:
+                    a = 1
+                else:
+                    b = 2
+                d = 3
+            """))
+        facts = solve(cfg, _AssignedNames())
+        assert facts[cfg.exit] == frozenset({"a", "b", "d"})
+
+    def test_must_intersection_across_branches(self):
+        cfg = build_cfg(func_node("""\
+            def f(c):
+                if c:
+                    a = 1
+                    common = 1
+                else:
+                    b = 2
+                    common = 2
+                d = 3
+            """))
+        facts = solve(cfg, _MustAssigned())
+        assert facts[cfg.exit] == frozenset({"common", "d"})
+
+    def test_loop_reaches_fixed_point(self):
+        cfg = build_cfg(func_node("""\
+            def f(n):
+                while n:
+                    inside = 1
+                after = 2
+            """))
+        facts = solve(cfg, _AssignedNames())
+        assert facts[cfg.exit] >= frozenset({"inside", "after"})
+
+    def test_statement_facts_replay_order(self):
+        cfg = build_cfg(func_node("""\
+            def f():
+                a = 1
+                b = 2
+            """))
+        analysis = _AssignedNames()
+        pairs = statement_facts(cfg, analysis, solve(cfg, analysis))
+        by_target = {
+            statement.targets[0].id: fact
+            for statement, fact in pairs
+            if isinstance(statement, ast.Assign)
+        }
+        assert by_target["a"] == frozenset()
+        assert by_target["b"] == frozenset({"a"})
+
+
+# ----------------------------------------------------------------------
+# effect summaries
+# ----------------------------------------------------------------------
+class TestEffects:
+    def test_direct_and_transitive_closes(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                def releaser(segment):
+                    segment.close()
+
+                def delegator(seg):
+                    releaser(seg)
+
+                def keeper(seg):
+                    return seg.name
+                """,
+        })
+        effects = effects_of(project)
+        assert effects.by_qname["m.py::releaser"].closes == {"segment"}
+        assert effects.by_qname["m.py::delegator"].closes == {"seg"}
+        assert effects.by_qname["m.py::keeper"].closes == set()
+
+    def test_options_param_and_fields(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                def leaf(graph, options=None):
+                    if options.budget:
+                        return options.budget
+                    return options.num_ranks
+                """,
+        })
+        fx = effects_of(project).by_qname["m.py::leaf"]
+        assert fx.options_param == "options"
+        assert fx.options_fields == {"budget", "num_ranks"}
+
+    def test_param_reads_and_writes(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                def f(state):
+                    x = state.role_mask
+                    state.vertex_active = x
+                    state.edge_alive[0] = False
+                """,
+        })
+        fx = effects_of(project).by_qname["m.py::f"]
+        assert "role_mask" in fx.param_reads["state"]
+        assert fx.param_writes["state"] == {"vertex_active", "edge_alive"}
+
+    def test_ships_through_submit_and_initargs(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                def run(pool, task, handle, worker):
+                    pool.submit(task)
+                    pool.map(worker, initargs=(handle,))
+                """,
+        })
+        fx = effects_of(project).by_qname["m.py::run"]
+        assert fx.ships == {"task", "worker", "handle"}
+
+    def test_return_dtype_through_helper(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                import numpy as np
+
+                def floats(n):
+                    return np.zeros(n)
+
+                def ints(n):
+                    return np.zeros(n, dtype=np.int64)
+
+                def chained(n):
+                    out = floats(n)
+                    return out
+
+                def divided(a, b):
+                    return a / b
+                """,
+        })
+        effects = effects_of(project)
+        assert effects.by_qname["m.py::floats"].return_dtype == "float"
+        assert effects.by_qname["m.py::ints"].return_dtype == "int"
+        assert effects.by_qname["m.py::chained"].return_dtype == "float"
+        assert effects.by_qname["m.py::divided"].return_dtype == "float"
+
+    def test_unrecognized_dtype_keyword_is_unknown(self):
+        call = ast.parse("np.zeros(n, dtype=_U64)", mode="eval").body
+        assert infer_call_dtype(call) is None
+        bare = ast.parse("np.zeros(n)", mode="eval").body
+        assert infer_call_dtype(bare) == "float"
+
+    def test_dtype_label_families(self):
+        cases = {
+            "np.int64": "int",
+            "np.uint64": "uint",
+            "np.float32": "float",
+            "float": "float",
+            "object": "object",
+            "bool": "bool",
+        }
+        for source, expected in cases.items():
+            node = ast.parse(source, mode="eval").body
+            assert dtype_label(node) == expected, source
+
+    def test_map_arguments_positional_and_keyword(self, tmp_path):
+        project = project_of(tmp_path, {
+            "m.py": """\
+                def callee(a, b, c=None):
+                    pass
+
+                def caller(x, y, z):
+                    callee(x, b=y, c=z)
+                """,
+        })
+        graph = callgraph_of(project)
+        site = graph.calls_from["m.py::caller"][0]
+        callee = graph.functions["m.py::callee"]
+        mapped = {
+            param: arg.id for arg, param in map_arguments(site.node, callee)
+        }
+        assert mapped == {"a": "x", "b": "y", "c": "z"}
+
+    def test_memoized_on_project_cache(self, tmp_path):
+        project = project_of(tmp_path, {"m.py": "def f():\n    pass\n"})
+        assert effects_of(project) is effects_of(project)
+        assert isinstance(project.cache["effects"], EffectsIndex)

@@ -34,15 +34,42 @@ def rules_fired(report):
 
 
 class TestRegistry:
-    def test_all_eight_rules_registered(self):
+    def test_all_thirteen_rules_registered(self):
         assert set(all_rules()) == {
             "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+            "R9", "R10", "R11", "R12", "R13",
         }
+
+    def test_deep_tier_split(self):
+        registry = all_rules()
+        deep = {rule_id for rule_id, rule in registry.items() if rule.deep}
+        assert deep == {"R9", "R10", "R11", "R12", "R13"}
+
+    def test_default_run_excludes_deep_rules(self, tmp_path):
+        report = run_lint(tmp_path)
+        assert not any(r in report.rules_run for r in
+                       ("R9", "R10", "R11", "R12", "R13"))
+        deep_report = run_lint(tmp_path, deep=True)
+        assert set(deep_report.rules_run) == set(all_rules())
+
+    def test_rules_run_in_natural_order(self, tmp_path):
+        report = run_lint(tmp_path, deep=True)
+        assert report.rules_run == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+            "R9", "R10", "R11", "R12", "R13",
+        ]
 
     def test_rules_carry_rationales(self):
         for rule in all_rules().values():
             assert rule.title
             assert rule.rationale
+
+    def test_deep_rules_carry_explain_material(self):
+        for rule in all_rules().values():
+            if rule.deep:
+                assert rule.contract
+                assert rule.example_bad
+                assert rule.example_good
 
     def test_unknown_rule_id_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown rule"):
@@ -499,6 +526,41 @@ class TestSuppression:
             """}, rules=["R1"])
         assert report.clean
 
+    def test_multiline_statement_first_line_comment(self, tmp_path):
+        # the violation anchors to the continuation line; the trailing
+        # comment on the statement's *first* line must cover it
+        report = lint_files(tmp_path, {"helpers.py": """\
+            def f(options):
+                if (options.max_prototypes is not None  # repro-lint: ignore[R1]
+                        and options.reload_ranks):
+                    return 1
+                return 0
+            """}, rules=["R1"])
+        assert report.clean, [v.render() for v in report.violations]
+        assert report.suppressed == 1
+
+    def test_multiline_statement_comment_line_above(self, tmp_path):
+        report = lint_files(tmp_path, {"helpers.py": """\
+            def f(options):
+                # repro-lint: ignore[R1]
+                if (options.max_prototypes is not None
+                        and options.reload_ranks):
+                    return 1
+                return 0
+            """}, rules=["R1"])
+        assert report.clean, [v.render() for v in report.violations]
+        assert report.suppressed == 1
+
+    def test_multiline_suppression_stays_rule_specific(self, tmp_path):
+        report = lint_files(tmp_path, {"helpers.py": """\
+            def f(options):
+                if (options.max_prototypes is not None  # repro-lint: ignore[R3]
+                        and options.reload_ranks):
+                    return 1
+                return 0
+            """}, rules=["R1"])
+        assert rules_fired(report) == {"R1"}
+
 
 class TestBaseline:
     def _dirty_report(self, tmp_path):
@@ -555,6 +617,25 @@ class TestBaseline:
         assert document["version"] == 1
         assert all({"rule", "path", "snippet", "count"} <= set(e)
                    for e in document["entries"])
+
+    def test_saved_file_is_byte_stable_and_sorted(self, tmp_path):
+        report = self._dirty_report(tmp_path)
+        forward = tmp_path / "forward.json"
+        Baseline.from_violations(report.violations).save(forward)
+        # same findings in reverse insertion order -> identical bytes
+        backward = tmp_path / "backward.json"
+        Baseline.from_violations(
+            list(reversed(report.violations))
+        ).save(backward)
+        assert forward.read_bytes() == backward.read_bytes()
+        # a load/save round trip is also byte-stable
+        roundtrip = tmp_path / "roundtrip.json"
+        Baseline.load(forward).save(roundtrip)
+        assert roundtrip.read_bytes() == forward.read_bytes()
+        document = json.loads(forward.read_text())
+        keys = [(e["rule"], e["path"], e["snippet"])
+                for e in document["entries"]]
+        assert keys == sorted(keys)
 
 
 class TestParseResilience:
@@ -618,6 +699,32 @@ class TestRunnerCli:
         out = capsys.readouterr().out
         for rule_id in ("R1", "R2", "R3", "R4", "R5"):
             assert rule_id in out
+        assert "R13 [deep]" in out
+
+    def test_explain_prints_contract_and_examples(self, capsys):
+        assert main(["--explain", "R9"]) == 0
+        out = capsys.readouterr().out
+        assert "shm-use-after-release" in out
+        assert "contract:" in out
+        assert "bad:" in out
+        assert "good:" in out
+
+    def test_explain_shallow_rule_falls_back_to_docstring(self, capsys):
+        assert main(["--explain", "R1"]) == 0
+        out = capsys.readouterr().out
+        assert "R1" in out
+        assert "contract:" in out
+
+    def test_explain_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--explain", "R99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_deep_flag_runs_interprocedural_rules(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main([str(tmp_path), "--deep", "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert "R9" in document["rules_run"]
+        assert "R13" in document["rules_run"]
 
 
 class TestSelfCheck:

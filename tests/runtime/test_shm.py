@@ -93,7 +93,10 @@ def assert_results_equal(got, want, stats=False):
     """Results must match; execution stats (``stats=True``) only between
     pooled runs — sequential sweeps share one NLCC recycling cache across
     all prototypes, so their token counts legitimately differ from a
-    pool's per-worker caches."""
+    pool's per-worker caches.  The launched/recycled *split* is compared
+    as a sum: which worker serves which prototype is executor-scheduling
+    dependent, and a warm cache turns a launch into a recycle — only the
+    total token demand per prototype is deterministic."""
     assert got.match_vectors == want.match_vectors
     for proto in want.prototype_set:
         g = got.outcome_for(proto.id)
@@ -103,8 +106,10 @@ def assert_results_equal(got, want, stats=False):
         assert g.match_mappings == w.match_mappings
         assert g.distinct_matches == w.distinct_matches
         if stats:
-            assert g.nlcc_tokens_launched == w.nlcc_tokens_launched
-            assert g.nlcc_recycled == w.nlcc_recycled
+            assert (
+                g.nlcc_tokens_launched + g.nlcc_recycled
+                == w.nlcc_tokens_launched + w.nlcc_recycled
+            )
             assert g.lcc_iterations == w.lcc_iterations
             assert g.post_lcc_vertices == w.post_lcc_vertices
             assert g.post_lcc_edges == w.post_lcc_edges
@@ -162,6 +167,56 @@ class TestSegmentLifecycle:
         with pytest.raises(FileNotFoundError):
             SharedMemory(name=name)
         shared.close()  # second close is a no-op
+        assert_no_segments()
+
+    def test_stale_payload_version_refuses_to_attach(self):
+        # Protocol drift between owner and worker builds must fail loudly
+        # at attach time, not corrupt reads later.
+        graph, _template = kernel_workload()
+        with SharedGraphCsr(csr_of(graph)) as shared:
+            stale = pickle.loads(pickle.dumps(shared.handle))
+            stale.meta["payload_version"] = 1
+            with pytest.raises(ValueError, match="payload version 1"):
+                attach_shared_csr(stale, graph)
+            missing = pickle.loads(pickle.dumps(shared.handle))
+            del missing.meta["payload_version"]
+            with pytest.raises(ValueError, match="payload version None"):
+                attach_shared_csr(missing, graph)
+            # the refused attaches must not have registered a mapping
+            assert not owned_segment_names() or shared.name in shm_segments()
+            detach_all()
+        assert_no_segments()
+
+    def test_double_close_clears_owner_registry_once(self):
+        graph, _template = kernel_workload()
+        shared = SharedGraphCsr(csr_of(graph))
+        name = shared.name
+        assert name in owned_segment_names()
+        shared.close()
+        assert shared._shm is None
+        assert name not in owned_segment_names()
+        shared.close()  # no FileNotFoundError, no registry mutation
+        assert shared._shm is None
+        assert_no_segments()
+
+    def test_owner_unlink_after_worker_crash(self):
+        # Simulate a worker that attached and then died without detaching:
+        # attach in-process (the mapping outlives the "worker"), close the
+        # owner, and verify the segment is gone and a fresh attach fails.
+        graph, _template = kernel_workload()
+        shared = SharedGraphCsr(csr_of(graph))
+        name = shared.name
+        handle = pickle.loads(pickle.dumps(shared.handle))
+        attached = attach_shared_csr(handle, graph)
+        assert attached.num_vertices == csr_of(graph).num_vertices
+        del attached  # the crashed worker's views are garbage now
+        shared.close()  # owner tears down regardless of the stale attacher
+        assert name not in shm_segments()
+        assert name not in owned_segment_names()
+        detach_all()  # drop the stale mapping cached under the dead name
+        with pytest.raises(FileNotFoundError):
+            attach_shared_csr(handle, graph)
+        detach_all()
         assert_no_segments()
 
     def test_context_manager_cleans_up_on_exception(self):
